@@ -1,0 +1,172 @@
+// Command dvfstrace runs a single kernel under one DVFS mechanism and
+// dumps the per-epoch, per-cluster trace (CSV or JSON), plus a terminal
+// summary: level histogram, cluster-0 level timeline, and IPC/power
+// sparklines. It is the microscope for inspecting what a controller
+// actually did.
+//
+// Usage:
+//
+//	dvfstrace -kernel rodinia.srad -mech ssmdvfs -preset 0.10 \
+//	          -cache ssmdvfs-cache [-quick] [-o trace.csv] [-json]
+//
+// Mechanisms: baseline, pcstall, flemma, ssmdvfs, ssmdvfs-nocal,
+// ssmdvfs-compressed, static-N (fixed level N).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/experiments"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/viz"
+)
+
+func main() {
+	var (
+		kernelName = flag.String("kernel", "rodinia.srad", "kernel name (see internal/kernels)")
+		mech       = flag.String("mech", "ssmdvfs", "mechanism: baseline|pcstall|flemma|ssmdvfs|ssmdvfs-nocal|ssmdvfs-compressed|static-N")
+		preset     = flag.Float64("preset", 0.10, "performance-loss preset")
+		cache      = flag.String("cache", "ssmdvfs-cache", "artifact cache directory (for ssmdvfs mechanisms)")
+		quick      = flag.Bool("quick", true, "use the reduced GPU configuration")
+		out        = flag.String("o", "", "trace output path (default: stdout summary only)")
+		asJSON     = flag.Bool("json", false, "write JSON instead of CSV")
+		seed       = flag.Int64("seed", 1, "seed for stochastic mechanisms")
+	)
+	flag.Parse()
+
+	if err := run(*kernelName, *mech, *preset, *cache, *quick, *out, *asJSON, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kernelName, mech string, preset float64, cache string, quick bool, out string, asJSON bool, seed int64) error {
+	opts := experiments.DefaultPipelineOptions()
+	if quick {
+		opts = experiments.QuickPipelineOptions()
+	}
+	opts.CacheDir = cache
+	opts.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+
+	spec, err := kernels.ByName(kernelName)
+	if err != nil {
+		return err
+	}
+	kernel := spec.Build(opts.Scale)
+
+	ctrl, err := buildController(mech, preset, opts, seed)
+	if err != nil {
+		return err
+	}
+
+	sim, err := gpusim.New(opts.Sim, kernel)
+	if err != nil {
+		return err
+	}
+	trace := &epochtrace.Trace{}
+	sim.SetObserver(trace.Observe)
+	if ctrl != nil {
+		sim.SetController(ctrl)
+	}
+	res := sim.Run(5_000_000_000_000)
+	if !res.Completed {
+		return fmt.Errorf("kernel did not complete")
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if asJSON {
+			err = trace.WriteJSON(f)
+		} else {
+			err = trace.WriteCSV(f)
+		}
+		if err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(trace.Records), out)
+	}
+
+	return summarize(os.Stdout, kernelName, mech, opts.Sim, trace, res)
+}
+
+func buildController(mech string, preset float64, opts experiments.PipelineOptions, seed int64) (gpusim.Controller, error) {
+	clusters := opts.Sim.Clusters
+	switch {
+	case mech == "baseline":
+		return nil, nil
+	case mech == "pcstall":
+		return baselines.NewPCSTALL(opts.Sim.OPs, preset, clusters)
+	case mech == "flemma":
+		return baselines.NewFLEMMA(opts.Sim.OPs, preset, clusters, seed)
+	case strings.HasPrefix(mech, "static-"):
+		lvl, err := strconv.Atoi(strings.TrimPrefix(mech, "static-"))
+		if err != nil {
+			return nil, fmt.Errorf("bad static level in %q: %w", mech, err)
+		}
+		return &baselines.Static{Level: lvl}, nil
+	case strings.HasPrefix(mech, "ssmdvfs"):
+		pipeline, err := experiments.RunPipeline(opts)
+		if err != nil {
+			return nil, err
+		}
+		model := pipeline.Model
+		calibrate := true
+		switch mech {
+		case "ssmdvfs":
+		case "ssmdvfs-nocal":
+			calibrate = false
+		case "ssmdvfs-compressed":
+			model = pipeline.Compressed
+		default:
+			return nil, fmt.Errorf("unknown mechanism %q", mech)
+		}
+		return core.NewController(model, preset, clusters, calibrate)
+	default:
+		return nil, fmt.Errorf("unknown mechanism %q", mech)
+	}
+}
+
+func summarize(w *os.File, kernel, mech string, cfg gpusim.Config, trace *epochtrace.Trace, res gpusim.Result) error {
+	fmt.Fprintf(w, "kernel=%s mechanism=%s\n", kernel, mech)
+	fmt.Fprintf(w, "exec=%.1fus energy=%.2fmJ edp=%.3e J·s transitions=%d epochs=%d\n\n",
+		float64(res.ExecTimePs)/1e6, res.EnergyPJ/1e9, res.EDP(), res.Transitions, res.Epochs)
+
+	labels := make([]string, cfg.OPs.Len())
+	for i := range labels {
+		labels[i] = cfg.OPs.Point(i).String()
+	}
+	if err := viz.Histogram(w, "epochs per operating point:", labels, trace.LevelHistogram(cfg.OPs.Len()), 40); err != nil {
+		return err
+	}
+
+	c0 := trace.Cluster(0)
+	if len(c0) > 0 {
+		levels := make([]int, len(c0))
+		ipc := make([]float64, len(c0))
+		power := make([]float64, len(c0))
+		for i, r := range c0 {
+			levels[i] = r.Level
+			ipc[i] = r.IPC
+			power[i] = r.PowerW
+		}
+		fmt.Fprintf(w, "\ncluster 0 levels: %s\n", viz.LevelTimeline(levels, 8))
+		fmt.Fprintf(w, "cluster 0 IPC:    %s\n", viz.Sparkline(ipc))
+		fmt.Fprintf(w, "cluster 0 power:  %s  (mean %.1f W)\n", viz.Sparkline(power), trace.MeanPowerW())
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+
+	"ssmdvfs/internal/experiments"
+)
+
+func TestBuildControllerStaticAndAnalytical(t *testing.T) {
+	opts := experiments.QuickPipelineOptions()
+	cases := map[string]string{
+		"baseline": "",
+		"pcstall":  "pcstall",
+		"flemma":   "flemma",
+		"static-2": "static-2",
+	}
+	for mech, wantName := range cases {
+		ctrl, err := buildController(mech, 0.10, opts, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", mech, err)
+		}
+		if mech == "baseline" {
+			if ctrl != nil {
+				t.Fatal("baseline must have no controller")
+			}
+			continue
+		}
+		if ctrl.Name() != wantName {
+			t.Fatalf("%s: Name() = %q", mech, ctrl.Name())
+		}
+	}
+}
+
+func TestBuildControllerRejectsUnknown(t *testing.T) {
+	opts := experiments.QuickPipelineOptions()
+	if _, err := buildController("magic", 0.10, opts, 1); err != nil {
+		return
+	}
+	t.Fatal("unknown mechanism accepted")
+}
+
+func TestBuildControllerRejectsBadStaticLevel(t *testing.T) {
+	opts := experiments.QuickPipelineOptions()
+	if _, err := buildController("static-x", 0.10, opts, 1); err == nil {
+		t.Fatal("bad static level accepted")
+	}
+}

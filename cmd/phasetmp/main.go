@@ -1,0 +1,25 @@
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/kernels"
+)
+
+func main() {
+	cfg := gpusim.SmallConfig()
+	cfg.Clusters = 1
+	spec, _ := kernels.ByName("rodinia.backprop")
+	sim, err := gpusim.New(cfg, spec.Build(0.4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim.SetObserver(func(s gpusim.EpochStats) {
+		fmt.Printf("ep%d instr=%6d MH=%7d MHL=%6d CH=%7d CTL=%5d ipc=%.2f falu=%d ldg=%d\n",
+			s.Epoch, s.Instructions, s.StallMemLoad, s.StallMemOther, s.StallCompute, s.StallControl, s.IPC(),
+			s.OpCounts[2-1], s.OpCounts[3])
+	})
+	sim.Run(5_000_000_000_000)
+}

@@ -1,0 +1,333 @@
+// Command ssmdvfs is the project CLI: it builds the SSMDVFS models
+// end-to-end (data generation → training → compression) and runs every
+// experiment from the paper's evaluation.
+//
+// Usage:
+//
+//	ssmdvfs pipeline -cache DIR [-quick] [-scale F]
+//	ssmdvfs fig4     -cache DIR [-quick] [-presets 0.10,0.20]
+//	ssmdvfs table1   -cache DIR
+//	ssmdvfs table2   -cache DIR [-quick]
+//	ssmdvfs fig3     -cache DIR [-quick]
+//	ssmdvfs asic     -cache DIR
+//	ssmdvfs sweep    -cache DIR [-quick]    (extension: EDP vs preset)
+//	ssmdvfs headroom -cache DIR [-quick]    (extension: oracle headroom)
+//	ssmdvfs quant    -cache DIR [-quick]    (extension: quantization)
+//	ssmdvfs all      -cache DIR [-quick]
+//
+// The cache directory holds dataset.json, model.json and compressed.json;
+// every subcommand builds missing artifacts on demand.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"ssmdvfs/internal/asic"
+	"ssmdvfs/internal/experiments"
+	"ssmdvfs/internal/features"
+	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/quant"
+	"ssmdvfs/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	cache := fs.String("cache", "ssmdvfs-cache", "artifact cache directory")
+	quick := fs.Bool("quick", false, "small GPU / short kernels (seconds instead of minutes)")
+	scale := fs.Float64("scale", 0, "kernel duration scale override (0 = preset default)")
+	presets := fs.String("presets", "0.10,0.20", "comma-separated performance-loss presets")
+	verbose := fs.Bool("v", true, "log progress")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+
+	if err := run(cmd, *cache, *quick, *scale, *presets, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmdvfs:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: ssmdvfs <pipeline|fig4|table1|table2|fig3|asic|sweep|headroom|quant|all> [flags]
+run "ssmdvfs <cmd> -h" for flags`)
+}
+
+func run(cmd, cache string, quick bool, scale float64, presetsCSV string, logf func(string, ...any)) error {
+	opts := experiments.DefaultPipelineOptions()
+	if quick {
+		opts = experiments.QuickPipelineOptions()
+	}
+	if scale > 0 {
+		opts.Scale = scale
+	}
+	if cache != "" {
+		if err := os.MkdirAll(cache, 0o755); err != nil {
+			return err
+		}
+	}
+	opts.CacheDir = cache
+	opts.Logf = logf
+
+	presets, err := parsePresets(presetsCSV)
+	if err != nil {
+		return err
+	}
+
+	switch cmd {
+	case "pipeline":
+		_, err := experiments.RunPipeline(opts)
+		return err
+	case "fig4":
+		return runFig4(opts, presets, logf)
+	case "table1":
+		return runTable1(opts)
+	case "table2":
+		return runTable2(opts)
+	case "fig3":
+		return runFig3(opts, quick)
+	case "asic":
+		return runASIC(opts)
+	case "sweep":
+		return runSweep(opts)
+	case "headroom":
+		return runHeadroom(opts)
+	case "quant":
+		return runQuant(opts)
+	case "all":
+		if err := runTable1(opts); err != nil {
+			return err
+		}
+		if err := runTable2(opts); err != nil {
+			return err
+		}
+		if err := runFig3(opts, quick); err != nil {
+			return err
+		}
+		if err := runFig4(opts, presets, logf); err != nil {
+			return err
+		}
+		return runASIC(opts)
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+func parsePresets(csv string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad preset %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no presets given")
+	}
+	return out, nil
+}
+
+func runFig4(opts experiments.PipelineOptions, presets []float64, logf func(string, ...any)) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	evalKernels := kernels.Evaluation()
+	// Paper: the evaluation mix keeps >50% unseen; add a few training
+	// kernels so seen programs are represented too.
+	evalKernels = append(evalKernels, kernels.Training()[:4]...)
+	res, err := experiments.RunFig4(experiments.Fig4Options{
+		Sim:        opts.Sim,
+		Kernels:    evalKernels,
+		Scale:      opts.Scale,
+		Presets:    presets,
+		Model:      p.Model,
+		Compressed: p.Compressed,
+		Seed:       1,
+		Logf:       logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 4: normalized EDP and latency ==")
+	if err := res.WriteTable(os.Stdout); err != nil {
+		return err
+	}
+	if opts.CacheDir != "" {
+		if err := res.SaveFile(filepath.Join(opts.CacheDir, "fig4.json")); err != nil {
+			return err
+		}
+	}
+	for _, preset := range presets {
+		var bars []viz.Bar
+		for _, s := range res.Summaries {
+			if s.Preset == preset {
+				bars = append(bars, viz.Bar{Label: string(s.Mechanism), Value: s.GMeanEDP})
+			}
+		}
+		fmt.Println()
+		if err := viz.BarChart(os.Stdout,
+			fmt.Sprintf("gmean normalized EDP at %.0f%% preset (lower is better):", preset*100),
+			bars, 40, 1.0); err != nil {
+			return err
+		}
+	}
+	for _, variant := range []experiments.Mechanism{experiments.MechSSMDVFS, experiments.MechSSMDVFSComp} {
+		h, err := res.ComputeHeadline(variant)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nheadline (%s): EDP vs baseline %+.2f%%, vs PCSTALL %+.2f%%, vs F-LEMMA %+.2f%%\n",
+			variant, h.VsBaselinePct, h.VsPCSTALLPct, h.VsFLEMMAPct)
+	}
+	return nil
+}
+
+func runTable1(opts experiments.PipelineOptions) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	res, err := experiments.RunTableI(p.Dataset, features.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table I: metrics and performance counters (RFE) ==")
+	return res.WriteTable(os.Stdout)
+}
+
+func runTable2(opts experiments.PipelineOptions) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Table II: final model information ==")
+	return experiments.RunTableII(p).WriteTable(os.Stdout)
+}
+
+func runFig3(opts experiments.PipelineOptions, quick bool) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	fig3 := experiments.DefaultFig3Options()
+	fig3.TrainOpts = opts.TrainOpts
+	fig3.PruneOpts = opts.PruneOpts
+	if quick {
+		fig3.Archs = fig3.Archs[:8]
+		fig3.X1s = []float64{0.4, 0.6, 0.8}
+		fig3.X2s = []float64{0.7, 0.9}
+	}
+	res, err := experiments.RunFig3(p.Dataset, p.Model, fig3)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Fig. 3: FLOPs vs accuracy and MAPE ==")
+	return res.WriteTable(os.Stdout)
+}
+
+func runSweep(opts experiments.PipelineOptions) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	points, err := experiments.RunPresetSweep(experiments.PresetSweepOptions{
+		Sim:     opts.Sim,
+		Kernels: kernels.Evaluation(),
+		Scale:   opts.Scale,
+		Presets: []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50},
+		Model:   p.Compressed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Extension: EDP/latency vs performance-loss preset ==")
+	return experiments.WritePresetSweep(os.Stdout, points)
+}
+
+func runHeadroom(opts experiments.PipelineOptions) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	rows, err := experiments.RunHeadroom(experiments.PresetSweepOptions{
+		Sim:     opts.Sim,
+		Kernels: kernels.Evaluation()[:6],
+		Scale:   opts.Scale,
+		Model:   p.Model,
+	}, 0.10)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Extension: clairvoyant-oracle headroom at the 10% preset ==")
+	return experiments.WriteHeadroom(os.Stdout, rows)
+}
+
+func runASIC(opts experiments.PipelineOptions) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	rep, err := experiments.RunASIC(p.Compressed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Section V-D: ASIC implementation of the SSMDVFS module ==")
+	return experiments.WriteASIC(os.Stdout, rep)
+}
+
+func runQuant(opts experiments.PipelineOptions) error {
+	p, err := experiments.RunPipeline(opts)
+	if err != nil {
+		return err
+	}
+	points, err := quant.Sweep(p.Compressed, p.Dataset, []int{16, 12, 10, 8, 6, 4})
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Extension: post-training quantization of the compressed module ==")
+	fmt.Printf("%-6s %10s %8s\n", "bits", "accuracy", "mape")
+	fmt.Printf("%-6s %9.2f%% %7.2f%%\n", "fp64", p.CompressedReport.Accuracy*100, p.CompressedReport.MAPE)
+	for _, pt := range points {
+		fmt.Printf("%-6d %9.2f%% %7.2f%%\n", pt.Bits, pt.Accuracy*100, pt.MAPE)
+	}
+
+	// Hardware cost with an INT16 MAC array.
+	areaF, energyF, err := quant.HardwareScale(16)
+	if err != nil {
+		return err
+	}
+	cfg := asic.DefaultConfig()
+	cfg.MACAreaUm2 *= areaF
+	cfg.MACEnergyPJ *= energyF
+	q16, err := quant.QuantizeModel(p.Compressed, 16)
+	if err != nil {
+		return err
+	}
+	rep, err := asic.Estimate(q16, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nINT16 inference engine (same pipeline, integer MAC):")
+	return experiments.WriteASIC(os.Stdout, rep)
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParsePresets(t *testing.T) {
+	got, err := parsePresets("0.10, 0.20,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.10, 0.20, 0.5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParsePresetsErrors(t *testing.T) {
+	if _, err := parsePresets(""); err == nil {
+		t.Fatal("empty presets accepted")
+	}
+	if _, err := parsePresets("abc"); err == nil {
+		t.Fatal("non-numeric preset accepted")
+	}
+}
+
+func TestRunUnknownCommand(t *testing.T) {
+	if err := run("nope", "", true, 0, "0.1", func(string, ...any) {}); err == nil {
+		t.Fatal("unknown command accepted")
+	}
+}

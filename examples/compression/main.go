@@ -1,0 +1,61 @@
+// Compression walks through Section IV of the paper: train the initial
+// 5+4-layer network, retrain at the layer-wise compressed 3+2-layer
+// architecture, apply two-stage pruning (x₁ = 0.6 magnitude, x₂ = 0.9
+// neuron), and report the Table II comparison plus the Section V-D ASIC
+// estimate of the final module.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"ssmdvfs/internal/compress"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/experiments"
+)
+
+func main() {
+	opts := experiments.QuickPipelineOptions()
+	opts.Logf = log.Printf
+	pipeline, err := experiments.RunPipeline(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== Table II: model before and after compression ==")
+	if err := experiments.RunTableII(pipeline).WriteTable(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the pruning trade-off curve around the paper's chosen
+	// (x1, x2) = (0.6, 0.9) point.
+	fmt.Println("\n== pruning sweep around the chosen point ==")
+	smallOpts := opts.TrainOpts
+	smallOpts.Arch = core.PaperCompressed()
+	small, _, err := core.Train(pipeline.Dataset, smallOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	points, err := compress.PruningSweep(small, pipeline.Dataset,
+		[]float64{0.4, 0.6, 0.8}, []float64{0.7, 0.9}, opts.PruneOpts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-18s %8s %10s %8s\n", "config", "flops", "accuracy", "mape")
+	for _, p := range points {
+		fmt.Printf("%-18s %8d %9.1f%% %7.1f%%\n", p.Label, p.FLOPs, p.Accuracy*100, p.MAPE)
+	}
+
+	fmt.Println("\n== Section V-D: ASIC implementation of the final module ==")
+	rep, err := experiments.RunASIC(pipeline.Compressed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := experiments.WriteASIC(os.Stdout, rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n(paper: 192 cycles = 0.16 µs = 1.65% of one epoch, 0.0080 mm², 0.0025 W)")
+}

@@ -1,0 +1,3 @@
+module ssmdvfs
+
+go 1.22

@@ -1,0 +1,28 @@
+// Package baselines implements the comparison mechanisms of Section V:
+// PCSTALL, the frequency-sensitivity analytical predictor (Bharadwaj et
+// al., ASPLOS'22), and F-LEMMA, the hierarchical actor-critic RL
+// framework (Zou et al., MLCAD'20) — both adapted, as in the paper, to
+// the common objective of picking the minimum V/f point that keeps
+// performance loss under a preset. A trivial static controller pins a
+// fixed level and serves as the normalization baseline.
+package baselines
+
+import (
+	"fmt"
+
+	"ssmdvfs/internal/gpusim"
+)
+
+// Static pins every cluster at a fixed operating-point level. With the
+// default level it is the paper's normalization baseline.
+type Static struct {
+	Level int
+}
+
+// Name implements gpusim.Controller.
+func (s *Static) Name() string { return fmt.Sprintf("static-%d", s.Level) }
+
+// Decide implements gpusim.Controller.
+func (s *Static) Decide(gpusim.EpochStats) int { return s.Level }
+
+var _ gpusim.Controller = (*Static)(nil)

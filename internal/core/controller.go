@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/gpusim"
+)
+
+// Controller is the SSMDVFS runtime (Fig. 1 of the paper). At every 10 µs
+// epoch boundary it:
+//
+//  1. compares the epoch's actual instruction count against the
+//     Calibrator's prediction made one epoch earlier and nudges the
+//     effective performance-loss preset (self-calibration);
+//  2. feeds the epoch's counters and the calibrated preset to the
+//     Decision-maker to pick the next epoch's operating point;
+//  3. asks the Calibrator — always with the *originally set* preset —
+//     to predict the next epoch's instruction count for step 1.
+//
+// The controller keeps independent calibration state per cluster, since
+// DVFS domains are per-cluster.
+type Controller struct {
+	model  *Model
+	preset float64
+
+	// Calibrate enables the self-calibration loop (disabled for the
+	// "SSMDVFS without Calibrator" configuration in Fig. 4).
+	calibrate bool
+
+	// Gain is the calibration step size; Floor bounds how far the
+	// effective preset may be tightened below the user preset; Deadband
+	// is the relative prediction error tolerated before tightening (set
+	// near the Calibrator's MAPE so model noise does not masquerade as a
+	// slowdown).
+	gain     float64
+	floor    float64
+	deadband float64
+
+	state      []clusterCalib
+	inferences int64
+}
+
+type clusterCalib struct {
+	effPreset float64
+	predicted float64
+	// predWarps is the active warp count when the prediction was made;
+	// warps retiring mid-epoch legitimately shrink the instruction count
+	// and must not read as "running too slowly".
+	predWarps int
+	hasPred   bool
+}
+
+// NewController builds the SSMDVFS controller for a GPU with the given
+// cluster count. preset is the user's maximum acceptable performance loss
+// (e.g. 0.10 for 10%).
+func NewController(model *Model, preset float64, clusters int, calibrate bool) (*Controller, error) {
+	if model == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if preset < 0 {
+		return nil, fmt.Errorf("core: preset must be non-negative, got %g", preset)
+	}
+	if clusters <= 0 {
+		return nil, fmt.Errorf("core: clusters must be positive, got %d", clusters)
+	}
+	c := &Controller{
+		model:     model,
+		preset:    preset,
+		calibrate: calibrate,
+		gain:      0.5,
+		floor:     0,
+		deadband:  0.05,
+		state:     make([]clusterCalib, clusters),
+	}
+	for i := range c.state {
+		c.state[i].effPreset = preset
+	}
+	return c, nil
+}
+
+// Name implements gpusim.Controller.
+func (c *Controller) Name() string {
+	if c.calibrate {
+		return "ssmdvfs"
+	}
+	return "ssmdvfs-nocal"
+}
+
+// Preset returns the user-set performance-loss preset.
+func (c *Controller) Preset() float64 { return c.preset }
+
+// Inferences returns how many combined model inferences the controller
+// has performed (one decision + one calibration per epoch per cluster).
+func (c *Controller) Inferences() int64 { return c.inferences }
+
+// EffectivePreset returns cluster i's current calibrated preset (test and
+// analysis hook).
+func (c *Controller) EffectivePreset(i int) float64 { return c.state[i].effPreset }
+
+// Decide implements gpusim.Controller.
+func (c *Controller) Decide(stats gpusim.EpochStats) int {
+	cs := &c.state[stats.Cluster]
+
+	// Step 1: self-calibration against last epoch's prediction.
+	if c.calibrate && cs.hasPred && cs.predicted > 0 && stats.WarpsActive > 0 {
+		pred := cs.predicted
+		// Scale the expectation down when warps retired since the
+		// prediction: less work in flight means fewer instructions, not
+		// a slower core.
+		if cs.predWarps > 0 && stats.WarpsActive < cs.predWarps {
+			pred *= float64(stats.WarpsActive) / float64(cs.predWarps)
+		}
+		actual := float64(stats.Instructions)
+		relErr := (pred - actual) / pred
+		if relErr > c.deadband {
+			// Running slower than the Calibrator expected: tighten the
+			// preset so the Decision-maker chooses a faster point.
+			cs.effPreset -= c.gain * (relErr - c.deadband) * c.preset
+			if cs.effPreset < c.floor {
+				cs.effPreset = c.floor
+			}
+		} else if relErr < 0 {
+			// Running at or ahead of prediction: relax back toward the
+			// user preset.
+			cs.effPreset += c.gain * (-relErr) * c.preset
+			if cs.effPreset > c.preset {
+				cs.effPreset = c.preset
+			}
+		}
+	}
+
+	feats := counters.FromStats(stats)
+
+	// Step 2: decision for the next epoch.
+	level := c.model.DecideLevel(feats, cs.effPreset)
+
+	// Step 3: prediction for the next epoch, always under the original
+	// preset.
+	cs.predicted = c.model.PredictInstructions(feats, c.preset, level)
+	cs.predWarps = stats.WarpsActive
+	cs.hasPred = true
+	c.inferences++
+	return level
+}
+
+var _ gpusim.Controller = (*Controller)(nil)

@@ -1,0 +1,197 @@
+// Package core implements SSMDVFS, the paper's contribution: a combined
+// supervised model — a Decision-maker classifier that picks the minimum
+// V/f operating point satisfying a performance-loss preset, and a
+// Calibrator regressor that predicts the next epoch's instruction count —
+// plus the runtime controller that closes the loop with self-calibration
+// at every 10 µs DVFS epoch.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/nn"
+)
+
+// Model is the combined Decision-maker + Calibrator network. The paper
+// fuses both heads into one network; here each head is an MLP whose
+// shared preprocessing (feature selection and scaling) is identical, and
+// FLOPs/compression are reported over the pair.
+type Model struct {
+	// FeatureIdx are the counter indices the model consumes (Table I's
+	// five by default).
+	FeatureIdx []int
+	// Levels is the number of operating-point classes.
+	Levels int
+
+	// Decision maps [scaled features..., scaled preset] to level logits.
+	Decision *nn.MLP
+	// Calibrator maps [scaled features..., scaled preset, scaled level]
+	// to the predicted next-epoch instruction count (scaled).
+	Calibrator *nn.MLP
+
+	// DecisionScaler / CalibScaler standardize each head's inputs.
+	DecisionScaler *counters.Scaler
+	CalibScaler    *counters.Scaler
+	// TargetScale converts the Calibrator's output back to instructions.
+	TargetScale float64
+	// PresetSamples records the Decision head's training formulation
+	// (see TrainOptions.PresetSamples), so evaluation matches it.
+	PresetSamples int
+}
+
+// NumFeatures returns the number of counter features the model consumes.
+func (m *Model) NumFeatures() int { return len(m.FeatureIdx) }
+
+// DecideLevel returns the operating-point level for the next epoch given
+// the full 47-counter vector of the just-finished epoch and the (possibly
+// calibrated) performance-loss preset.
+func (m *Model) DecideLevel(fullFeatures []float64, preset float64) int {
+	row := make([]float64, len(m.FeatureIdx)+1)
+	copy(row, counters.Select(fullFeatures, m.FeatureIdx))
+	row[len(m.FeatureIdx)] = preset
+	logits := m.Decision.Forward(m.DecisionScaler.Transform(row))
+	return nn.Argmax(logits)
+}
+
+// PredictInstructions returns the Calibrator's estimate of the next
+// epoch's instruction count given the counters, the *originally set*
+// preset (per the paper, the Calibrator always sees the uncalibrated
+// preset), and the level the Decision-maker chose.
+func (m *Model) PredictInstructions(fullFeatures []float64, preset float64, level int) float64 {
+	row := make([]float64, len(m.FeatureIdx)+2)
+	copy(row, counters.Select(fullFeatures, m.FeatureIdx))
+	row[len(m.FeatureIdx)] = preset
+	row[len(m.FeatureIdx)+1] = float64(level)
+	out := m.Calibrator.Forward(m.CalibScaler.Transform(row))
+	pred := out[0] * m.TargetScale
+	if pred < 0 {
+		return 0
+	}
+	return pred
+}
+
+// FLOPs returns the dense inference cost of one combined decision +
+// calibration step.
+func (m *Model) FLOPs() int { return m.Decision.FLOPs() + m.Calibrator.FLOPs() }
+
+// EffectiveFLOPs returns the sparse inference cost after pruning.
+func (m *Model) EffectiveFLOPs() int {
+	return m.Decision.EffectiveFLOPs() + m.Calibrator.EffectiveFLOPs()
+}
+
+// Params returns the combined parameter count.
+func (m *Model) Params() int { return m.Decision.Params() + m.Calibrator.Params() }
+
+// Clone deep-copies the model.
+func (m *Model) Clone() *Model {
+	cp := *m
+	cp.FeatureIdx = append([]int(nil), m.FeatureIdx...)
+	cp.Decision = m.Decision.Clone()
+	cp.Calibrator = m.Calibrator.Clone()
+	return &cp
+}
+
+// serializedModel mirrors Model for JSON round-trips; the MLPs are
+// embedded via their own serialization.
+type serializedModel struct {
+	FeatureIdx     []float64        `json:"feature_idx"`
+	Levels         int              `json:"levels"`
+	Decision       json.RawMessage  `json:"decision"`
+	Calibrator     json.RawMessage  `json:"calibrator"`
+	DecisionScaler *counters.Scaler `json:"decision_scaler"`
+	CalibScaler    *counters.Scaler `json:"calib_scaler"`
+	TargetScale    float64          `json:"target_scale"`
+	PresetSamples  int              `json:"preset_samples"`
+}
+
+// Save writes the model as JSON.
+func (m *Model) Save(w io.Writer) error {
+	var dBuf, cBuf bytes.Buffer
+	if err := m.Decision.Save(&dBuf); err != nil {
+		return err
+	}
+	if err := m.Calibrator.Save(&cBuf); err != nil {
+		return err
+	}
+	s := serializedModel{
+		Levels:         m.Levels,
+		PresetSamples:  m.PresetSamples,
+		Decision:       json.RawMessage(dBuf.Bytes()),
+		Calibrator:     json.RawMessage(cBuf.Bytes()),
+		DecisionScaler: m.DecisionScaler,
+		CalibScaler:    m.CalibScaler,
+		TargetScale:    m.TargetScale,
+	}
+	for _, i := range m.FeatureIdx {
+		s.FeatureIdx = append(s.FeatureIdx, float64(i))
+	}
+	return json.NewEncoder(w).Encode(s)
+}
+
+// Load reads a model saved with Save.
+func Load(r io.Reader) (*Model, error) {
+	var s serializedModel
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if s.Levels <= 0 || s.TargetScale <= 0 {
+		return nil, fmt.Errorf("core: model has invalid levels/target scale")
+	}
+	if s.DecisionScaler == nil || s.CalibScaler == nil {
+		return nil, fmt.Errorf("core: model is missing scalers")
+	}
+	m := &Model{Levels: s.Levels, TargetScale: s.TargetScale,
+		DecisionScaler: s.DecisionScaler, CalibScaler: s.CalibScaler,
+		PresetSamples: s.PresetSamples}
+	for _, f := range s.FeatureIdx {
+		i := int(f)
+		if i < 0 || i >= counters.Num {
+			return nil, fmt.Errorf("core: feature index %d out of range", i)
+		}
+		m.FeatureIdx = append(m.FeatureIdx, i)
+	}
+	var err error
+	if m.Decision, err = nn.Load(bytes.NewReader(s.Decision)); err != nil {
+		return nil, err
+	}
+	if m.Calibrator, err = nn.Load(bytes.NewReader(s.Calibrator)); err != nil {
+		return nil, err
+	}
+	if m.Decision.InputSize() != len(m.FeatureIdx)+1 {
+		return nil, fmt.Errorf("core: decision head input %d does not match %d features",
+			m.Decision.InputSize(), len(m.FeatureIdx))
+	}
+	if m.Calibrator.InputSize() != len(m.FeatureIdx)+2 {
+		return nil, fmt.Errorf("core: calibrator head input %d does not match %d features",
+			m.Calibrator.InputSize(), len(m.FeatureIdx))
+	}
+	return m, nil
+}
+
+// SaveFile writes the model to path.
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a model from path.
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

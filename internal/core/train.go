@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/datagen"
+	"ssmdvfs/internal/nn"
+)
+
+// Architecture specifies both heads' hidden layers. The paper's initial
+// network dedicates five FC layers (four hidden + output) to the
+// Decision-maker and four (three hidden + output) to the Calibrator, all
+// 20 neurons wide; the compressed network is 3+2 layers, 12 wide.
+type Architecture struct {
+	DecisionHidden   []int
+	CalibratorHidden []int
+}
+
+// PaperInitial returns the pre-compression architecture of Section III-D.
+func PaperInitial() Architecture {
+	return Architecture{
+		DecisionHidden:   []int{20, 20, 20, 20},
+		CalibratorHidden: []int{20, 20, 20},
+	}
+}
+
+// PaperCompressed returns the layer-wise compressed architecture of
+// Section IV-B (before pruning): 3 decision layers and 2 calibrator
+// layers, 12 hidden neurons each.
+func PaperCompressed() Architecture {
+	return Architecture{
+		DecisionHidden:   []int{12, 12},
+		CalibratorHidden: []int{12},
+	}
+}
+
+// TrainOptions configures Train.
+type TrainOptions struct {
+	// FeatureIdx selects the counters to use (defaults to Table I's five).
+	FeatureIdx []int
+	// Arch selects the head shapes (defaults to PaperInitial).
+	Arch Architecture
+	// Epochs / BatchSize / LearningRate drive both heads' training.
+	Epochs       int
+	BatchSize    int
+	LearningRate float64
+	Seed         int64
+	// ValFraction is held out for the reported metrics.
+	ValFraction float64
+	// PresetSamples > 0 trains the Decision head on preset-sampled rows
+	// (the min-level-satisfying-preset rule, PresetSamples rows per
+	// feature-window group); 0 uses the paper's actual-loss rows.
+	PresetSamples int
+}
+
+// DefaultTrainOptions returns a configuration that trains both heads to
+// the paper's accuracy regime in a few seconds.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{
+		FeatureIdx:    counters.SelectedFive(),
+		Arch:          PaperInitial(),
+		Epochs:        60,
+		BatchSize:     32,
+		LearningRate:  0.003,
+		Seed:          42,
+		ValFraction:   0.2,
+		PresetSamples: 8,
+	}
+}
+
+// Report carries the trained model's validation metrics, matching the
+// quantities in the paper's Table II.
+type Report struct {
+	// Accuracy is Decision-maker validation classification accuracy.
+	Accuracy float64
+	// MAPE is Calibrator validation mean absolute percentage error (%).
+	MAPE float64
+	// FLOPs is the combined dense inference cost.
+	FLOPs int
+	// TrainSamples / ValSamples are the split sizes.
+	TrainSamples int
+	ValSamples   int
+}
+
+// Train fits the combined model on the dataset and returns it with its
+// validation report.
+func Train(ds *datagen.Dataset, opts TrainOptions) (*Model, Report, error) {
+	var rep Report
+	if len(ds.Samples) == 0 {
+		return nil, rep, fmt.Errorf("core: empty dataset")
+	}
+	if opts.FeatureIdx == nil {
+		opts.FeatureIdx = counters.SelectedFive()
+	}
+	if opts.Arch.DecisionHidden == nil {
+		opts.Arch = PaperInitial()
+	}
+	if opts.Epochs <= 0 || opts.BatchSize <= 0 || opts.LearningRate <= 0 {
+		return nil, rep, fmt.Errorf("core: Epochs, BatchSize and LearningRate must be positive")
+	}
+	if opts.ValFraction <= 0 || opts.ValFraction >= 1 {
+		return nil, rep, fmt.Errorf("core: ValFraction must be in (0,1)")
+	}
+
+	train, val := ds.Split(1-opts.ValFraction, opts.Seed)
+	if train.Samples == nil || val.Samples == nil {
+		return nil, rep, fmt.Errorf("core: dataset too small to split (%d samples)", len(ds.Samples))
+	}
+	rep.TrainSamples = len(train.Samples)
+	rep.ValSamples = len(val.Samples)
+
+	m := &Model{
+		FeatureIdx: append([]int(nil), opts.FeatureIdx...),
+		Levels:     ds.Levels,
+	}
+
+	m.PresetSamples = opts.PresetSamples
+
+	// Decision head. Preset-sampled rows need each feature window's
+	// complete per-level loss vector, so they are generated from the full
+	// dataset and split at row granularity; the paper-faithful rows split
+	// at sample granularity.
+	var dTrainRows, dValRows [][]float64
+	var dTrainLabels, dValLabels []int
+	if opts.PresetSamples > 0 {
+		rows, labels := ds.DecisionRowsPresetSampled(m.FeatureIdx, opts.PresetSamples, opts.Seed+11)
+		if len(rows) == 0 {
+			return nil, rep, fmt.Errorf("core: no complete feature-window groups for preset sampling")
+		}
+		perm := rand.New(rand.NewSource(opts.Seed + 12)).Perm(len(rows))
+		nTrain := int(float64(len(rows)) * (1 - opts.ValFraction))
+		for i, idx := range perm {
+			if i < nTrain {
+				dTrainRows = append(dTrainRows, rows[idx])
+				dTrainLabels = append(dTrainLabels, labels[idx])
+			} else {
+				dValRows = append(dValRows, rows[idx])
+				dValLabels = append(dValLabels, labels[idx])
+			}
+		}
+	} else {
+		dTrainRows, dTrainLabels = train.DecisionRows(m.FeatureIdx)
+		dValRows, dValLabels = val.DecisionRows(m.FeatureIdx)
+	}
+	if len(dTrainRows) == 0 || len(dValRows) == 0 {
+		return nil, rep, fmt.Errorf("core: dataset too small for a train/val split")
+	}
+	var err error
+	if m.DecisionScaler, err = counters.FitScaler(dTrainRows); err != nil {
+		return nil, rep, err
+	}
+	dSizes := append([]int{len(m.FeatureIdx) + 1}, opts.Arch.DecisionHidden...)
+	dSizes = append(dSizes, ds.Levels)
+	if m.Decision, err = nn.NewMLP(dSizes, rand.New(rand.NewSource(opts.Seed))); err != nil {
+		return nil, rep, err
+	}
+	dTrainSet := nn.ClassificationSet{X: m.DecisionScaler.TransformAll(dTrainRows), Labels: dTrainLabels}
+	dValSet := nn.ClassificationSet{X: m.DecisionScaler.TransformAll(dValRows), Labels: dValLabels}
+	if _, err = nn.TrainClassifier(m.Decision, dTrainSet, nn.TrainConfig{
+		Epochs: opts.Epochs, BatchSize: opts.BatchSize,
+		Optimizer: nn.NewAdam(opts.LearningRate), Seed: opts.Seed + 1,
+	}); err != nil {
+		return nil, rep, err
+	}
+	rep.Accuracy = nn.EvalClassifier(m.Decision, dValSet)
+
+	// Calibrator head.
+	cTrainRows, cTrainTargets := train.CalibratorRows(m.FeatureIdx)
+	cValRows, cValTargets := val.CalibratorRows(m.FeatureIdx)
+	if m.CalibScaler, err = counters.FitScaler(cTrainRows); err != nil {
+		return nil, rep, err
+	}
+	m.TargetScale = meanAbs(cTrainTargets)
+	if m.TargetScale <= 0 {
+		m.TargetScale = 1
+	}
+	cSizes := append([]int{len(m.FeatureIdx) + 2}, opts.Arch.CalibratorHidden...)
+	cSizes = append(cSizes, 1)
+	if m.Calibrator, err = nn.NewMLP(cSizes, rand.New(rand.NewSource(opts.Seed+2))); err != nil {
+		return nil, rep, err
+	}
+	cTrainSet := nn.RegressionSet{X: m.CalibScaler.TransformAll(cTrainRows), Y: scaleAll(cTrainTargets, 1/m.TargetScale)}
+	if _, err = nn.TrainRegressor(m.Calibrator, cTrainSet, nn.TrainConfig{
+		Epochs: opts.Epochs, BatchSize: opts.BatchSize,
+		Optimizer: nn.NewAdam(opts.LearningRate), Seed: opts.Seed + 3,
+	}); err != nil {
+		return nil, rep, err
+	}
+	cValSet := nn.RegressionSet{X: m.CalibScaler.TransformAll(cValRows), Y: scaleAll(cValTargets, 1/m.TargetScale)}
+	rep.MAPE = nn.EvalRegressor(m.Calibrator, cValSet)
+
+	rep.FLOPs = m.FLOPs()
+	return m, rep, nil
+}
+
+// decisionRows picks the Decision head's row formulation.
+func decisionRows(ds *datagen.Dataset, featureIdx []int, presetSamples int, seed int64) ([][]float64, []int) {
+	if presetSamples > 0 {
+		return ds.DecisionRowsPresetSampled(featureIdx, presetSamples, seed)
+	}
+	return ds.DecisionRows(featureIdx)
+}
+
+// DecisionRowsFor assembles Decision-head rows and labels from ds using
+// the same formulation m was trained with — required by any further
+// training of the head (e.g. fine-tuning after pruning) so its task does
+// not silently change.
+func (m *Model) DecisionRowsFor(ds *datagen.Dataset, seed int64) ([][]float64, []int) {
+	return decisionRows(ds, m.FeatureIdx, m.PresetSamples, seed)
+}
+
+// Evaluate recomputes a model's accuracy and MAPE on a dataset (e.g.
+// after compression or pruning), using the same Decision-row formulation
+// the model was trained with.
+func Evaluate(m *Model, ds *datagen.Dataset) Report {
+	rep := Report{FLOPs: m.FLOPs(), ValSamples: len(ds.Samples)}
+	dRows, dLabels := decisionRows(ds, m.FeatureIdx, m.PresetSamples, 12345)
+	rep.Accuracy = nn.EvalClassifier(m.Decision, nn.ClassificationSet{
+		X: m.DecisionScaler.TransformAll(dRows), Labels: dLabels,
+	})
+	cRows, cTargets := ds.CalibratorRows(m.FeatureIdx)
+	rep.MAPE = nn.EvalRegressor(m.Calibrator, nn.RegressionSet{
+		X: m.CalibScaler.TransformAll(cRows), Y: scaleAll(cTargets, 1/m.TargetScale),
+	})
+	return rep
+}
+
+func meanAbs(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		if x < 0 {
+			s -= x
+		} else {
+			s += x
+		}
+	}
+	return s / float64(len(v))
+}
+
+func scaleAll(v []float64, k float64) []float64 {
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = x * k
+	}
+	return out
+}

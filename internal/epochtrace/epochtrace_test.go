@@ -1,0 +1,162 @@
+package epochtrace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/isa"
+)
+
+func sampleStats(epoch, cluster, level int) gpusim.EpochStats {
+	return gpusim.EpochStats{
+		Epoch:        epoch,
+		Cluster:      cluster,
+		StartPs:      int64(epoch) * 10_000_000,
+		EndPs:        int64(epoch+1) * 10_000_000,
+		Level:        level,
+		OP:           clockdomain.TitanX().Point(level),
+		Instructions: 12345,
+		Cycles:       11000,
+		ActiveCycles: 9000,
+		StallMemLoad: 500,
+		L1ReadHits:   300, L1ReadMisses: 100,
+		DRAMLines: 42,
+		DynPowerW: 4.5, StaticPowerW: 1.5,
+		EnergyPJ:    6e7,
+		WarpsActive: 8,
+	}
+}
+
+func sampleTrace() *Trace {
+	t := &Trace{}
+	for e := 0; e < 5; e++ {
+		for c := 0; c < 2; c++ {
+			t.Observe(sampleStats(e, c, e%3))
+		}
+	}
+	return t
+}
+
+func TestFromStats(t *testing.T) {
+	r := FromStats(sampleStats(3, 1, 4))
+	if r.Epoch != 3 || r.Cluster != 1 || r.Level != 4 {
+		t.Fatalf("identity fields wrong: %+v", r)
+	}
+	if r.FreqMHz != 1100 || r.VoltageV != 1.1 {
+		t.Fatalf("OP fields wrong: %+v", r)
+	}
+	if r.IPC <= 0 || r.PowerW != 6.0 || r.ActiveFrac <= 0 {
+		t.Fatalf("derived fields wrong: %+v", r)
+	}
+	if r.L1MissRate != 0.25 {
+		t.Fatalf("L1MissRate = %g, want 0.25", r.L1MissRate)
+	}
+	if r.StartUs != 30 {
+		t.Fatalf("StartUs = %g, want 30", r.StartUs)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	trace := sampleTrace()
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(trace.Records) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got.Records), len(trace.Records))
+	}
+	for i := range got.Records {
+		if got.Records[i] != trace.Records[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, got.Records[i], trace.Records[i])
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	trace := sampleTrace()
+	var buf bytes.Buffer
+	if err := trace.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Records) != len(trace.Records) || got.Records[3] != trace.Records[3] {
+		t.Fatal("JSON round trip corrupted records")
+	}
+}
+
+func TestReadCSVRejectsCorrupt(t *testing.T) {
+	for i, c := range []string{
+		"",
+		"a,b,c\n1,2,3\n",
+		strings.Join(csvHeader, ",") + "\nnot,enough,columns\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("corrupt CSV %d accepted", i)
+		}
+	}
+}
+
+func TestClusterFilterAndHistogram(t *testing.T) {
+	trace := sampleTrace()
+	c0 := trace.Cluster(0)
+	if len(c0) != 5 {
+		t.Fatalf("cluster 0 has %d records, want 5", len(c0))
+	}
+	for i, r := range c0 {
+		if r.Cluster != 0 || r.Epoch != i {
+			t.Fatalf("cluster filter wrong at %d: %+v", i, r)
+		}
+	}
+	hist := trace.LevelHistogram(6)
+	// Epochs 0..4 at level e%3 across 2 clusters: levels 0,1,2,0,1.
+	if hist[0] != 4 || hist[1] != 4 || hist[2] != 2 {
+		t.Fatalf("histogram = %v", hist)
+	}
+}
+
+func TestSortAndMeanPower(t *testing.T) {
+	trace := &Trace{}
+	trace.Observe(sampleStats(2, 1, 0))
+	trace.Observe(sampleStats(0, 0, 0))
+	trace.Observe(sampleStats(2, 0, 0))
+	trace.Sort()
+	if trace.Records[0].Epoch != 0 || trace.Records[1].Cluster != 0 || trace.Records[2].Cluster != 1 {
+		t.Fatalf("sort order wrong: %+v", trace.Records)
+	}
+	if got := trace.MeanPowerW(); got != 6.0 {
+		t.Fatalf("mean power = %g, want 6", got)
+	}
+}
+
+// TestTraceFromSimulator wires the observer into a real simulation.
+func TestTraceFromSimulator(t *testing.T) {
+	cfg := gpusim.SmallConfig()
+	cfg.Clusters = 2
+	prog := isa.Program{
+		Body:       []isa.Instruction{{Op: isa.OpFAlu, Dst: 1, SrcA: 1}},
+		Iterations: 30000,
+	}
+	sim, err := gpusim.New(cfg, gpusim.Kernel{Name: "t", WarpsPerCluster: 4, Programs: []isa.Program{prog}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := &Trace{}
+	sim.SetObserver(trace.Observe)
+	res := sim.Run(1_000_000_000_000)
+	if !res.Completed {
+		t.Fatal("kernel incomplete")
+	}
+	if len(trace.Records) != res.Epochs*cfg.Clusters {
+		t.Fatalf("trace has %d records, want %d", len(trace.Records), res.Epochs*cfg.Clusters)
+	}
+}

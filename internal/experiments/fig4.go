@@ -1,0 +1,354 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/stats"
+)
+
+// Mechanism names the DVFS policies compared in Fig. 4.
+type Mechanism string
+
+const (
+	MechBaseline     Mechanism = "baseline"
+	MechPCSTALL      Mechanism = "pcstall"
+	MechFLEMMA       Mechanism = "flemma"
+	MechSSMDVFS      Mechanism = "ssmdvfs"
+	MechSSMDVFSNoCal Mechanism = "ssmdvfs-nocal"
+	MechSSMDVFSComp  Mechanism = "ssmdvfs-compressed"
+)
+
+// AllMechanisms lists the Fig. 4 comparison set in display order.
+func AllMechanisms() []Mechanism {
+	return []Mechanism{MechBaseline, MechPCSTALL, MechFLEMMA,
+		MechSSMDVFSNoCal, MechSSMDVFS, MechSSMDVFSComp}
+}
+
+// Fig4Options configures the full-system comparison.
+type Fig4Options struct {
+	Sim gpusim.Config
+	// Kernels are the evaluation programs (the paper randomly selects a
+	// mix with >50% unseen in training).
+	Kernels []kernels.Spec
+	// Scale shortens kernels for quick runs.
+	Scale float64
+	// Presets are the performance-loss budgets (paper: 0.10 and 0.20).
+	Presets []float64
+	// Model / Compressed are the trained SSMDVFS models.
+	Model      *core.Model
+	Compressed *core.Model
+	// Mechanisms restricts the comparison (nil = all).
+	Mechanisms []Mechanism
+	// MaxRunPs bounds each simulation.
+	MaxRunPs int64
+	Seed     int64
+	Logf     func(format string, args ...any)
+}
+
+// Fig4Row is one (kernel, mechanism, preset) measurement.
+type Fig4Row struct {
+	Kernel    string
+	Mechanism Mechanism
+	Preset    float64
+
+	ExecPs   int64
+	EnergyPJ float64
+	EDP      float64
+
+	// NormEDP and NormLatency are relative to the default-OP baseline run
+	// of the same kernel (baseline = 1.0).
+	NormEDP     float64
+	NormLatency float64
+	// PerfLoss is NormLatency − 1.
+	PerfLoss float64
+	// WithinPreset reports whether the loss stayed under the preset.
+	WithinPreset bool
+	Transitions  int
+}
+
+// Fig4Summary aggregates one mechanism at one preset across kernels.
+type Fig4Summary struct {
+	Mechanism   Mechanism
+	Preset      float64
+	GMeanEDP    float64
+	MeanLatency float64
+	MaxLoss     float64
+	ViolationN  int
+	Kernels     int
+}
+
+// Fig4Result is the full comparison.
+type Fig4Result struct {
+	Rows      []Fig4Row
+	Summaries []Fig4Summary
+}
+
+// RunFig4 executes the comparison: for each kernel a default-OP baseline
+// run, then each mechanism at each preset.
+func RunFig4(opts Fig4Options) (*Fig4Result, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("experiments: Fig4 requires a trained model")
+	}
+	if len(opts.Kernels) == 0 {
+		return nil, fmt.Errorf("experiments: Fig4 requires evaluation kernels")
+	}
+	if len(opts.Presets) == 0 {
+		opts.Presets = []float64{0.10, 0.20}
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.MaxRunPs <= 0 {
+		opts.MaxRunPs = 5_000_000_000_000
+	}
+	mechs := opts.Mechanisms
+	if mechs == nil {
+		mechs = AllMechanisms()
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	res := &Fig4Result{}
+	for _, spec := range opts.Kernels {
+		kernel := spec.Build(opts.Scale)
+
+		base, err := runOnce(opts.Sim, kernel, nil, opts.MaxRunPs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline run of %s: %w", spec.Name, err)
+		}
+		baseEDP := base.EDP()
+		logf("fig4: %-24s baseline T=%.1fus E=%.2fmJ", spec.Name,
+			float64(base.ExecTimePs)/1e6, base.EnergyPJ/1e9)
+
+		for _, preset := range opts.Presets {
+			for _, mech := range mechs {
+				var row Fig4Row
+				if mech == MechBaseline {
+					row = makeRow(spec.Name, mech, preset, base, base.ExecTimePs, baseEDP)
+				} else {
+					ctrl, err := buildController(mech, opts, preset)
+					if err != nil {
+						return nil, err
+					}
+					r, err := runOnce(opts.Sim, kernel, ctrl, opts.MaxRunPs)
+					if err != nil {
+						return nil, fmt.Errorf("experiments: %s on %s: %w", mech, spec.Name, err)
+					}
+					row = makeRow(spec.Name, mech, preset, r, base.ExecTimePs, baseEDP)
+				}
+				res.Rows = append(res.Rows, row)
+				logf("fig4: %-24s %-18s preset=%.0f%% edp=%.3f lat=%.3f",
+					spec.Name, mech, preset*100, row.NormEDP, row.NormLatency)
+			}
+		}
+	}
+	var err error
+	res.Summaries, err = summarize(res.Rows, mechs, opts.Presets)
+	return res, err
+}
+
+func runOnce(cfg gpusim.Config, kernel gpusim.Kernel, ctrl gpusim.Controller, maxPs int64) (gpusim.Result, error) {
+	sim, err := gpusim.New(cfg, kernel)
+	if err != nil {
+		return gpusim.Result{}, err
+	}
+	if ctrl != nil {
+		sim.SetController(ctrl)
+	}
+	r := sim.Run(maxPs)
+	if !r.Completed {
+		return r, fmt.Errorf("run did not complete within %d ps", maxPs)
+	}
+	return r, nil
+}
+
+func buildController(mech Mechanism, opts Fig4Options, preset float64) (gpusim.Controller, error) {
+	clusters := opts.Sim.Clusters
+	switch mech {
+	case MechPCSTALL:
+		return baselines.NewPCSTALL(opts.Sim.OPs, preset, clusters)
+	case MechFLEMMA:
+		return baselines.NewFLEMMA(opts.Sim.OPs, preset, clusters, opts.Seed)
+	case MechSSMDVFS:
+		return core.NewController(opts.Model, preset, clusters, true)
+	case MechSSMDVFSNoCal:
+		return core.NewController(opts.Model, preset, clusters, false)
+	case MechSSMDVFSComp:
+		if opts.Compressed == nil {
+			return nil, fmt.Errorf("experiments: %s requires a compressed model", mech)
+		}
+		return core.NewController(opts.Compressed, preset, clusters, true)
+	default:
+		return nil, fmt.Errorf("experiments: unknown mechanism %q", mech)
+	}
+}
+
+func makeRow(kernel string, mech Mechanism, preset float64, r gpusim.Result, baseT int64, baseEDP float64) Fig4Row {
+	row := Fig4Row{
+		Kernel:      kernel,
+		Mechanism:   mech,
+		Preset:      preset,
+		ExecPs:      r.ExecTimePs,
+		EnergyPJ:    r.EnergyPJ,
+		EDP:         r.EDP(),
+		Transitions: r.Transitions,
+	}
+	row.NormEDP = row.EDP / baseEDP
+	row.NormLatency = float64(r.ExecTimePs) / float64(baseT)
+	row.PerfLoss = row.NormLatency - 1
+	row.WithinPreset = row.PerfLoss <= preset+1e-9
+	return row
+}
+
+func summarize(rows []Fig4Row, mechs []Mechanism, presets []float64) ([]Fig4Summary, error) {
+	var out []Fig4Summary
+	for _, preset := range presets {
+		for _, mech := range mechs {
+			var edps, lats []float64
+			violations := 0
+			maxLoss := 0.0
+			for _, r := range rows {
+				if r.Mechanism != mech || r.Preset != preset {
+					continue
+				}
+				edps = append(edps, r.NormEDP)
+				lats = append(lats, r.NormLatency)
+				if !r.WithinPreset {
+					violations++
+				}
+				if r.PerfLoss > maxLoss {
+					maxLoss = r.PerfLoss
+				}
+			}
+			if len(edps) == 0 {
+				continue
+			}
+			g, err := stats.GeoMean(edps)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig4Summary{
+				Mechanism:   mech,
+				Preset:      preset,
+				GMeanEDP:    g,
+				MeanLatency: stats.Mean(lats),
+				MaxLoss:     maxLoss,
+				ViolationN:  violations,
+				Kernels:     len(edps),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Headline computes the paper's headline comparisons from a Fig. 4 run:
+// the EDP improvement of the given SSMDVFS variant over the baseline,
+// PCSTALL, and F-LEMMA, averaged across presets. Positive percentages
+// mean the variant is better (lower EDP).
+type Headline struct {
+	Variant       Mechanism
+	VsBaselinePct float64
+	VsPCSTALLPct  float64
+	VsFLEMMAPct   float64
+}
+
+// ComputeHeadline derives headline EDP improvements for variant from the
+// result's summaries.
+func (r *Fig4Result) ComputeHeadline(variant Mechanism) (Headline, error) {
+	h := Headline{Variant: variant}
+	mean := func(m Mechanism) (float64, error) {
+		var vals []float64
+		for _, s := range r.Summaries {
+			if s.Mechanism == m {
+				vals = append(vals, s.GMeanEDP)
+			}
+		}
+		if len(vals) == 0 {
+			return 0, fmt.Errorf("experiments: no summaries for mechanism %q", m)
+		}
+		return stats.Mean(vals), nil
+	}
+	v, err := mean(variant)
+	if err != nil {
+		return h, err
+	}
+	base, err := mean(MechBaseline)
+	if err != nil {
+		return h, err
+	}
+	h.VsBaselinePct = (1 - v/base) * 100
+	if pc, err := mean(MechPCSTALL); err == nil {
+		h.VsPCSTALLPct = (1 - v/pc) * 100
+	}
+	if fl, err := mean(MechFLEMMA); err == nil {
+		h.VsFLEMMAPct = (1 - v/fl) * 100
+	}
+	return h, nil
+}
+
+// WriteTable renders rows and summaries as text tables.
+func (r *Fig4Result) WriteTable(w io.Writer) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tmechanism\tpreset\tnorm_edp\tnorm_latency\tperf_loss\twithin")
+	rows := append([]Fig4Row(nil), r.Rows...)
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Preset != rows[j].Preset {
+			return rows[i].Preset < rows[j].Preset
+		}
+		if rows[i].Kernel != rows[j].Kernel {
+			return rows[i].Kernel < rows[j].Kernel
+		}
+		return rows[i].Mechanism < rows[j].Mechanism
+	})
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f%%\t%.3f\t%.3f\t%+.2f%%\t%v\n",
+			row.Kernel, row.Mechanism, row.Preset*100,
+			row.NormEDP, row.NormLatency, row.PerfLoss*100, row.WithinPreset)
+	}
+	fmt.Fprintln(tw, "\nmechanism\tpreset\tgmean_edp\tmean_latency\tmax_loss\tviolations")
+	for _, s := range r.Summaries {
+		fmt.Fprintf(tw, "%s\t%.0f%%\t%.3f\t%.3f\t%.2f%%\t%d/%d\n",
+			s.Mechanism, s.Preset*100, s.GMeanEDP, s.MeanLatency,
+			s.MaxLoss*100, s.ViolationN, s.Kernels)
+	}
+	return tw.Flush()
+}
+
+// SaveFile writes the full result (rows + summaries) as JSON, so plots
+// and later analysis do not need to re-run the simulations.
+func (r *Fig4Result) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewEncoder(f).Encode(r); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFig4File reads a result saved with SaveFile.
+func LoadFig4File(path string) (*Fig4Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	defer f.Close()
+	var r Fig4Result
+	if err := json.NewDecoder(f).Decode(&r); err != nil {
+		return nil, fmt.Errorf("experiments: decoding fig4 result: %w", err)
+	}
+	return &r, nil
+}

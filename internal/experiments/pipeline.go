@@ -1,0 +1,204 @@
+// Package experiments is the harness that reproduces every table and
+// figure in the paper's evaluation: the end-to-end pipeline (data
+// generation → training → compression), the Table I feature selection,
+// the Table II compression summary, the Fig. 3 FLOPs-vs-quality sweeps,
+// the Fig. 4 full-system comparison, the Section V-D hardware estimate,
+// and the ablations DESIGN.md calls out.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ssmdvfs/internal/compress"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/datagen"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/kernels"
+)
+
+// PipelineOptions configures the end-to-end build of the SSMDVFS models.
+type PipelineOptions struct {
+	// Sim is the GPU configuration used for data generation.
+	Sim gpusim.Config
+	// Scale shortens (<1) or lengthens (>1) every kernel.
+	Scale float64
+	// TrainKernels generate the dataset (defaults to kernels.Training()).
+	TrainKernels []kernels.Spec
+	// BreakpointPs / MaxBreakpoints / ClusterStride feed datagen.Config.
+	BreakpointPs   int64
+	MaxBreakpoints int
+	ClusterStride  int
+
+	// TrainOpts configures the uncompressed model's training.
+	TrainOpts core.TrainOptions
+	// PruneOpts configures compression of the deployed model.
+	PruneOpts compress.PruneOptions
+
+	// CacheDir, when non-empty, caches the dataset and models as JSON so
+	// repeated experiment runs skip regeneration.
+	CacheDir string
+	// Logf receives progress lines (nil silences them).
+	Logf func(format string, args ...any)
+}
+
+// DefaultPipelineOptions returns the paper-faithful full-scale setup.
+func DefaultPipelineOptions() PipelineOptions {
+	opts := PipelineOptions{
+		Sim:           gpusim.TitanXConfig(),
+		Scale:         1.0,
+		BreakpointPs:  100_000_000,
+		ClusterStride: 2,
+		TrainOpts:     core.DefaultTrainOptions(),
+		PruneOpts:     compress.DefaultPruneOptions(),
+	}
+	// Full-scale datasets are large enough that the pruned model needs a
+	// longer fine-tune to recover the Calibrator's regression quality.
+	opts.PruneOpts.FineTuneEpochs = 60
+	return opts
+}
+
+// QuickPipelineOptions returns a reduced setup (small GPU, short kernels,
+// subsampled clusters) that builds in seconds, for tests and benchmarks.
+func QuickPipelineOptions() PipelineOptions {
+	opts := DefaultPipelineOptions()
+	opts.Sim = gpusim.SmallConfig()
+	opts.Scale = 0.4
+	opts.BreakpointPs = 50_000_000
+	opts.MaxBreakpoints = 2
+	opts.ClusterStride = 1
+	opts.TrainKernels = kernels.Training()
+	opts.TrainOpts.Epochs = 50
+	opts.PruneOpts.FineTuneEpochs = 30
+	return opts
+}
+
+// Pipeline holds the build artifacts.
+type Pipeline struct {
+	Dataset *datagen.Dataset
+	// Model is the uncompressed (paper-initial architecture) model with
+	// its validation report; Compressed is the deployed pruned model.
+	Model            *core.Model
+	Report           core.Report
+	Compressed       *core.Model
+	CompressedReport core.Report
+}
+
+// RunPipeline executes (or loads from cache) the full build.
+func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if opts.Scale <= 0 {
+		return nil, fmt.Errorf("experiments: Scale must be positive")
+	}
+	trainKernels := opts.TrainKernels
+	if trainKernels == nil {
+		trainKernels = kernels.Training()
+	}
+	if len(trainKernels) == 0 {
+		return nil, fmt.Errorf("experiments: no training kernels")
+	}
+
+	p := &Pipeline{}
+
+	// Dataset.
+	dsPath := cachePath(opts.CacheDir, "dataset.json")
+	if ds, err := loadCachedDataset(dsPath); err == nil {
+		logf("experiments: loaded cached dataset (%d samples)", len(ds.Samples))
+		p.Dataset = ds
+	} else {
+		dgCfg := datagen.DefaultConfig(opts.Sim)
+		if opts.BreakpointPs > 0 {
+			dgCfg.BreakpointPs = opts.BreakpointPs
+		}
+		dgCfg.MaxBreakpoints = opts.MaxBreakpoints
+		if opts.ClusterStride > 0 {
+			dgCfg.ClusterStride = opts.ClusterStride
+		}
+		ds := &datagen.Dataset{}
+		for _, spec := range trainKernels {
+			if err := datagen.Generate(dgCfg, spec.Build(opts.Scale), ds, logf); err != nil {
+				return nil, err
+			}
+		}
+		p.Dataset = ds
+		logf("experiments: generated dataset with %d samples", len(ds.Samples))
+		if dsPath != "" {
+			if err := ds.SaveFile(dsPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Uncompressed model.
+	modelPath := cachePath(opts.CacheDir, "model.json")
+	var err error
+	if m, lerr := loadCachedModel(modelPath); lerr == nil {
+		p.Model = m
+		p.Report = core.Evaluate(m, p.Dataset)
+		logf("experiments: loaded cached model (acc=%.2f%%)", p.Report.Accuracy*100)
+	} else {
+		if p.Model, p.Report, err = core.Train(p.Dataset, opts.TrainOpts); err != nil {
+			return nil, err
+		}
+		logf("experiments: trained model acc=%.2f%% mape=%.2f%% flops=%d",
+			p.Report.Accuracy*100, p.Report.MAPE, p.Report.FLOPs)
+		if modelPath != "" {
+			if err := p.Model.SaveFile(modelPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Compressed model: retrain at the compressed architecture, then
+	// prune, as in Section IV.
+	compPath := cachePath(opts.CacheDir, "compressed.json")
+	if m, lerr := loadCachedModel(compPath); lerr == nil {
+		p.Compressed = m
+		p.CompressedReport = core.Evaluate(m, p.Dataset)
+		p.CompressedReport.FLOPs = m.EffectiveFLOPs()
+		logf("experiments: loaded cached compressed model (acc=%.2f%%)", p.CompressedReport.Accuracy*100)
+	} else {
+		smallOpts := opts.TrainOpts
+		smallOpts.Arch = core.PaperCompressed()
+		smallModel, _, err := core.Train(p.Dataset, smallOpts)
+		if err != nil {
+			return nil, err
+		}
+		if p.Compressed, p.CompressedReport, err = compress.PruneModel(smallModel, p.Dataset, opts.PruneOpts); err != nil {
+			return nil, err
+		}
+		logf("experiments: compressed model acc=%.2f%% mape=%.2f%% effective flops=%d",
+			p.CompressedReport.Accuracy*100, p.CompressedReport.MAPE, p.Compressed.EffectiveFLOPs())
+		if compPath != "" {
+			if err := p.Compressed.SaveFile(compPath); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+func cachePath(dir, name string) string {
+	if dir == "" {
+		return ""
+	}
+	return filepath.Join(dir, name)
+}
+
+func loadCachedDataset(path string) (*datagen.Dataset, error) {
+	if path == "" {
+		return nil, os.ErrNotExist
+	}
+	return datagen.LoadFile(path)
+}
+
+func loadCachedModel(path string) (*core.Model, error) {
+	if path == "" {
+		return nil, os.ErrNotExist
+	}
+	return core.LoadFile(path)
+}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/oracle"
+	"ssmdvfs/internal/stats"
+)
+
+// PresetSweepOptions configures the preset-sensitivity extension
+// experiment: how EDP and latency respond as the performance-loss budget
+// grows (the paper evaluates only 10% and 20%).
+type PresetSweepOptions struct {
+	Sim      gpusim.Config
+	Kernels  []kernels.Spec
+	Scale    float64
+	Presets  []float64
+	Model    *core.Model
+	MaxRunPs int64
+}
+
+// PresetSweepPoint aggregates one preset across kernels.
+type PresetSweepPoint struct {
+	Preset      float64
+	GMeanEDP    float64
+	MeanLatency float64
+	MaxLoss     float64
+	Violations  int
+}
+
+// RunPresetSweep runs SSMDVFS at each preset over the kernel set.
+func RunPresetSweep(opts PresetSweepOptions) ([]PresetSweepPoint, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("experiments: preset sweep requires a model")
+	}
+	if len(opts.Kernels) == 0 || len(opts.Presets) == 0 {
+		return nil, fmt.Errorf("experiments: preset sweep requires kernels and presets")
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.MaxRunPs <= 0 {
+		opts.MaxRunPs = 5_000_000_000_000
+	}
+
+	type baseRun struct {
+		res gpusim.Result
+	}
+	bases := make([]baseRun, len(opts.Kernels))
+	built := make([]gpusim.Kernel, len(opts.Kernels))
+	for i, spec := range opts.Kernels {
+		built[i] = spec.Build(opts.Scale)
+		res, err := runOnce(opts.Sim, built[i], nil, opts.MaxRunPs)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: baseline %s: %w", spec.Name, err)
+		}
+		bases[i] = baseRun{res: res}
+	}
+
+	var points []PresetSweepPoint
+	for _, preset := range opts.Presets {
+		var edps, lats []float64
+		maxLoss := 0.0
+		violations := 0
+		for i := range built {
+			ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
+			if err != nil {
+				return nil, err
+			}
+			res, err := runOnce(opts.Sim, built[i], ctrl, opts.MaxRunPs)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s at preset %.2f: %w", opts.Kernels[i].Name, preset, err)
+			}
+			edps = append(edps, res.EDP()/bases[i].res.EDP())
+			lat := float64(res.ExecTimePs) / float64(bases[i].res.ExecTimePs)
+			lats = append(lats, lat)
+			loss := lat - 1
+			if loss > maxLoss {
+				maxLoss = loss
+			}
+			if loss > preset+1e-9 {
+				violations++
+			}
+		}
+		g, err := stats.GeoMean(edps)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, PresetSweepPoint{
+			Preset:      preset,
+			GMeanEDP:    g,
+			MeanLatency: stats.Mean(lats),
+			MaxLoss:     maxLoss,
+			Violations:  violations,
+		})
+	}
+	return points, nil
+}
+
+// WritePresetSweep renders the sweep as a table.
+func WritePresetSweep(w io.Writer, points []PresetSweepPoint) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "preset\tgmean_edp\tmean_latency\tmax_loss\tviolations")
+	for _, p := range points {
+		fmt.Fprintf(tw, "%.0f%%\t%.3f\t%.3f\t%.2f%%\t%d\n",
+			p.Preset*100, p.GMeanEDP, p.MeanLatency, p.MaxLoss*100, p.Violations)
+	}
+	return tw.Flush()
+}
+
+// HeadroomRow compares SSMDVFS against the clairvoyant oracle policies on
+// one kernel.
+type HeadroomRow struct {
+	Kernel string
+	// All EDPs normalized to the default-OP baseline.
+	SSMDVFSEDP    float64
+	StaticBestEDP float64
+	GreedyEDP     float64
+	StaticLevel   int
+}
+
+// RunHeadroom measures how much EDP the clairvoyant policies leave on the
+// table relative to SSMDVFS at the given preset.
+func RunHeadroom(opts PresetSweepOptions, preset float64) ([]HeadroomRow, error) {
+	if opts.Model == nil {
+		return nil, fmt.Errorf("experiments: headroom requires a model")
+	}
+	if opts.Scale <= 0 {
+		opts.Scale = 1.0
+	}
+	if opts.MaxRunPs <= 0 {
+		opts.MaxRunPs = 5_000_000_000_000
+	}
+	var rows []HeadroomRow
+	for _, spec := range opts.Kernels {
+		k := spec.Build(opts.Scale)
+		base, err := runOnce(opts.Sim, k, nil, opts.MaxRunPs)
+		if err != nil {
+			return nil, err
+		}
+
+		ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
+		if err != nil {
+			return nil, err
+		}
+		ssm, err := runOnce(opts.Sim, k, ctrl, opts.MaxRunPs)
+		if err != nil {
+			return nil, err
+		}
+
+		staticRes, bestLvl, err := oracle.StaticBest(opts.Sim, k, preset, oracle.EDPObjective, opts.MaxRunPs)
+		if err != nil {
+			return nil, err
+		}
+		greedy, err := oracle.Greedy(opts.Sim, k, oracle.GreedyOptions{
+			Preset: preset, MaxRunPs: opts.MaxRunPs,
+			// A bounded horizon keeps the probe cost manageable; the
+			// greedy oracle remains an upper-bound estimate.
+			HorizonPs: 5 * opts.Sim.EpochPs,
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, HeadroomRow{
+			Kernel:        spec.Name,
+			SSMDVFSEDP:    ssm.EDP() / base.EDP(),
+			StaticBestEDP: staticRes[bestLvl].EDP() / base.EDP(),
+			GreedyEDP:     greedy.Result.EDP() / base.EDP(),
+			StaticLevel:   bestLvl,
+		})
+	}
+	return rows, nil
+}
+
+// WriteHeadroom renders the oracle comparison.
+func WriteHeadroom(w io.Writer, rows []HeadroomRow) error {
+	tw := tabwriter.NewWriter(w, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kernel\tssmdvfs_edp\tstatic_best_edp\tgreedy_oracle_edp\tstatic_level")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f\t%.3f\t%.3f\t%d\n",
+			r.Kernel, r.SSMDVFSEDP, r.StaticBestEDP, r.GreedyEDP, r.StaticLevel)
+	}
+	return tw.Flush()
+}

@@ -1,0 +1,225 @@
+// Package features implements Recursive Feature Elimination (RFE) with
+// permutation importance, the technique the paper uses (Section IV-A) to
+// refine the 47 performance counters down to the Table I set. Power
+// counters are "direct features" and are never eliminated; RFE runs over
+// the indirect (instruction and stall) counters only.
+package features
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/datagen"
+	"ssmdvfs/internal/nn"
+)
+
+// Round records one elimination round.
+type Round struct {
+	// Remaining are the indirect feature indices still in play after the
+	// round's elimination.
+	Remaining []int
+	// Dropped are the indices eliminated this round.
+	Dropped []int
+	// ValAccuracy is the validation accuracy of the model trained on the
+	// features available at the start of the round.
+	ValAccuracy float64
+}
+
+// Result summarizes an RFE run.
+type Result struct {
+	// Selected is the final feature set (direct power features plus the
+	// surviving indirect features), in counter-index order.
+	Selected []int
+	// SelectedIndirect is the surviving indirect subset.
+	SelectedIndirect []int
+	// Rounds is the elimination trajectory.
+	Rounds []Round
+	// FullAccuracy is validation accuracy with all indirect features.
+	FullAccuracy float64
+	// SelectedAccuracy is validation accuracy with the final set.
+	SelectedAccuracy float64
+}
+
+// Config controls the RFE run.
+type Config struct {
+	// TargetIndirect is how many indirect features to keep (the paper
+	// keeps 4: IPC, MH, MH\L, L1CRM).
+	TargetIndirect int
+	// DropPerRound eliminates the k least important features each round
+	// (with a final trim to hit TargetIndirect exactly).
+	DropPerRound int
+	// Direct are feature indices always kept (defaults to PPC).
+	Direct []int
+	// Hidden is the proxy model's hidden width; Epochs its training
+	// length. The proxy is deliberately small: RFE ranks features, it
+	// does not need the final model's accuracy.
+	Hidden int
+	Epochs int
+	Seed   int64
+}
+
+// DefaultConfig mirrors the paper: keep PPC directly, select 4 indirect
+// features.
+func DefaultConfig() Config {
+	return Config{
+		TargetIndirect: 4,
+		DropPerRound:   6,
+		Direct:         []int{counters.IdxPPC},
+		Hidden:         16,
+		Epochs:         30,
+		Seed:           1,
+	}
+}
+
+// Run executes RFE over the dataset.
+func Run(ds *datagen.Dataset, cfg Config) (*Result, error) {
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("features: empty dataset")
+	}
+	if cfg.TargetIndirect <= 0 {
+		return nil, fmt.Errorf("features: TargetIndirect must be positive")
+	}
+	if cfg.DropPerRound <= 0 {
+		cfg.DropPerRound = 1
+	}
+	if cfg.Hidden <= 0 || cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("features: Hidden and Epochs must be positive")
+	}
+
+	directSet := map[int]bool{}
+	for _, d := range cfg.Direct {
+		directSet[d] = true
+	}
+	// Indirect candidates: every instruction/stall counter not pinned.
+	var remaining []int
+	for i := 0; i < counters.Num; i++ {
+		if directSet[i] {
+			continue
+		}
+		if counters.Def(i).Category == counters.Power {
+			continue // all power counters are direct by definition
+		}
+		remaining = append(remaining, i)
+	}
+	if len(remaining) < cfg.TargetIndirect {
+		return nil, fmt.Errorf("features: only %d indirect candidates for target %d", len(remaining), cfg.TargetIndirect)
+	}
+
+	train, val := ds.Split(0.8, cfg.Seed)
+	res := &Result{}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	for roundIdx := 0; ; roundIdx++ {
+		feats := append(append([]int{}, cfg.Direct...), remaining...)
+		sort.Ints(feats)
+		acc, importance, err := trainAndRank(train, val, feats, remaining, cfg, rng)
+		if err != nil {
+			return nil, err
+		}
+		if roundIdx == 0 {
+			res.FullAccuracy = acc
+		}
+		if len(remaining) == cfg.TargetIndirect {
+			res.SelectedAccuracy = acc
+			res.SelectedIndirect = append([]int{}, remaining...)
+			res.Selected = feats
+			res.Rounds = append(res.Rounds, Round{Remaining: append([]int{}, remaining...), ValAccuracy: acc})
+			return res, nil
+		}
+
+		// Drop the least important indirect features.
+		drop := cfg.DropPerRound
+		if len(remaining)-drop < cfg.TargetIndirect {
+			drop = len(remaining) - cfg.TargetIndirect
+		}
+		type imp struct {
+			idx  int
+			gain float64
+		}
+		ranked := make([]imp, len(remaining))
+		for i, f := range remaining {
+			ranked[i] = imp{idx: f, gain: importance[f]}
+		}
+		sort.Slice(ranked, func(i, j int) bool {
+			if ranked[i].gain != ranked[j].gain {
+				return ranked[i].gain < ranked[j].gain
+			}
+			return ranked[i].idx < ranked[j].idx
+		})
+		dropped := make([]int, 0, drop)
+		dropSet := map[int]bool{}
+		for i := 0; i < drop; i++ {
+			dropped = append(dropped, ranked[i].idx)
+			dropSet[ranked[i].idx] = true
+		}
+		next := remaining[:0]
+		for _, f := range remaining {
+			if !dropSet[f] {
+				next = append(next, f)
+			}
+		}
+		remaining = next
+		res.Rounds = append(res.Rounds, Round{
+			Remaining:   append([]int{}, remaining...),
+			Dropped:     dropped,
+			ValAccuracy: acc,
+		})
+	}
+}
+
+// trainAndRank trains the proxy classifier on the given feature set and
+// returns validation accuracy plus per-feature permutation importance
+// (accuracy drop when that feature's column is shuffled).
+func trainAndRank(train, val *datagen.Dataset, feats, rankFeats []int, cfg Config, rng *rand.Rand) (float64, map[int]float64, error) {
+	trainRows, trainLabels := train.DecisionRows(feats)
+	valRows, valLabels := val.DecisionRows(feats)
+
+	scaler, err := counters.FitScaler(trainRows)
+	if err != nil {
+		return 0, nil, err
+	}
+	trainX := scaler.TransformAll(trainRows)
+	valX := scaler.TransformAll(valRows)
+
+	model, err := nn.NewMLP([]int{len(feats) + 1, cfg.Hidden, cfg.Hidden, train.Levels}, rand.New(rand.NewSource(cfg.Seed+7)))
+	if err != nil {
+		return 0, nil, err
+	}
+	_, err = nn.TrainClassifier(model, nn.ClassificationSet{X: trainX, Labels: trainLabels}, nn.TrainConfig{
+		Epochs:    cfg.Epochs,
+		BatchSize: 64,
+		Optimizer: nn.NewAdam(0.003),
+		Seed:      cfg.Seed + 13,
+	})
+	if err != nil {
+		return 0, nil, err
+	}
+	baseAcc := nn.EvalClassifier(model, nn.ClassificationSet{X: valX, Labels: valLabels})
+
+	// Permutation importance on the validation set.
+	importance := make(map[int]float64, len(rankFeats))
+	for col, f := range feats {
+		inRank := false
+		for _, rf := range rankFeats {
+			if rf == f {
+				inRank = true
+				break
+			}
+		}
+		if !inRank {
+			continue
+		}
+		perm := rng.Perm(len(valX))
+		shuffled := make([][]float64, len(valX))
+		for i := range valX {
+			row := append([]float64(nil), valX[i]...)
+			row[col] = valX[perm[i]][col]
+			shuffled[i] = row
+		}
+		permAcc := nn.EvalClassifier(model, nn.ClassificationSet{X: shuffled, Labels: valLabels})
+		importance[f] = baseAcc - permAcc
+	}
+	return baseAcc, importance, nil
+}

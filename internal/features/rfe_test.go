@@ -1,0 +1,126 @@
+package features
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/datagen"
+)
+
+// informativeDataset builds a corpus where only the Table I counters
+// carry signal: labels follow a memory-boundedness parameter expressed
+// through IPC/MH/MH\L/L1CRM (and PPC), while every other counter is pure
+// noise. RFE must recover the informative indirect features.
+func informativeDataset(n int, seed int64) *datagen.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	tbl := clockdomain.TitanX()
+	fDef := tbl.Point(tbl.Default()).FrequencyHz
+	ds := &datagen.Dataset{CounterNames: counters.Names(), Levels: tbl.Len()}
+	for i := 0; i < n; i++ {
+		m := rng.Float64()
+		feats := make([]float64, counters.Num)
+		for j := range feats {
+			feats[j] = rng.NormFloat64() // noise everywhere...
+		}
+		// ...except the paper's five.
+		feats[counters.IdxIPC] = 2.0 * (1 - m)
+		feats[counters.IdxPPC] = 3 + 4*(1-m)
+		feats[counters.IdxMH] = 60000 * m
+		feats[counters.IdxMHNL] = 5000 * m
+		feats[counters.IdxL1CRM] = 2000 * m
+		for level := 0; level < tbl.Len(); level++ {
+			f := tbl.Point(level).FrequencyHz
+			loss := (1 - m) * (fDef/f - 1)
+			ds.Samples = append(ds.Samples, datagen.Sample{
+				Kernel: "syn", Level: level, Features: feats,
+				PerfLoss: loss, ScalingInstr: 10000,
+			})
+		}
+	}
+	return ds
+}
+
+func TestRFESelectsInformativeFeatures(t *testing.T) {
+	ds := informativeDataset(250, 1)
+	cfg := DefaultConfig()
+	cfg.Epochs = 25
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.SelectedIndirect) != cfg.TargetIndirect {
+		t.Fatalf("selected %d indirect features, want %d", len(res.SelectedIndirect), cfg.TargetIndirect)
+	}
+	// PPC must always be kept (direct feature).
+	foundPPC := false
+	for _, i := range res.Selected {
+		if i == counters.IdxPPC {
+			foundPPC = true
+		}
+	}
+	if !foundPPC {
+		t.Fatal("direct feature PPC was dropped")
+	}
+	// At least three of the paper's four informative indirect features
+	// must survive — the signal is unambiguous by construction.
+	informative := map[int]bool{
+		counters.IdxIPC: true, counters.IdxMH: true,
+		counters.IdxMHNL: true, counters.IdxL1CRM: true,
+	}
+	hits := 0
+	for _, i := range res.SelectedIndirect {
+		if informative[i] {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Fatalf("only %d informative features selected: %v", hits, res.SelectedIndirect)
+	}
+	// Refinement must not destroy accuracy (paper: 0.48% drop).
+	if res.SelectedAccuracy < res.FullAccuracy-0.10 {
+		t.Fatalf("selected accuracy %.3f fell more than 10pp below full %.3f",
+			res.SelectedAccuracy, res.FullAccuracy)
+	}
+	if len(res.Rounds) == 0 {
+		t.Fatal("no elimination rounds recorded")
+	}
+}
+
+func TestRFEValidation(t *testing.T) {
+	ds := informativeDataset(20, 2)
+	cfg := DefaultConfig()
+	cfg.TargetIndirect = 0
+	if _, err := Run(ds, cfg); err == nil {
+		t.Fatal("zero target accepted")
+	}
+	if _, err := Run(&datagen.Dataset{}, DefaultConfig()); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.Hidden = 0
+	if _, err := Run(ds, cfg); err == nil {
+		t.Fatal("zero hidden accepted")
+	}
+}
+
+func TestRFEDropsNoDirectFeatures(t *testing.T) {
+	ds := informativeDataset(100, 3)
+	cfg := DefaultConfig()
+	cfg.Epochs = 10
+	res, err := Run(ds, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rounds {
+		for _, d := range r.Dropped {
+			if counters.Def(d).Category == counters.Power {
+				t.Fatalf("power counter %q was eliminated", counters.Def(d).Name)
+			}
+			if d == counters.IdxPPC {
+				t.Fatal("PPC eliminated")
+			}
+		}
+	}
+}

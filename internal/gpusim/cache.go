@@ -1,0 +1,124 @@
+package gpusim
+
+// cache is a set-associative cache with true-LRU replacement, keyed by
+// line address (byte address >> lineShift). It stores tags only — the
+// simulator models timing and occupancy, not data contents.
+type cache struct {
+	sets      int
+	ways      int
+	lineShift uint
+	setMask   uint64
+
+	// tags[set*ways+way] holds the line tag; valid[..] its validity.
+	tags  []uint64
+	valid []bool
+	// lru[set*ways+way] is a recency stamp; larger = more recent.
+	lru   []uint64
+	stamp uint64
+
+	hits   int64
+	misses int64
+}
+
+func log2i(v int) uint {
+	var s uint
+	for v > 1 {
+		v >>= 1
+		s++
+	}
+	return s
+}
+
+func newCache(cfg CacheConfig) *cache {
+	n := cfg.Sets * cfg.Ways
+	return &cache{
+		sets:      cfg.Sets,
+		ways:      cfg.Ways,
+		lineShift: log2i(cfg.LineBytes),
+		setMask:   uint64(cfg.Sets - 1),
+		tags:      make([]uint64, n),
+		valid:     make([]bool, n),
+		lru:       make([]uint64, n),
+	}
+}
+
+// lookup probes the cache for the line containing addr, updating LRU on a
+// hit. It does not allocate on a miss; callers decide allocation policy.
+func (c *cache) lookup(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			c.stamp++
+			c.lru[base+w] = c.stamp
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// fill inserts the line containing addr, evicting the LRU way if needed.
+func (c *cache) fill(addr uint64) {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = i
+			break
+		}
+		if c.lru[i] < c.lru[victim] {
+			victim = i
+		}
+	}
+	c.stamp++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lru[victim] = c.stamp
+}
+
+// contains probes without touching LRU or hit/miss counters (test helper).
+func (c *cache) contains(addr uint64) bool {
+	line := addr >> c.lineShift
+	set := int(line & c.setMask)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.tags[base+w] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// reset clears contents and statistics.
+func (c *cache) reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.lru[i] = 0
+	}
+	c.stamp = 0
+	c.hits = 0
+	c.misses = 0
+}
+
+// clone returns a deep copy (for simulator state snapshots).
+func (c *cache) clone() *cache {
+	cp := &cache{
+		sets:      c.sets,
+		ways:      c.ways,
+		lineShift: c.lineShift,
+		setMask:   c.setMask,
+		tags:      append([]uint64(nil), c.tags...),
+		valid:     append([]bool(nil), c.valid...),
+		lru:       append([]uint64(nil), c.lru...),
+		stamp:     c.stamp,
+		hits:      c.hits,
+		misses:    c.misses,
+	}
+	return cp
+}

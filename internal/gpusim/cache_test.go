@@ -1,0 +1,170 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := newCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 64})
+	addr := uint64(0x1000)
+	if c.lookup(addr) {
+		t.Fatal("empty cache must miss")
+	}
+	c.fill(addr)
+	if !c.lookup(addr) {
+		t.Fatal("filled line must hit")
+	}
+	if c.hits != 1 || c.misses != 1 {
+		t.Fatalf("hits=%d misses=%d, want 1/1", c.hits, c.misses)
+	}
+}
+
+func TestCacheSameLineDifferentOffsets(t *testing.T) {
+	c := newCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 64})
+	c.fill(0x1000)
+	for off := uint64(0); off < 64; off += 8 {
+		if !c.lookup(0x1000 + off) {
+			t.Fatalf("offset %d within the filled line missed", off)
+		}
+	}
+	if c.lookup(0x1040) {
+		t.Fatal("next line must miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: the set holds exactly two lines.
+	c := newCache(CacheConfig{Sets: 1, Ways: 2, LineBytes: 64})
+	a, b, d := uint64(0), uint64(64), uint64(128)
+	c.fill(a)
+	c.fill(b)
+	c.lookup(a) // a is now most recent
+	c.fill(d)   // must evict b (LRU)
+	if !c.contains(a) {
+		t.Fatal("recently used line a was evicted")
+	}
+	if c.contains(b) {
+		t.Fatal("LRU line b survived eviction")
+	}
+	if !c.contains(d) {
+		t.Fatal("newly filled line d missing")
+	}
+}
+
+func TestCacheSetIndexing(t *testing.T) {
+	c := newCache(CacheConfig{Sets: 4, Ways: 1, LineBytes: 64})
+	// Lines 0,1,2,3 map to different sets: all four fit despite 1 way.
+	for i := uint64(0); i < 4; i++ {
+		c.fill(i * 64)
+	}
+	for i := uint64(0); i < 4; i++ {
+		if !c.contains(i * 64) {
+			t.Fatalf("line %d missing; set indexing broken", i)
+		}
+	}
+	// Line 4 aliases set 0 and evicts line 0.
+	c.fill(4 * 64)
+	if c.contains(0) {
+		t.Fatal("aliased line not evicted from 1-way set")
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := newCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 64})
+	c.fill(0x40)
+	c.lookup(0x40)
+	c.reset()
+	if c.contains(0x40) {
+		t.Fatal("reset cache still contains a line")
+	}
+	if c.hits != 0 || c.misses != 0 {
+		t.Fatal("reset did not clear statistics")
+	}
+}
+
+func TestCacheCloneIndependence(t *testing.T) {
+	c := newCache(CacheConfig{Sets: 4, Ways: 2, LineBytes: 64})
+	c.fill(0x80)
+	cp := c.clone()
+	cp.fill(0x10000)
+	if c.contains(0x10000) {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if !cp.contains(0x80) {
+		t.Fatal("clone lost original contents")
+	}
+}
+
+// TestCacheNeverExceedsCapacity checks the structural invariant that a
+// set never holds more valid lines than it has ways, under random fills.
+func TestCacheNeverExceedsCapacity(t *testing.T) {
+	cfg := CacheConfig{Sets: 8, Ways: 2, LineBytes: 64}
+	f := func(addrs []uint32) bool {
+		c := newCache(cfg)
+		for _, a := range addrs {
+			if !c.lookup(uint64(a)) {
+				c.fill(uint64(a))
+			}
+		}
+		// Count valid lines per set.
+		counts := make(map[int]int)
+		for i, v := range c.valid {
+			if v {
+				counts[i/cfg.Ways]++
+			}
+		}
+		for _, n := range counts {
+			if n > cfg.Ways {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(5))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCacheInclusionProperty: a line just filled is always present until
+// at least Ways further distinct fills to the same set occur.
+func TestCacheInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := newCache(CacheConfig{Sets: 4, Ways: 4, LineBytes: 64})
+		for i := 0; i < 100; i++ {
+			a := uint64(rng.Intn(1 << 14))
+			c.fill(a)
+			if !c.contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(6))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Sets: 64, Ways: 4, LineBytes: 64}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.Bytes(); got != 64*4*64 {
+		t.Fatalf("Bytes = %d", got)
+	}
+	bad := []CacheConfig{
+		{Sets: 0, Ways: 4, LineBytes: 64},
+		{Sets: 63, Ways: 4, LineBytes: 64}, // not a power of two
+		{Sets: 64, Ways: 0, LineBytes: 64},
+		{Sets: 64, Ways: 4, LineBytes: 0},
+		{Sets: 64, Ways: 4, LineBytes: 48}, // not a power of two
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("config %+v validated, want error", cfg)
+		}
+	}
+}

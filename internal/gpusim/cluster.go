@@ -1,0 +1,359 @@
+package gpusim
+
+import (
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/isa"
+)
+
+// epochAccum accumulates raw event counts for the current epoch of one
+// cluster. It is reset at every epoch boundary.
+type epochAccum struct {
+	opCounts     [isa.NumOps]int64
+	instructions int64
+	cycles       int64
+	activeCycles int64
+
+	stallMemLoad   int64 // waiting for global-load data (MH)
+	stallMemOther  int64 // LSU busy / MSHR full / store-queue full (MH\L)
+	stallCompute   int64 // waiting on ALU/SFU/shared results
+	stallControl   int64 // branch pipeline refill
+	readyNotIssued int64 // eligible but lost issue-width arbitration
+	dvfsStall      int64 // cycles lost to IVR transitions
+
+	l1ReadHits      int64
+	l1ReadMisses    int64
+	l1WriteAccesses int64
+	l2Accesses      int64
+	l2Hits          int64
+	l2Misses        int64
+	dramLines       int64
+	sharedLoads     int64
+	branches        int64
+}
+
+// cluster is one SM cluster: a set of warps, a private L1, execution-unit
+// issue limits, and its own clock domain.
+type cluster struct {
+	id  int
+	cfg *Config
+
+	domain *clockdomain.Domain
+	warps  []warp
+	l1     *cache
+
+	nowPs int64
+	rrPtr int
+	// greedyWarp is the last successfully issuing warp (GTO policy).
+	greedyWarp int
+
+	// Completion times of outstanding load misses / queued stores.
+	outstandingLoads  []int64
+	outstandingStores []int64
+
+	finishedWarps int
+	done          bool
+	lastFinishPs  int64
+
+	acc epochAccum
+	// epochLevel is the OP level in force for the current epoch (levels
+	// change only at epoch boundaries).
+	epochLevel int
+
+	// lineBuf is scratch for address generation, reused across cycles.
+	lineBuf []uint64
+}
+
+func newCluster(id int, cfg *Config, kernel *isa.Kernel) *cluster {
+	c := &cluster{
+		id:      id,
+		cfg:     cfg,
+		domain:  clockdomain.NewDomain(cfg.OPs, cfg.IVR),
+		l1:      newCache(cfg.L1),
+		lineBuf: make([]uint64, 0, 32),
+	}
+	c.epochLevel = c.domain.Level()
+	c.warps = make([]warp, kernel.WarpsPerCluster)
+	for i := range c.warps {
+		c.warps[i] = warp{
+			prog: &kernel.Programs[i%len(kernel.Programs)],
+			id:   id*kernel.WarpsPerCluster + i,
+		}
+	}
+	return c
+}
+
+// drainQueues removes completed entries from the outstanding-load and
+// outstanding-store queues.
+func (c *cluster) drainQueues(nowPs int64) {
+	c.outstandingLoads = drainDone(c.outstandingLoads, nowPs)
+	c.outstandingStores = drainDone(c.outstandingStores, nowPs)
+}
+
+func drainDone(q []int64, nowPs int64) []int64 {
+	out := q[:0]
+	for _, t := range q {
+		if t > nowPs {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// stallReason classifies why a warp could not issue this cycle.
+type stallReason uint8
+
+const (
+	stallNone stallReason = iota
+	stallMemLoadR
+	stallMemOtherR
+	stallComputeR
+	stallControlR
+	stallArbR
+)
+
+// tryIssue checks whether warp w can issue at nowPs given the remaining
+// per-cycle unit budgets, and if so performs the issue (updating the
+// scoreboard, caches, and memory system). It returns the stall reason on
+// failure and stallNone on success.
+func (c *cluster) tryIssue(w *warp, mem *memSystem, nowPs int64, aluLeft, sfuLeft, lsuLeft *int) stallReason {
+	if nowPs < w.nextEligiblePs {
+		return stallControlR
+	}
+	ins := w.current()
+
+	// Scoreboard: RAW on sources, WAW on destination.
+	for _, r := range [...]isa.Reg{ins.SrcA, ins.SrcB, ins.Dst} {
+		if r == 0 {
+			continue
+		}
+		if w.regReadyPs[r] > nowPs {
+			if w.regFromLoad[r] {
+				return stallMemLoadR
+			}
+			return stallComputeR
+		}
+	}
+
+	period := c.domain.PeriodPs()
+	cfg := c.cfg
+
+	switch ins.Op {
+	case isa.OpIAlu, isa.OpFAlu:
+		if *aluLeft == 0 {
+			return stallComputeR
+		}
+		*aluLeft--
+		lat := cfg.IAluLatency
+		if ins.Op == isa.OpFAlu {
+			lat = cfg.FAluLatency
+		}
+		c.writeReg(w, ins.Dst, nowPs+int64(lat)*period, false)
+
+	case isa.OpSFU:
+		if *sfuLeft == 0 {
+			return stallComputeR
+		}
+		*sfuLeft--
+		c.writeReg(w, ins.Dst, nowPs+int64(cfg.SFULatency)*period, false)
+
+	case isa.OpLoadShared:
+		if *lsuLeft == 0 {
+			return stallMemOtherR
+		}
+		*lsuLeft--
+		c.writeReg(w, ins.Dst, nowPs+int64(cfg.SharedLatency)*period, false)
+		c.acc.sharedLoads++
+
+	case isa.OpBranch:
+		w.nextEligiblePs = nowPs + int64(cfg.BranchLatency)*period
+		c.acc.branches++
+
+	case isa.OpLoadGlobal:
+		if *lsuLeft == 0 {
+			return stallMemOtherR
+		}
+		if len(c.outstandingLoads) >= cfg.MSHRs {
+			return stallMemOtherR
+		}
+		*lsuLeft--
+		done := c.accessLoad(w, ins, mem, nowPs, period)
+		c.writeReg(w, ins.Dst, done, true)
+		c.outstandingLoads = append(c.outstandingLoads, done)
+
+	case isa.OpStoreGlobal:
+		if *lsuLeft == 0 {
+			return stallMemOtherR
+		}
+		if len(c.outstandingStores) >= cfg.StoreQueue {
+			return stallMemOtherR
+		}
+		*lsuLeft--
+		done := c.accessStore(w, ins, mem, nowPs)
+		c.outstandingStores = append(c.outstandingStores, done)
+	}
+
+	c.acc.opCounts[ins.Op]++
+	c.acc.instructions++
+	w.issued++
+	w.advance()
+	if w.finished {
+		c.finishedWarps++
+		if nowPs > c.lastFinishPs {
+			c.lastFinishPs = nowPs
+		}
+	}
+	return stallNone
+}
+
+// writeReg records a pending register write in the scoreboard.
+func (c *cluster) writeReg(w *warp, r isa.Reg, readyPs int64, fromLoad bool) {
+	if r == 0 {
+		return
+	}
+	w.regReadyPs[r] = readyPs
+	w.regFromLoad[r] = fromLoad
+}
+
+// accessLoad walks the load's cache lines through L1 (and L2/DRAM on
+// misses) and returns the load's completion time.
+func (c *cluster) accessLoad(w *warp, ins *isa.Instruction, mem *memSystem, nowPs int64, period int64) int64 {
+	c.lineBuf = lineAddrs(c.lineBuf[:0], &ins.Mem, w.id, w.iter, w.pc, c.cfg.L1.LineBytes)
+	hitLat := nowPs + int64(c.cfg.L1HitCycles)*period
+	done := hitLat
+	for _, addr := range c.lineBuf {
+		if c.l1.lookup(addr) {
+			c.acc.l1ReadHits++
+			continue
+		}
+		c.acc.l1ReadMisses++
+		t, l2Hit, dram := mem.readLine(addr, hitLat)
+		c.acc.l2Accesses++
+		if l2Hit {
+			c.acc.l2Hits++
+		} else {
+			c.acc.l2Misses++
+		}
+		if dram {
+			c.acc.dramLines++
+		}
+		c.l1.fill(addr)
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// accessStore issues a write-through store (no L1 allocate) and returns
+// when the memory system has accepted it.
+func (c *cluster) accessStore(w *warp, ins *isa.Instruction, mem *memSystem, nowPs int64) int64 {
+	c.lineBuf = lineAddrs(c.lineBuf[:0], &ins.Mem, w.id, w.iter, w.pc, c.cfg.L1.LineBytes)
+	done := nowPs
+	for _, addr := range c.lineBuf {
+		c.acc.l1WriteAccesses++
+		t, l2Hit, dram := mem.writeLine(addr, nowPs)
+		c.acc.l2Accesses++
+		if l2Hit {
+			c.acc.l2Hits++
+		} else {
+			c.acc.l2Misses++
+		}
+		if dram {
+			c.acc.dramLines++
+		}
+		if t > done {
+			done = t
+		}
+	}
+	return done
+}
+
+// step executes one clock cycle of the cluster at its current time and
+// advances the cluster clock by one period.
+func (c *cluster) step(mem *memSystem) {
+	nowPs := c.nowPs
+	c.acc.cycles++
+
+	if c.domain.Stalled(nowPs) {
+		c.acc.dvfsStall++
+		c.nowPs += c.domain.PeriodPs()
+		return
+	}
+
+	c.drainQueues(nowPs)
+
+	aluLeft := c.cfg.ALUUnits
+	sfuLeft := c.cfg.SFUUnits
+	lsuLeft := c.cfg.LSUUnits
+	issueLeft := c.cfg.IssueWidth
+
+	n := len(c.warps)
+	issuedAny := false
+	for i := 0; i < n; i++ {
+		// Candidate order is the scheduling policy: LRR rotates the start
+		// position; GTO tries the greedy warp first and then the oldest
+		// (lowest-index) warps.
+		var idx int
+		if c.cfg.Scheduler == SchedGTO {
+			switch {
+			case i == 0:
+				idx = c.greedyWarp
+			case i <= c.greedyWarp:
+				idx = i - 1
+			default:
+				idx = i
+			}
+		} else {
+			idx = (c.rrPtr + i) % n
+		}
+		w := &c.warps[idx]
+		if w.finished {
+			continue
+		}
+		if issueLeft == 0 {
+			// Remaining warps lost arbitration this cycle; count the
+			// eligible ones so occupancy pressure is visible.
+			c.acc.readyNotIssued++
+			continue
+		}
+		reason := c.tryIssue(w, mem, nowPs, &aluLeft, &sfuLeft, &lsuLeft)
+		switch reason {
+		case stallNone:
+			issueLeft--
+			issuedAny = true
+			c.greedyWarp = idx
+		case stallMemLoadR:
+			c.acc.stallMemLoad++
+		case stallMemOtherR:
+			c.acc.stallMemOther++
+		case stallComputeR:
+			c.acc.stallCompute++
+		case stallControlR:
+			c.acc.stallControl++
+		}
+	}
+	if issuedAny {
+		c.acc.activeCycles++
+		c.rrPtr = (c.rrPtr + 1) % n
+	}
+	if c.finishedWarps == n {
+		c.done = true
+	}
+	c.nowPs += c.domain.PeriodPs()
+}
+
+// clone deep-copies the cluster for simulator snapshots.
+func (c *cluster) clone(cfg *Config) *cluster {
+	cp := *c
+	cp.cfg = cfg
+	cp.warps = append([]warp(nil), c.warps...)
+	cp.l1 = c.l1.clone()
+	cp.outstandingLoads = append([]int64(nil), c.outstandingLoads...)
+	cp.outstandingStores = append([]int64(nil), c.outstandingStores...)
+	cp.lineBuf = make([]uint64, 0, cap(c.lineBuf))
+	// Domain is a value type over an immutable table; a shallow copy is a
+	// correct deep copy.
+	d := *c.domain
+	cp.domain = &d
+	return &cp
+}

@@ -1,0 +1,227 @@
+package gpusim
+
+import (
+	"testing"
+
+	"ssmdvfs/internal/isa"
+)
+
+// newTestCluster builds a 1-warp cluster around the given body with its
+// own memory system, for direct pipeline-level testing.
+func newTestCluster(t *testing.T, cfg Config, body []isa.Instruction, iters, warps int) (*cluster, *memSystem) {
+	t.Helper()
+	k := isa.Kernel{
+		Name:            "unit",
+		WarpsPerCluster: warps,
+		Programs:        []isa.Program{{Body: body, Iterations: iters}},
+	}
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return newCluster(0, &cfg, &k), newMemSystem(cfg)
+}
+
+// stepUntilIssued steps the cluster until n instructions have issued or
+// the cycle budget runs out, returning cycles spent.
+func stepUntilIssued(t *testing.T, c *cluster, mem *memSystem, n int64, budget int) int {
+	t.Helper()
+	for cycles := 0; cycles < budget; cycles++ {
+		if c.acc.instructions >= n {
+			return cycles
+		}
+		c.step(mem)
+	}
+	t.Fatalf("only %d of %d instructions issued within %d cycles", c.acc.instructions, n, budget)
+	return 0
+}
+
+func TestRAWHazardDelaysDependent(t *testing.T) {
+	cfg := SmallConfig()
+	// r1 <- FALU; r2 <- FALU(r1): the second must wait FAluLatency cycles.
+	body := []isa.Instruction{
+		{Op: isa.OpFAlu, Dst: 1, SrcA: 2},
+		{Op: isa.OpFAlu, Dst: 3, SrcA: 1},
+	}
+	c, mem := newTestCluster(t, cfg, body, 1, 1)
+	cycles := stepUntilIssued(t, c, mem, 2, 1000)
+	// Issue at cycle 0, dependent ready after FAluLatency cycles.
+	if cycles < cfg.FAluLatency {
+		t.Fatalf("dependent issued after %d cycles, want >= %d", cycles, cfg.FAluLatency)
+	}
+	if c.acc.stallCompute == 0 {
+		t.Fatal("RAW wait not attributed to compute stalls")
+	}
+}
+
+func TestDualIssueAcrossWarps(t *testing.T) {
+	cfg := SmallConfig()
+	// Each warp issues at most one instruction per cycle; with two warps
+	// and IssueWidth=2, both issue in the same cycle.
+	body := []isa.Instruction{{Op: isa.OpFAlu, Dst: 1}}
+	c, mem := newTestCluster(t, cfg, body, 1, 2)
+	c.step(mem)
+	if c.acc.instructions != 2 {
+		t.Fatalf("issued %d instructions in the first cycle, want 2", c.acc.instructions)
+	}
+	if c.acc.activeCycles != 1 {
+		t.Fatalf("activeCycles = %d, want 1", c.acc.activeCycles)
+	}
+}
+
+func TestSingleWarpIssuesOnePerCycle(t *testing.T) {
+	cfg := SmallConfig()
+	// One warp with two independent ops still needs two cycles: warps
+	// are the unit of issue parallelism.
+	body := []isa.Instruction{
+		{Op: isa.OpFAlu, Dst: 1},
+		{Op: isa.OpIAlu, Dst: 2},
+	}
+	c, mem := newTestCluster(t, cfg, body, 1, 1)
+	c.step(mem)
+	if c.acc.instructions != 1 {
+		t.Fatalf("single warp issued %d in one cycle, want 1", c.acc.instructions)
+	}
+	c.step(mem)
+	if c.acc.instructions != 2 {
+		t.Fatalf("second op not issued on cycle 2: %d", c.acc.instructions)
+	}
+}
+
+func TestSFUStructuralLimit(t *testing.T) {
+	cfg := SmallConfig() // SFUUnits = 1
+	// Two warps, both wanting SFU in the same cycle: only one issues.
+	body := []isa.Instruction{{Op: isa.OpSFU, Dst: 1}}
+	c, mem := newTestCluster(t, cfg, body, 1, 2)
+	c.step(mem)
+	if c.acc.instructions != 1 {
+		t.Fatalf("SFU issued %d in one cycle, want 1 (structural limit)", c.acc.instructions)
+	}
+	if c.acc.stallCompute == 0 {
+		t.Fatal("losing warp not counted as compute-stalled")
+	}
+	c.step(mem)
+	if c.acc.instructions != 2 {
+		t.Fatalf("second SFU not issued on the next cycle: %d", c.acc.instructions)
+	}
+}
+
+func TestLSUStructuralLimitIsMemOther(t *testing.T) {
+	cfg := SmallConfig() // LSUUnits = 1
+	mem1 := isa.MemSpec{Base: 0, FootprintBytes: 1 << 20, StrideBytes: 64, CoalescedLines: 1, Pattern: isa.PatternSequential}
+	body := []isa.Instruction{{Op: isa.OpLoadGlobal, Dst: 1, Mem: mem1}}
+	c, memsys := newTestCluster(t, cfg, body, 1, 2)
+	c.step(memsys)
+	if c.acc.instructions != 1 {
+		t.Fatalf("LSU issued %d in one cycle, want 1", c.acc.instructions)
+	}
+	if c.acc.stallMemOther == 0 {
+		t.Fatal("LSU-busy stall not attributed to MH\\L")
+	}
+}
+
+func TestMSHRLimitBlocksLoads(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.MSHRs = 2
+	// Each warp issues one independent long-latency load; with 2 MSHRs
+	// only two loads can be outstanding.
+	mem1 := isa.MemSpec{Base: 0, FootprintBytes: 1 << 26, StrideBytes: 4096,
+		WarpStrideBytes: 1 << 16, CoalescedLines: 1, Pattern: isa.PatternSequential}
+	body := []isa.Instruction{{Op: isa.OpLoadGlobal, Dst: 1, Mem: mem1}}
+	c, memsys := newTestCluster(t, cfg, body, 1, 4)
+	c.step(memsys)
+	c.step(memsys)
+	c.step(memsys)
+	if len(c.outstandingLoads) > 2 {
+		t.Fatalf("%d outstanding loads exceed %d MSHRs", len(c.outstandingLoads), cfg.MSHRs)
+	}
+	if c.acc.stallMemOther == 0 {
+		t.Fatal("MSHR-full stall not attributed to MH\\L")
+	}
+}
+
+func TestStoreQueueLimit(t *testing.T) {
+	cfg := SmallConfig()
+	cfg.StoreQueue = 1
+	mem1 := isa.MemSpec{Base: 0, FootprintBytes: 1 << 26, StrideBytes: 4096,
+		WarpStrideBytes: 1 << 16, CoalescedLines: 1, Pattern: isa.PatternSequential}
+	body := []isa.Instruction{{Op: isa.OpStoreGlobal, SrcA: 1, Mem: mem1}}
+	c, memsys := newTestCluster(t, cfg, body, 1, 3)
+	c.step(memsys)
+	c.step(memsys)
+	if len(c.outstandingStores) > 1 {
+		t.Fatalf("%d outstanding stores exceed the queue of 1", len(c.outstandingStores))
+	}
+}
+
+func TestBranchPacing(t *testing.T) {
+	cfg := SmallConfig()
+	body := []isa.Instruction{
+		{Op: isa.OpBranch},
+		{Op: isa.OpIAlu, Dst: 1},
+	}
+	c, mem := newTestCluster(t, cfg, body, 1, 1)
+	cycles := stepUntilIssued(t, c, mem, 2, 1000)
+	if cycles < cfg.BranchLatency {
+		t.Fatalf("post-branch instruction issued after %d cycles, want >= %d (refill)",
+			cycles, cfg.BranchLatency)
+	}
+	if c.acc.stallControl == 0 {
+		t.Fatal("branch refill not attributed to control stalls")
+	}
+}
+
+func TestWAWHazardBlocks(t *testing.T) {
+	cfg := SmallConfig()
+	// Two writes to r1 back to back: the second must wait for the first
+	// (in-order writeback through the scoreboard).
+	body := []isa.Instruction{
+		{Op: isa.OpSFU, Dst: 1},
+		{Op: isa.OpIAlu, Dst: 1},
+	}
+	c, mem := newTestCluster(t, cfg, body, 1, 1)
+	c.step(mem)
+	if c.acc.instructions != 1 {
+		t.Fatalf("both WAW writes issued in one cycle")
+	}
+	cycles := stepUntilIssued(t, c, mem, 2, 1000)
+	if cycles < cfg.SFULatency {
+		t.Fatalf("WAW write issued after %d cycles, want >= %d", cycles, cfg.SFULatency)
+	}
+}
+
+func TestZeroRegisterNeverBlocks(t *testing.T) {
+	cfg := SmallConfig()
+	// Writes to r0 are discarded: back-to-back r0 writers never conflict
+	// through the scoreboard (contrast with TestWAWHazardBlocks).
+	body := []isa.Instruction{
+		{Op: isa.OpSFU, Dst: 0},
+		{Op: isa.OpIAlu, Dst: 0},
+	}
+	c, mem := newTestCluster(t, cfg, body, 1, 1)
+	c.step(mem)
+	c.step(mem)
+	if c.acc.instructions != 2 {
+		t.Fatalf("r0 writers issued %d after two cycles, want 2 (no WAW)", c.acc.instructions)
+	}
+}
+
+func TestL1HitFasterThanMiss(t *testing.T) {
+	cfg := SmallConfig()
+	resident := isa.MemSpec{Base: 0x100, FootprintBytes: 64, StrideBytes: 0, CoalescedLines: 1, Pattern: isa.PatternSequential}
+	// load r1; consume r1: iteration 2 hits L1 and completes faster.
+	body := []isa.Instruction{
+		{Op: isa.OpLoadGlobal, Dst: 1, Mem: resident},
+		{Op: isa.OpFAlu, Dst: 2, SrcA: 1},
+	}
+	c, mem := newTestCluster(t, cfg, body, 2, 1)
+	missCycles := stepUntilIssued(t, c, mem, 2, 100000)
+	start := c.acc.cycles
+	stepUntilIssued(t, c, mem, 4, 100000)
+	hitCycles := int(c.acc.cycles - start)
+	if hitCycles >= missCycles {
+		t.Fatalf("L1 hit iteration (%d cycles) not faster than miss iteration (%d)", hitCycles, missCycles)
+	}
+	if c.acc.l1ReadHits == 0 || c.acc.l1ReadMisses == 0 {
+		t.Fatalf("expected both hits (%d) and misses (%d)", c.acc.l1ReadHits, c.acc.l1ReadMisses)
+	}
+}

@@ -1,0 +1,10 @@
+package gpusim
+
+import "ssmdvfs/internal/isa"
+
+// Kernel and Program re-export the isa workload types so simulator users
+// only import one package for the common path.
+type (
+	Kernel  = isa.Kernel
+	Program = isa.Program
+)

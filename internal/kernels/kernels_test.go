@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"testing"
+
+	"ssmdvfs/internal/isa"
+)
+
+func TestSuiteAllValid(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 20 {
+		t.Fatalf("suite has %d kernels, want 20+ (paper uses over 20 benchmarks)", len(suite))
+	}
+	for _, spec := range suite {
+		k := spec.Build(1.0)
+		if err := k.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range Suite() {
+		if seen[s.Name] {
+			t.Fatalf("duplicate kernel name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestTrainEvalSplit(t *testing.T) {
+	train, eval := Training(), Evaluation()
+	if len(train) == 0 || len(eval) == 0 {
+		t.Fatal("empty split")
+	}
+	if len(train)+len(eval) != len(Suite()) {
+		t.Fatal("split does not partition the suite")
+	}
+	// The paper keeps >50% of evaluated programs unseen; our held-out set
+	// must be large enough to build such a mix.
+	if len(eval) < len(train)/2 {
+		t.Fatalf("eval set too small: %d vs %d training", len(eval), len(train))
+	}
+}
+
+func TestBehaviourCoverage(t *testing.T) {
+	want := []Behaviour{ComputeBound, MemoryBound, CacheFriendly, Irregular, BranchHeavy, PhaseMixed}
+	have := map[Behaviour]int{}
+	for _, s := range Suite() {
+		have[s.Behaviour]++
+	}
+	for _, b := range want {
+		if have[b] < 2 {
+			t.Errorf("behaviour %s has %d kernels, want >= 2", b, have[b])
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	spec, err := ByName("rodinia.kmeans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := spec.Build(1.0), spec.Build(1.0)
+	if len(a.Programs) != len(b.Programs) {
+		t.Fatal("non-deterministic program count")
+	}
+	for i := range a.Programs {
+		if len(a.Programs[i].Body) != len(b.Programs[i].Body) {
+			t.Fatalf("program %d body length differs", i)
+		}
+		for j := range a.Programs[i].Body {
+			if a.Programs[i].Body[j] != b.Programs[i].Body[j] {
+				t.Fatalf("program %d instruction %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestBuildScale(t *testing.T) {
+	spec := Suite()[0]
+	full := spec.Build(1.0)
+	half := spec.Build(0.5)
+	if half.Programs[0].Iterations >= full.Programs[0].Iterations {
+		t.Fatal("scale did not reduce iterations")
+	}
+	tiny := spec.Build(0.000001)
+	if tiny.Programs[0].Iterations < 1 {
+		t.Fatal("scale underflowed to zero iterations")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("no.such.kernel"); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestArchetypesHaveExpectedMix(t *testing.T) {
+	countOps := func(k isa.Kernel) map[isa.Op]int {
+		counts := map[isa.Op]int{}
+		for _, p := range k.Programs {
+			for _, ins := range p.Body {
+				counts[ins.Op]++
+			}
+		}
+		return counts
+	}
+	for _, s := range Suite() {
+		k := s.Build(1.0)
+		ops := countOps(k)
+		switch s.Behaviour {
+		case ComputeBound:
+			if ops[isa.OpFAlu] <= ops[isa.OpLoadGlobal]*4 {
+				t.Errorf("%s: compute-bound but FALU=%d LDG=%d", s.Name, ops[isa.OpFAlu], ops[isa.OpLoadGlobal])
+			}
+		case MemoryBound, Irregular:
+			if ops[isa.OpLoadGlobal]+ops[isa.OpStoreGlobal] == 0 {
+				t.Errorf("%s: memory kernel without global accesses", s.Name)
+			}
+		case BranchHeavy:
+			if ops[isa.OpBranch] == 0 {
+				t.Errorf("%s: branch-heavy without branches", s.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package nn_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ssmdvfs/internal/nn"
+)
+
+// Example_trainClassifier fits a small MLP on a toy two-feature,
+// two-class problem (sign of the first feature) and evaluates it.
+func Example_trainClassifier() {
+	rng := rand.New(rand.NewSource(1))
+	var set nn.ClassificationSet
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		label := 0
+		if x[0] > 0 {
+			label = 1
+		}
+		set.X = append(set.X, x)
+		set.Labels = append(set.Labels, label)
+	}
+
+	m, _ := nn.NewMLP([]int{2, 8, 2}, rand.New(rand.NewSource(2)))
+	_, err := nn.TrainClassifier(m, set, nn.TrainConfig{
+		Epochs: 40, BatchSize: 16, Optimizer: nn.NewAdam(0.01), Seed: 3,
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("accuracy >= 0.95: %v\n", nn.EvalClassifier(m, set) >= 0.95)
+	// Output: accuracy >= 0.95: true
+}

@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// serialized mirrors MLP for JSON round-trips.
+type serialized struct {
+	Layers []serializedLayer `json:"layers"`
+}
+
+type serializedLayer struct {
+	In   int       `json:"in"`
+	Out  int       `json:"out"`
+	W    []float64 `json:"w"`
+	B    []float64 `json:"b"`
+	Mask []float64 `json:"mask,omitempty"`
+}
+
+// Save writes the network as JSON.
+func (m *MLP) Save(w io.Writer) error {
+	s := serialized{}
+	for _, l := range m.Layers {
+		s.Layers = append(s.Layers, serializedLayer{In: l.In, Out: l.Out, W: l.W, B: l.B, Mask: l.Mask})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(s)
+}
+
+// Load reads a network saved with Save.
+func Load(r io.Reader) (*MLP, error) {
+	var s serialized
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: decoding model: %w", err)
+	}
+	if len(s.Layers) == 0 {
+		return nil, fmt.Errorf("nn: model has no layers")
+	}
+	m := &MLP{}
+	prevOut := -1
+	for i, sl := range s.Layers {
+		if sl.In <= 0 || sl.Out <= 0 {
+			return nil, fmt.Errorf("nn: layer %d has invalid shape %dx%d", i, sl.In, sl.Out)
+		}
+		if len(sl.W) != sl.In*sl.Out || len(sl.B) != sl.Out {
+			return nil, fmt.Errorf("nn: layer %d parameter sizes do not match shape", i)
+		}
+		if sl.Mask != nil && len(sl.Mask) != len(sl.W) {
+			return nil, fmt.Errorf("nn: layer %d mask size does not match weights", i)
+		}
+		if prevOut >= 0 && sl.In != prevOut {
+			return nil, fmt.Errorf("nn: layer %d input %d does not match previous output %d", i, sl.In, prevOut)
+		}
+		prevOut = sl.Out
+		for _, w := range sl.W {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, fmt.Errorf("nn: layer %d contains non-finite weights", i)
+			}
+		}
+		d := &Dense{
+			In:    sl.In,
+			Out:   sl.Out,
+			W:     sl.W,
+			B:     sl.B,
+			Mask:  sl.Mask,
+			GradW: make([]float64, len(sl.W)),
+			GradB: make([]float64, len(sl.B)),
+		}
+		m.Layers = append(m.Layers, d)
+	}
+	return m, nil
+}
+
+// SaveFile writes the network to path.
+func (m *MLP) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("nn: %w", err)
+	}
+	defer f.Close()
+	if err := m.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*MLP, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("nn: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}

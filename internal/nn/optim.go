@@ -1,0 +1,108 @@
+package nn
+
+import "math"
+
+// Optimizer updates an MLP's parameters from its accumulated gradients.
+// Implementations hold per-parameter state keyed by layer order, so one
+// optimizer instance must be used with exactly one network.
+type Optimizer interface {
+	// Step applies one update using the gradients accumulated since the
+	// last ZeroGrad, scaled by 1/batchSize.
+	Step(m *MLP, batchSize int)
+}
+
+// SGD is stochastic gradient descent with classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vw [][]float64
+	vb [][]float64
+}
+
+// NewSGD returns an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+func (s *SGD) ensure(m *MLP) {
+	if s.vw != nil {
+		return
+	}
+	for _, l := range m.Layers {
+		s.vw = append(s.vw, make([]float64, len(l.W)))
+		s.vb = append(s.vb, make([]float64, len(l.B)))
+	}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(m *MLP, batchSize int) {
+	s.ensure(m)
+	scale := 1.0 / float64(batchSize)
+	for li, l := range m.Layers {
+		vw, vb := s.vw[li], s.vb[li]
+		for i := range l.W {
+			vw[i] = s.Momentum*vw[i] - s.LR*l.GradW[i]*scale
+			l.W[i] += vw[i]
+		}
+		for i := range l.B {
+			vb[i] = s.Momentum*vb[i] - s.LR*l.GradB[i]*scale
+			l.B[i] += vb[i]
+		}
+		l.ApplyMask()
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba, 2015).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	t  int
+	mw [][]float64
+	vw [][]float64
+	mb [][]float64
+	vb [][]float64
+}
+
+// NewAdam returns Adam with the standard (0.9, 0.999, 1e-8) moments.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+func (a *Adam) ensure(m *MLP) {
+	if a.mw != nil {
+		return
+	}
+	for _, l := range m.Layers {
+		a.mw = append(a.mw, make([]float64, len(l.W)))
+		a.vw = append(a.vw, make([]float64, len(l.W)))
+		a.mb = append(a.mb, make([]float64, len(l.B)))
+		a.vb = append(a.vb, make([]float64, len(l.B)))
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(m *MLP, batchSize int) {
+	a.ensure(m)
+	a.t++
+	scale := 1.0 / float64(batchSize)
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for li, l := range m.Layers {
+		mw, vw, mb, vb := a.mw[li], a.vw[li], a.mb[li], a.vb[li]
+		for i := range l.W {
+			g := l.GradW[i] * scale
+			mw[i] = a.Beta1*mw[i] + (1-a.Beta1)*g
+			vw[i] = a.Beta2*vw[i] + (1-a.Beta2)*g*g
+			l.W[i] -= a.LR * (mw[i] / bc1) / (math.Sqrt(vw[i]/bc2) + a.Epsilon)
+		}
+		for i := range l.B {
+			g := l.GradB[i] * scale
+			mb[i] = a.Beta1*mb[i] + (1-a.Beta1)*g
+			vb[i] = a.Beta2*vb[i] + (1-a.Beta2)*g*g
+			l.B[i] -= a.LR * (mb[i] / bc1) / (math.Sqrt(vb[i]/bc2) + a.Epsilon)
+		}
+		l.ApplyMask()
+	}
+}

@@ -1,0 +1,137 @@
+package oracle
+
+import (
+	"testing"
+
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/isa"
+)
+
+func memKernel(iters int) gpusim.Kernel {
+	prog := isa.Program{
+		Body: []isa.Instruction{
+			{Op: isa.OpLoadGlobal, Dst: 1, Mem: isa.MemSpec{
+				Base: 0x1000_0000, FootprintBytes: 64 << 20, StrideBytes: 256,
+				WarpStrideBytes: 1 << 16, CoalescedLines: 8, Pattern: isa.PatternSequential,
+			}},
+			{Op: isa.OpFAlu, Dst: 2, SrcA: 1},
+		},
+		Iterations: iters,
+	}
+	return gpusim.Kernel{Name: "oracle-mem", WarpsPerCluster: 8, Programs: []isa.Program{prog}}
+}
+
+func cpuKernel(iters int) gpusim.Kernel {
+	prog := isa.Program{
+		Body: []isa.Instruction{
+			{Op: isa.OpFAlu, Dst: 1, SrcA: 1},
+			{Op: isa.OpFAlu, Dst: 2, SrcA: 2},
+			{Op: isa.OpFAlu, Dst: 3, SrcA: 3},
+		},
+		Iterations: iters,
+	}
+	return gpusim.Kernel{Name: "oracle-cpu", WarpsPerCluster: 8, Programs: []isa.Program{prog}}
+}
+
+func cfg() gpusim.Config {
+	c := gpusim.SmallConfig()
+	c.Clusters = 2
+	return c
+}
+
+func TestStaticBestMemoryBoundPicksLowLevel(t *testing.T) {
+	c := cfg()
+	results, best, err := StaticBest(c, memKernel(300), 0.10, EDPObjective, 1_000_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != c.OPs.Len() {
+		t.Fatalf("got %d results", len(results))
+	}
+	if best > 1 {
+		t.Fatalf("memory-bound static best = level %d, want near 0", best)
+	}
+}
+
+func TestStaticBestComputeBoundRespectsBudget(t *testing.T) {
+	c := cfg()
+	results, best, err := StaticBest(c, cpuKernel(2000), 0.05, EDPObjective, 1_000_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseT := results[c.OPs.Default()].ExecTimePs
+	loss := float64(results[best].ExecTimePs-baseT) / float64(baseT)
+	if loss > 0.05+1e-9 {
+		t.Fatalf("static best level %d loses %.2f%%, budget 5%%", best, loss*100)
+	}
+}
+
+func TestStaticBestObjectives(t *testing.T) {
+	c := cfg()
+	_, bestEDP, err := StaticBest(c, memKernel(200), 0.20, EDPObjective, 1_000_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, bestE, err := StaticBest(c, memKernel(200), 0.20, EnergyObjective, 1_000_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Energy minimization never prefers a faster level than EDP
+	// minimization (speed only helps the delay term).
+	if bestE > bestEDP {
+		t.Fatalf("energy-best level %d faster than EDP-best %d", bestE, bestEDP)
+	}
+}
+
+func TestGreedyBeatsOrMatchesDefaultEDP(t *testing.T) {
+	c := cfg()
+	k := memKernel(250)
+	base, _, err := StaticBest(c, k, 0, EDPObjective, 1_000_000_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defRes := base[c.OPs.Default()]
+
+	res, err := Greedy(c, k, GreedyOptions{Preset: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Completed {
+		t.Fatal("greedy run incomplete")
+	}
+	if res.Probes == 0 || len(res.Levels) == 0 {
+		t.Fatal("greedy did no probing")
+	}
+	// The clairvoyant policy may not beat static-min on a uniformly
+	// memory-bound kernel, but it must never be much worse than default.
+	if res.Result.EDP() > defRes.EDP()*1.02 {
+		t.Fatalf("greedy EDP %.3g worse than default %.3g", res.Result.EDP(), defRes.EDP())
+	}
+	// On a memory-bound kernel the oracle should pick low levels mostly.
+	low := 0
+	for _, l := range res.Levels {
+		if l <= 1 {
+			low++
+		}
+	}
+	if low*2 < len(res.Levels) {
+		t.Fatalf("oracle chose low levels only %d/%d times on a memory-bound kernel", low, len(res.Levels))
+	}
+}
+
+func TestGreedyHorizonProbe(t *testing.T) {
+	c := cfg()
+	res, err := Greedy(c, memKernel(150), GreedyOptions{Preset: 0.10, HorizonPs: 30_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Result.Completed {
+		t.Fatal("greedy horizon run incomplete")
+	}
+}
+
+func TestGreedyRejectsNegativePreset(t *testing.T) {
+	if _, err := Greedy(cfg(), memKernel(10), GreedyOptions{Preset: -1}); err == nil {
+		t.Fatal("negative preset accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package power provides an activity-based GPU power model in the spirit
+// of McPAT: per-event dynamic energies that scale with V², a per-cycle
+// clock/pipeline base cost, and voltage-dependent leakage. The model is
+// calibrated to land a fully active 24-cluster GTX-Titan-X-class GPU in
+// the neighbourhood of its 250 W TDP; DVFS studies consume normalized
+// energy-delay products, so the shape (V²f dynamic scaling, V^k leakage)
+// matters more than the absolute calibration.
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/isa"
+)
+
+// Activity is the per-epoch, per-cluster event tally the model converts
+// into energy. All counts are events within one epoch.
+type Activity struct {
+	// OpCounts is the number of issued instructions per class.
+	OpCounts [isa.NumOps]int64
+	// Cycles is the number of clock cycles the cluster ran in the epoch.
+	Cycles int64
+	// L1Accesses counts L1 data-cache lookups (read and write).
+	L1Accesses int64
+	// L2Accesses counts L2 lookups caused by this cluster.
+	L2Accesses int64
+	// DRAMLines counts 64-byte DRAM line transfers caused by this cluster.
+	DRAMLines int64
+}
+
+// Model holds the calibration constants. All energies are picojoules at
+// nominal voltage; leakage is watts per cluster at nominal voltage.
+type Model struct {
+	// EnergyPerOpPJ is the switching energy of one issued instruction of
+	// each class across a 32-lane warp.
+	EnergyPerOpPJ [isa.NumOps]float64
+	// L1AccessPJ, L2AccessPJ, DRAMLinePJ are per-event memory energies.
+	L1AccessPJ float64
+	L2AccessPJ float64
+	DRAMLinePJ float64
+	// ClockPJPerCycle is the clock-tree + pipeline-latch energy charged
+	// every cycle the cluster's clock runs, active or not.
+	ClockPJPerCycle float64
+	// LeakageWAtVNom is static power per cluster at nominal voltage.
+	LeakageWAtVNom float64
+	// VNom is the voltage at which the PJ constants were characterized.
+	VNom float64
+	// LeakageExp is the exponent of leakage's voltage dependence:
+	// P_static = LeakageWAtVNom * (V/VNom)^LeakageExp.
+	LeakageExp float64
+}
+
+// Default returns the model calibrated for the Titan-X-class GPU used in
+// the paper's evaluation.
+func Default() Model {
+	// Per-op energies are for a full 32-lane warp instruction (≈ tens of
+	// pJ per lane), sized so a busy cluster draws 4-6 W dynamic against
+	// 2 W leakage — in line with a ~250 W-class 24-cluster GPU.
+	m := Model{
+		L1AccessPJ:      80,
+		L2AccessPJ:      240,
+		DRAMLinePJ:      8000,
+		ClockPJPerCycle: 840,
+		LeakageWAtVNom:  2.0,
+		VNom:            1.155,
+		LeakageExp:      3.0,
+	}
+	m.EnergyPerOpPJ[isa.OpIAlu] = 720
+	m.EnergyPerOpPJ[isa.OpFAlu] = 1280
+	m.EnergyPerOpPJ[isa.OpSFU] = 2560
+	m.EnergyPerOpPJ[isa.OpLoadGlobal] = 960
+	m.EnergyPerOpPJ[isa.OpStoreGlobal] = 960
+	m.EnergyPerOpPJ[isa.OpLoadShared] = 560
+	m.EnergyPerOpPJ[isa.OpBranch] = 360
+	return m
+}
+
+// Validate checks that every calibration constant is physically sensible
+// (strictly positive where required).
+func (m Model) Validate() error {
+	for op, e := range m.EnergyPerOpPJ {
+		if e < 0 {
+			return fmt.Errorf("power: negative energy for op %v", isa.Op(op))
+		}
+	}
+	if m.VNom <= 0 {
+		return fmt.Errorf("power: VNom must be positive, got %g", m.VNom)
+	}
+	if m.LeakageWAtVNom < 0 || m.L1AccessPJ < 0 || m.L2AccessPJ < 0 ||
+		m.DRAMLinePJ < 0 || m.ClockPJPerCycle < 0 {
+		return fmt.Errorf("power: calibration constants must be non-negative")
+	}
+	if m.LeakageExp <= 0 {
+		return fmt.Errorf("power: LeakageExp must be positive, got %g", m.LeakageExp)
+	}
+	return nil
+}
+
+// vScale returns the dynamic-energy voltage scaling factor (V/VNom)².
+func (m Model) vScale(v float64) float64 {
+	r := v / m.VNom
+	return r * r
+}
+
+// DynamicEnergyPJ returns the dynamic energy in picojoules consumed by the
+// given activity at operating point op.
+func (m Model) DynamicEnergyPJ(act Activity, op clockdomain.OperatingPoint) float64 {
+	var pj float64
+	for i, n := range act.OpCounts {
+		pj += float64(n) * m.EnergyPerOpPJ[i]
+	}
+	pj += float64(act.L1Accesses) * m.L1AccessPJ
+	pj += float64(act.L2Accesses) * m.L2AccessPJ
+	pj += float64(act.DRAMLines) * m.DRAMLinePJ
+	pj += float64(act.Cycles) * m.ClockPJPerCycle
+	return pj * m.vScale(op.VoltageV)
+}
+
+// StaticPowerW returns leakage power in watts per cluster at the given
+// operating point.
+func (m Model) StaticPowerW(op clockdomain.OperatingPoint) float64 {
+	return m.LeakageWAtVNom * math.Pow(op.VoltageV/m.VNom, m.LeakageExp)
+}
+
+// EpochEnergyPJ returns total (dynamic + static) energy in picojoules for
+// an epoch of the given duration at operating point op.
+func (m Model) EpochEnergyPJ(act Activity, op clockdomain.OperatingPoint, durationPs int64) float64 {
+	dyn := m.DynamicEnergyPJ(act, op)
+	// watts × picoseconds = picojoules.
+	static := m.StaticPowerW(op) * float64(durationPs)
+	return dyn + static
+}
+
+// EpochPowerW returns the average (dynamic, static) power in watts over an
+// epoch of the given duration.
+func (m Model) EpochPowerW(act Activity, op clockdomain.OperatingPoint, durationPs int64) (dynW, staticW float64) {
+	if durationPs <= 0 {
+		return 0, m.StaticPowerW(op)
+	}
+	// picojoules / picoseconds = watts.
+	dynW = m.DynamicEnergyPJ(act, op) / float64(durationPs)
+	return dynW, m.StaticPowerW(op)
+}
+
+// EDP returns the energy-delay product for a run consuming totalEnergyPJ
+// over totalTimePs, in joule-seconds.
+func EDP(totalEnergyPJ float64, totalTimePs int64) float64 {
+	return totalEnergyPJ * 1e-12 * float64(totalTimePs) * 1e-12
+}

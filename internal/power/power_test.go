@@ -1,0 +1,156 @@
+package power
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/isa"
+)
+
+// sampleActivity is a busy compute cluster's 10 µs epoch at 1165 MHz:
+// 11650 cycles with close to dual issue.
+func sampleActivity() Activity {
+	var a Activity
+	a.OpCounts[isa.OpIAlu] = 6000
+	a.OpCounts[isa.OpFAlu] = 12000
+	a.OpCounts[isa.OpLoadGlobal] = 1500
+	a.Cycles = 11650
+	a.L1Accesses = 1800
+	a.L2Accesses = 200
+	a.DRAMLines = 60
+	return a
+}
+
+func TestDefaultModelValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	for name, mut := range map[string]func(*Model){
+		"negative op energy": func(m *Model) { m.EnergyPerOpPJ[0] = -1 },
+		"zero vnom":          func(m *Model) { m.VNom = 0 },
+		"negative leakage":   func(m *Model) { m.LeakageWAtVNom = -1 },
+		"zero leakage exp":   func(m *Model) { m.LeakageExp = 0 },
+		"negative dram":      func(m *Model) { m.DRAMLinePJ = -5 },
+	} {
+		t.Run(name, func(t *testing.T) {
+			m := Default()
+			mut(&m)
+			if err := m.Validate(); err == nil {
+				t.Fatal("expected validation error")
+			}
+		})
+	}
+}
+
+func TestDynamicEnergyScalesWithVSquared(t *testing.T) {
+	m := Default()
+	act := sampleActivity()
+	hi := clockdomain.OperatingPoint{VoltageV: 1.155, FrequencyHz: 1165e6}
+	lo := clockdomain.OperatingPoint{VoltageV: 1.0, FrequencyHz: 683e6}
+	eHi := m.DynamicEnergyPJ(act, hi)
+	eLo := m.DynamicEnergyPJ(act, lo)
+	wantRatio := (1.0 / 1.155) * (1.0 / 1.155)
+	gotRatio := eLo / eHi
+	if diff := gotRatio - wantRatio; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("V² scaling ratio = %g, want %g", gotRatio, wantRatio)
+	}
+}
+
+func TestStaticPowerMonotoneInVoltage(t *testing.T) {
+	m := Default()
+	tbl := clockdomain.TitanX()
+	prev := -1.0
+	for i := 0; i < tbl.Len(); i++ {
+		p := m.StaticPowerW(tbl.Point(i))
+		if p < prev {
+			t.Fatalf("static power decreased with level: %g after %g", p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestEpochEnergyCombinesDynAndStatic(t *testing.T) {
+	m := Default()
+	act := sampleActivity()
+	op := clockdomain.TitanX().Point(5)
+	durPs := int64(10_000_000)
+	dyn := m.DynamicEnergyPJ(act, op)
+	static := m.StaticPowerW(op) * float64(durPs)
+	total := m.EpochEnergyPJ(act, op, durPs)
+	if diff := total - (dyn + static); diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("EpochEnergyPJ = %g, want %g", total, dyn+static)
+	}
+}
+
+func TestEpochPowerWConsistency(t *testing.T) {
+	m := Default()
+	act := sampleActivity()
+	op := clockdomain.TitanX().Point(3)
+	durPs := int64(10_000_000)
+	dynW, statW := m.EpochPowerW(act, op, durPs)
+	// Power × time must equal energy.
+	wantE := m.EpochEnergyPJ(act, op, durPs)
+	gotE := (dynW + statW) * float64(durPs)
+	if rel := (gotE - wantE) / wantE; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("power×time = %g pJ, want %g pJ", gotE, wantE)
+	}
+}
+
+func TestEpochPowerZeroDuration(t *testing.T) {
+	m := Default()
+	dynW, statW := m.EpochPowerW(sampleActivity(), clockdomain.TitanX().Point(0), 0)
+	if dynW != 0 {
+		t.Fatalf("dyn power at zero duration = %g, want 0", dynW)
+	}
+	if statW <= 0 {
+		t.Fatalf("static power = %g, want > 0", statW)
+	}
+}
+
+func TestEDPUnits(t *testing.T) {
+	// 1 J over 1 s → EDP 1 J·s.
+	if got := EDP(1e12, 1e12); got != 1.0 {
+		t.Fatalf("EDP(1e12 pJ, 1e12 ps) = %g, want 1", got)
+	}
+}
+
+func TestEnergyNonNegativeProperty(t *testing.T) {
+	m := Default()
+	tbl := clockdomain.TitanX()
+	f := func(ialu, falu, ldg uint16, cycles uint32, level uint8) bool {
+		var a Activity
+		a.OpCounts[isa.OpIAlu] = int64(ialu)
+		a.OpCounts[isa.OpFAlu] = int64(falu)
+		a.OpCounts[isa.OpLoadGlobal] = int64(ldg)
+		a.Cycles = int64(cycles)
+		op := tbl.Point(int(level) % tbl.Len())
+		return m.EpochEnergyPJ(a, op, 10_000_000) >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRacingToIdleTradeoff documents the physics that makes DVFS
+// worthwhile here: for a fixed amount of work, lower V/f reduces dynamic
+// energy, but leakage accrues over the longer runtime.
+func TestRacingToIdleTradeoff(t *testing.T) {
+	m := Default()
+	tbl := clockdomain.TitanX()
+	hi := tbl.Point(tbl.Default())
+	lo := tbl.Point(0)
+	act := sampleActivity()
+	// Same work at low V/f: same event counts, longer duration.
+	durHi := int64(10_000_000)
+	durLo := int64(float64(durHi) * hi.FrequencyHz / lo.FrequencyHz)
+	eHi := m.EpochEnergyPJ(act, hi, durHi)
+	eLo := m.EpochEnergyPJ(act, lo, durLo)
+	if eLo >= eHi {
+		t.Fatalf("compute-bound work at min V/f should save energy: %g >= %g", eLo, eHi)
+	}
+}

@@ -1,0 +1,105 @@
+// Package quant implements post-training weight quantization for the
+// SSMDVFS module — an extension beyond the paper, whose ASIC is FP32
+// (Section V-D). Quantization is simulated with fake-quant: weights are
+// rounded to a symmetric b-bit integer grid per layer and dequantized,
+// so the Go inference path measures exactly the accuracy a fixed-point
+// engine would see, while the asic package can cost integer MACs.
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/datagen"
+	"ssmdvfs/internal/nn"
+)
+
+// QuantizeMLP rounds every layer's weights and biases to a symmetric
+// signed b-bit grid scaled by that layer's max |w|, in place on a clone.
+// Pruning masks survive (zeros quantize to zero).
+func QuantizeMLP(m *nn.MLP, bits int) (*nn.MLP, error) {
+	if bits < 2 || bits > 31 {
+		return nil, fmt.Errorf("quant: bits must be in [2,31], got %d", bits)
+	}
+	q := m.Clone()
+	levels := float64(int64(1)<<(bits-1)) - 1
+	for _, l := range q.Layers {
+		maxAbs := 0.0
+		for _, w := range l.W {
+			if a := math.Abs(w); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for _, b := range l.B {
+			if a := math.Abs(b); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		if maxAbs == 0 {
+			continue
+		}
+		scale := maxAbs / levels
+		for i, w := range l.W {
+			l.W[i] = math.Round(w/scale) * scale
+		}
+		for i, b := range l.B {
+			l.B[i] = math.Round(b/scale) * scale
+		}
+		l.ApplyMask()
+	}
+	return q, nil
+}
+
+// QuantizeModel quantizes both heads of a combined model.
+func QuantizeModel(m *core.Model, bits int) (*core.Model, error) {
+	q := m.Clone()
+	var err error
+	if q.Decision, err = QuantizeMLP(m.Decision, bits); err != nil {
+		return nil, err
+	}
+	if q.Calibrator, err = QuantizeMLP(m.Calibrator, bits); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Point is one bit-width on the quantization curve.
+type Point struct {
+	Bits     int
+	Accuracy float64
+	MAPE     float64
+}
+
+// Sweep quantizes the model at each bit width and evaluates it on the
+// dataset, producing the accuracy/MAPE-vs-bits curve.
+func Sweep(m *core.Model, ds *datagen.Dataset, bitWidths []int) ([]Point, error) {
+	if len(bitWidths) == 0 {
+		return nil, fmt.Errorf("quant: no bit widths")
+	}
+	var out []Point
+	for _, bits := range bitWidths {
+		q, err := QuantizeModel(m, bits)
+		if err != nil {
+			return nil, err
+		}
+		rep := core.Evaluate(q, ds)
+		out = append(out, Point{Bits: bits, Accuracy: rep.Accuracy, MAPE: rep.MAPE})
+	}
+	return out, nil
+}
+
+// HardwareScale returns rough area and energy multipliers for a b-bit
+// integer MAC relative to the FP32 MAC the asic package is calibrated
+// for: multiplier area/energy grow roughly quadratically with operand
+// width, and an INT16 MAC is commonly ~5× smaller than FP32.
+func HardwareScale(bits int) (areaFactor, energyFactor float64, err error) {
+	if bits < 2 || bits > 32 {
+		return 0, 0, fmt.Errorf("quant: bits must be in [2,32], got %d", bits)
+	}
+	r := float64(bits) / 32.0
+	// FP32 carries exponent-alignment overhead an integer MAC avoids;
+	// fold that into a 0.65 integer discount at equal width.
+	factor := 0.65 * r * r
+	return factor, factor, nil
+}

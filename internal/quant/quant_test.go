@@ -1,0 +1,136 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"ssmdvfs/internal/nn"
+)
+
+func newNet(t *testing.T, seed int64) *nn.MLP {
+	t.Helper()
+	m, err := nn.NewMLP([]int{6, 12, 6}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestQuantizeMLPGridProperty(t *testing.T) {
+	m := newNet(t, 1)
+	q, err := QuantizeMLP(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every quantized weight must be an integer multiple of its layer's
+	// scale, and the grid must have at most 2^7-1 positive levels.
+	for li, l := range q.Layers {
+		maxAbs := 0.0
+		for _, w := range m.Layers[li].W {
+			if a := math.Abs(w); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		for _, b := range m.Layers[li].B {
+			if a := math.Abs(b); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := maxAbs / 127
+		for i, w := range l.W {
+			steps := w / scale
+			if math.Abs(steps-math.Round(steps)) > 1e-9 {
+				t.Fatalf("layer %d weight %d = %g is not on the grid (scale %g)", li, i, w, scale)
+			}
+		}
+	}
+}
+
+func TestQuantizeErrorShrinksWithBits(t *testing.T) {
+	m := newNet(t, 2)
+	prev := math.Inf(1)
+	for _, bits := range []int{4, 8, 12, 16} {
+		q, err := QuantizeMLP(m, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var maxErr float64
+		for li := range m.Layers {
+			for i := range m.Layers[li].W {
+				if e := math.Abs(m.Layers[li].W[i] - q.Layers[li].W[i]); e > maxErr {
+					maxErr = e
+				}
+			}
+		}
+		if maxErr > prev+1e-12 {
+			t.Fatalf("%d bits has larger error (%g) than fewer bits (%g)", bits, maxErr, prev)
+		}
+		prev = maxErr
+	}
+}
+
+func TestQuantize16BitNearLossless(t *testing.T) {
+	m := newNet(t, 3)
+	q, err := QuantizeMLP(m, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.5, 0.9, 0.2, -0.3, 0.7}
+	a, b := m.Forward(x), q.Forward(x)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-3*(1+math.Abs(a[i])) {
+			t.Fatalf("16-bit output diverges: %g vs %g", a[i], b[i])
+		}
+	}
+}
+
+func TestQuantizePreservesMask(t *testing.T) {
+	m := newNet(t, 4)
+	mask := make([]float64, len(m.Layers[0].W))
+	for i := range mask {
+		mask[i] = float64(i % 2)
+	}
+	if err := m.Layers[0].SetMask(mask); err != nil {
+		t.Fatal(err)
+	}
+	q, err := QuantizeMLP(m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, mv := range mask {
+		if mv == 0 && q.Layers[0].W[i] != 0 {
+			t.Fatalf("masked weight %d became %g after quantization", i, q.Layers[0].W[i])
+		}
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	m := newNet(t, 5)
+	if _, err := QuantizeMLP(m, 1); err == nil {
+		t.Fatal("1 bit accepted")
+	}
+	if _, err := QuantizeMLP(m, 40); err == nil {
+		t.Fatal("40 bits accepted")
+	}
+}
+
+func TestHardwareScale(t *testing.T) {
+	a16, e16, err := HardwareScale(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a16 >= 1 || e16 >= 1 {
+		t.Fatalf("INT16 not cheaper than FP32: area %g energy %g", a16, e16)
+	}
+	a8, _, err := HardwareScale(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a8 >= a16 {
+		t.Fatalf("INT8 (%g) not cheaper than INT16 (%g)", a8, a16)
+	}
+	if _, _, err := HardwareScale(0); err == nil {
+		t.Fatal("0 bits accepted")
+	}
+}

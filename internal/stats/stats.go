@@ -1,0 +1,124 @@
+// Package stats provides the small statistical utilities the experiment
+// harness reports with: means, geometric means, MAPE, and confusion
+// matrices.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// GeoMean returns the geometric mean of strictly positive values. It
+// returns an error if any value is non-positive.
+func GeoMean(v []float64) (float64, error) {
+	if len(v) == 0 {
+		return 0, fmt.Errorf("stats: geomean of empty slice")
+	}
+	var logSum float64
+	for i, x := range v {
+		if x <= 0 {
+			return 0, fmt.Errorf("stats: geomean requires positive values, got %g at %d", x, i)
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(v))), nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	m := Mean(v)
+	var s float64
+	for _, x := range v {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(v)))
+}
+
+// MinMax returns the extrema of a non-empty slice.
+func MinMax(v []float64) (lo, hi float64, err error) {
+	if len(v) == 0 {
+		return 0, 0, fmt.Errorf("stats: minmax of empty slice")
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Confusion is a square classification confusion matrix; rows are true
+// labels, columns predictions.
+type Confusion struct {
+	N     int
+	Cells []int
+}
+
+// NewConfusion creates an n-class confusion matrix.
+func NewConfusion(n int) *Confusion {
+	return &Confusion{N: n, Cells: make([]int, n*n)}
+}
+
+// Add records one (true, predicted) observation.
+func (c *Confusion) Add(truth, pred int) {
+	c.Cells[truth*c.N+pred]++
+}
+
+// At returns the count at (truth, pred).
+func (c *Confusion) At(truth, pred int) int { return c.Cells[truth*c.N+pred] }
+
+// Accuracy returns the trace fraction.
+func (c *Confusion) Accuracy() float64 {
+	total, hit := 0, 0
+	for t := 0; t < c.N; t++ {
+		for p := 0; p < c.N; p++ {
+			total += c.At(t, p)
+			if t == p {
+				hit += c.At(t, p)
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}
+
+// WithinOne returns the fraction of observations predicted within ±1
+// class of the truth — a natural tolerance for ordered DVFS levels.
+func (c *Confusion) WithinOne() float64 {
+	total, hit := 0, 0
+	for t := 0; t < c.N; t++ {
+		for p := 0; p < c.N; p++ {
+			n := c.At(t, p)
+			total += n
+			if p >= t-1 && p <= t+1 {
+				hit += n
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hit) / float64(total)
+}

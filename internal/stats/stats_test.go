@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %g, want 0", got)
+	}
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %g, want 2.5", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if _, err := GeoMean(nil); err == nil {
+		t.Fatal("GeoMean(nil) must error")
+	}
+	if _, err := GeoMean([]float64{1, 0, 2}); err == nil {
+		t.Fatal("GeoMean with zero must error")
+	}
+	g, err := GeoMean([]float64{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-4) > 1e-12 {
+		t.Fatalf("GeoMean(2,8) = %g, want 4", g)
+	}
+}
+
+func TestGeoMeanLeqMeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		for i, r := range raw {
+			v[i] = float64(r)/1000 + 0.001
+		}
+		g, err := GeoMean(v)
+		if err != nil {
+			return false
+		}
+		return g <= Mean(v)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(4))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{5, 5, 5}); got != 0 {
+		t.Fatalf("StdDev of constant = %g, want 0", got)
+	}
+	got := StdDev([]float64{1, 3})
+	if math.Abs(got-1) > 1e-12 {
+		t.Fatalf("StdDev(1,3) = %g, want 1", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if _, _, err := MinMax(nil); err == nil {
+		t.Fatal("MinMax(nil) must error")
+	}
+	lo, hi, err := MinMax([]float64{3, -1, 7, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Fatalf("MinMax = (%g,%g), want (-1,7)", lo, hi)
+	}
+}
+
+func TestConfusion(t *testing.T) {
+	c := NewConfusion(3)
+	c.Add(0, 0)
+	c.Add(1, 1)
+	c.Add(2, 2)
+	c.Add(2, 1) // off by one
+	c.Add(0, 2) // off by two
+	if got := c.At(2, 1); got != 1 {
+		t.Fatalf("At(2,1) = %d, want 1", got)
+	}
+	if got, want := c.Accuracy(), 3.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Accuracy = %g, want %g", got, want)
+	}
+	if got, want := c.WithinOne(), 4.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("WithinOne = %g, want %g", got, want)
+	}
+}
+
+func TestConfusionEmpty(t *testing.T) {
+	c := NewConfusion(4)
+	if c.Accuracy() != 0 || c.WithinOne() != 0 {
+		t.Fatal("empty confusion must report 0")
+	}
+}

@@ -1,0 +1,41 @@
+package viz_test
+
+import (
+	"fmt"
+	"os"
+
+	"ssmdvfs/internal/viz"
+)
+
+func ExampleSparkline() {
+	ipc := []float64{0.3, 0.5, 1.2, 1.9, 2.0, 1.1, 0.4, 0.3}
+	fmt.Println(viz.Sparkline(ipc))
+	// Output: ▁▁▄▇█▄▁▁
+}
+
+func ExampleLevelTimeline() {
+	levels := []int{5, 5, 2, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3, 5}
+	fmt.Println(viz.LevelTimeline(levels, 6))
+	// Output: 552 0x10 35
+}
+
+func ExampleHistogram() {
+	labels := []string{"683MHz", "1165MHz"}
+	_ = viz.Histogram(os.Stdout, "epochs per level", labels, []int{12, 4}, 12)
+	// Output:
+	// epochs per level
+	//   683MHz  ████████████ 12.000
+	//   1165MHz ████         4.000
+}
+
+func ExampleBarChart() {
+	bars := []viz.Bar{
+		{Label: "baseline", Value: 1.0},
+		{Label: "ssmdvfs", Value: 0.82},
+	}
+	_ = viz.BarChart(os.Stdout, "normalized EDP", bars, 20, 1.0)
+	// Output:
+	// normalized EDP
+	//   baseline ████████████████████ 1.000
+	//   ssmdvfs  ████████████████   | 0.820
+}

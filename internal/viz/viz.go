@@ -1,0 +1,149 @@
+// Package viz renders small terminal visualizations — horizontal bar
+// charts, sparklines, and level timelines — used by the CLI and the
+// examples to show Fig. 4-style comparisons and per-epoch traces without
+// leaving the terminal.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters, with the
+// value printed after each bar. A reference line (e.g. baseline = 1.0)
+// can be marked with refValue > 0: a '|' is drawn at its position.
+func BarChart(w io.Writer, title string, bars []Bar, width int, refValue float64) error {
+	if width <= 0 {
+		width = 40
+	}
+	if len(bars) == 0 {
+		return fmt.Errorf("viz: no bars")
+	}
+	maxVal := refValue
+	maxLabel := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if maxVal <= 0 {
+		return fmt.Errorf("viz: all values non-positive")
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	refCol := -1
+	if refValue > 0 {
+		refCol = int(refValue / maxVal * float64(width))
+		if refCol >= width {
+			refCol = width - 1
+		}
+	}
+	for _, b := range bars {
+		n := int(b.Value / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		row := []rune(strings.Repeat("█", n) + strings.Repeat(" ", width-n))
+		if refCol >= 0 && refCol < len(row) && row[refCol] == ' ' {
+			row[refCol] = '|'
+		}
+		fmt.Fprintf(w, "  %-*s %s %.3f\n", maxLabel, b.Label, string(row), b.Value)
+	}
+	return nil
+}
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line unicode sparkline, scaled
+// between the series min and max (flat series render as mid-height).
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values[1:] {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := len(sparkRunes) / 2
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// LevelTimeline renders a sequence of small non-negative integers (DVFS
+// levels) as digits, compressing runs longer than runLimit into
+// "<digit>x<count>" tokens. Levels above 9 print as '+'.
+func LevelTimeline(levels []int, runLimit int) string {
+	if runLimit <= 0 {
+		runLimit = 8
+	}
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	i := 0
+	for i < len(levels) {
+		j := i
+		for j < len(levels) && levels[j] == levels[i] {
+			j++
+		}
+		run := j - i
+		ch := byte('+')
+		if levels[i] >= 0 && levels[i] <= 9 {
+			ch = byte('0' + levels[i])
+		}
+		if run > runLimit {
+			// Compressed runs are standalone tokens so "55" followed by
+			// "0x10" cannot read as "550x10".
+			flush()
+			tokens = append(tokens, fmt.Sprintf("%cx%d", ch, run))
+		} else {
+			for k := 0; k < run; k++ {
+				cur.WriteByte(ch)
+			}
+		}
+		i = j
+	}
+	flush()
+	return strings.Join(tokens, " ")
+}
+
+// Histogram renders counts per bucket as a vertical profile with labels.
+func Histogram(w io.Writer, title string, labels []string, counts []int, width int) error {
+	if len(labels) != len(counts) {
+		return fmt.Errorf("viz: %d labels for %d counts", len(labels), len(counts))
+	}
+	bars := make([]Bar, len(labels))
+	for i := range labels {
+		bars[i] = Bar{Label: labels[i], Value: float64(counts[i])}
+	}
+	return BarChart(w, title, bars, width, 0)
+}

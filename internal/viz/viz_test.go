@@ -1,0 +1,83 @@
+package viz
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBarChart(t *testing.T) {
+	var buf bytes.Buffer
+	err := BarChart(&buf, "title", []Bar{
+		{Label: "baseline", Value: 1.0},
+		{Label: "ssmdvfs", Value: 0.88},
+	}, 20, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "title") || !strings.Contains(out, "baseline") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "0.880") {
+		t.Fatalf("missing value:\n%s", out)
+	}
+	// The shorter bar must contain the reference marker.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "ssmdvfs") && !strings.Contains(line, "|") {
+			t.Fatalf("reference marker missing on shorter bar:\n%s", out)
+		}
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := BarChart(&buf, "", nil, 20, 0); err == nil {
+		t.Fatal("empty bars accepted")
+	}
+	if err := BarChart(&buf, "", []Bar{{Label: "x", Value: 0}}, 20, 0); err == nil {
+		t.Fatal("all-zero values accepted")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Fatalf("empty sparkline = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Fatalf("sparkline has %d runes, want 4", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Fatalf("extremes wrong: %q", s)
+	}
+	// Flat series must not panic and renders mid-height.
+	flat := Sparkline([]float64{5, 5, 5})
+	if len([]rune(flat)) != 3 {
+		t.Fatalf("flat sparkline = %q", flat)
+	}
+}
+
+func TestLevelTimeline(t *testing.T) {
+	if got := LevelTimeline([]int{5, 5, 5, 0, 1}, 8); got != "55501" {
+		t.Fatalf("timeline = %q", got)
+	}
+	got := LevelTimeline([]int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2, 3}, 4)
+	if !strings.Contains(got, "2x10") || !strings.Contains(got, "3") {
+		t.Fatalf("run compression wrong: %q", got)
+	}
+	if got := LevelTimeline([]int{12}, 8); got != "+" {
+		t.Fatalf("overflow level = %q, want +", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Histogram(&buf, "h", []string{"a", "b"}, []int{3, 1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := Histogram(&buf, "h", []string{"a"}, []int{1, 2}, 10); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+}
