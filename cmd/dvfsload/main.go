@@ -1,0 +1,203 @@
+// Command dvfsload is the load generator for ssmdvfsd: it replays
+// per-epoch feature vectors — from a dvfstrace capture or a synthetic
+// counter distribution — against a daemon's binary protocol at
+// configurable concurrency and rate, then reports throughput, latency
+// percentiles, and the distribution of operating-level decisions.
+//
+// Usage:
+//
+//	dvfsload -addr localhost:8091 [-conns 8] [-batch 24] [-duration 10s]
+//	         [-qps 0] [-preset 0.10] [-trace trace.csv] [-seed 1]
+//
+// With -trace the feature stream is a cycled replay of the trace file
+// (CSV or JSON from cmd/dvfstrace); without it, synthetic epochs are
+// drawn from the memory-boundedness family used across the project's
+// tests. -qps caps total decisions/second (0 = unlimited: measure peak
+// throughput).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:8091", "daemon binary-protocol address")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		batch    = flag.Int("batch", 24, "decisions per request frame (1 = per-epoch latency mode)")
+		duration = flag.Duration("duration", 10*time.Second, "load duration")
+		qps      = flag.Float64("qps", 0, "target total decisions/second (0 = unlimited)")
+		preset   = flag.Float64("preset", 0.10, "performance-loss preset sent with every row")
+		trace    = flag.String("trace", "", "replay this dvfstrace file (CSV or JSON) instead of synthetic epochs")
+		rows     = flag.Int("rows", 4096, "synthetic feature rows to generate (without -trace)")
+		seed     = flag.Int64("seed", 1, "synthetic feature seed")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsload:", err)
+		os.Exit(1)
+	}
+}
+
+// syntheticRows draws feature vectors from the memory-boundedness family:
+// a single parameter m ∈ [0,1] moves an epoch from compute-bound (high
+// IPC and power, no stalls) to memory-bound (stalls and cache misses),
+// covering the decision space end to end.
+func syntheticRows(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		m := rng.Float64()
+		feats := make([]float64, counters.Num)
+		feats[counters.IdxIPC] = 2.0*(1-m) + rng.NormFloat64()*0.02
+		feats[counters.IdxPPC] = 3 + 4*(1-m) + rng.NormFloat64()*0.05
+		feats[counters.IdxMH] = 60000*m + rng.NormFloat64()*500
+		feats[counters.IdxMHNL] = 5000*m + rng.NormFloat64()*100
+		feats[counters.IdxL1CRM] = 2000*m + rng.NormFloat64()*50
+		out[i] = feats
+	}
+	return out
+}
+
+type workerStats struct {
+	latencies []time.Duration // one per batch
+	decisions int64
+	levels    [64]int64
+	err       error
+}
+
+func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64) error {
+	if conns <= 0 || batch <= 0 || batch > serve.MaxBatch {
+		return fmt.Errorf("need conns > 0 and batch in [1,%d]", serve.MaxBatch)
+	}
+
+	var feed func(i int) []float64
+	var source string
+	if tracePath != "" {
+		stream, err := epochtrace.OpenFeatureStream(tracePath)
+		if err != nil {
+			return err
+		}
+		feed = stream.Row
+		source = fmt.Sprintf("trace %s (%d epochs)", tracePath, stream.Len())
+	} else {
+		synth := syntheticRows(rows, seed)
+		feed = func(i int) []float64 { return synth[i%len(synth)] }
+		source = fmt.Sprintf("synthetic (%d rows, seed %d)", rows, seed)
+	}
+
+	// Pace per connection so the target total decision rate is honoured.
+	var interval time.Duration
+	if qps > 0 {
+		interval = time.Duration(float64(batch*conns) / qps * float64(time.Second))
+	}
+
+	fmt.Printf("dvfsload: %s → %s\n", source, addr)
+	fmt.Printf("dvfsload: %d conns × batch %d for %s (preset %.0f%%, qps %s)\n",
+		conns, batch, duration, preset*100,
+		map[bool]string{true: fmt.Sprintf("%.0f", qps), false: "unlimited"}[qps > 0])
+
+	stats := make([]workerStats, conns)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			st := &stats[c]
+			cl, err := serve.Dial(addr)
+			if err != nil {
+				st.err = err
+				return
+			}
+			defer cl.Close()
+			reqs := make([]serve.Request, batch)
+			next := c // offset workers into the feed so replays interleave
+			var tick *time.Ticker
+			if interval > 0 {
+				tick = time.NewTicker(interval)
+				defer tick.Stop()
+			}
+			for time.Now().Before(deadline) {
+				for i := range reqs {
+					reqs[i] = serve.Request{Preset: preset, Features: feed(next)}
+					next += conns
+				}
+				t0 := time.Now()
+				decs, err := cl.Decide(reqs)
+				if err != nil {
+					st.err = err
+					return
+				}
+				st.latencies = append(st.latencies, time.Since(t0))
+				st.decisions += int64(len(decs))
+				for _, d := range decs {
+					if d.Level >= 0 && d.Level < len(st.levels) {
+						st.levels[d.Level]++
+					}
+				}
+				if tick != nil {
+					<-tick.C
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Merge.
+	var all []time.Duration
+	var decisions, batches int64
+	var levels [64]int64
+	for c := range stats {
+		if stats[c].err != nil {
+			return fmt.Errorf("conn %d: %w", c, stats[c].err)
+		}
+		all = append(all, stats[c].latencies...)
+		decisions += stats[c].decisions
+		batches += int64(len(stats[c].latencies))
+		for l, n := range stats[c].levels {
+			levels[l] += n
+		}
+	}
+	if decisions == 0 {
+		return fmt.Errorf("no decisions completed")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(q float64) time.Duration { return all[int(q*float64(len(all)-1))] }
+
+	fmt.Printf("\ndecisions     %12d  (%d batches)\n", decisions, batches)
+	fmt.Printf("elapsed       %12s\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput    %12.0f  decisions/s\n", float64(decisions)/elapsed.Seconds())
+	fmt.Printf("batch latency %12s  p50\n", pct(0.50).Round(time.Microsecond))
+	fmt.Printf("              %12s  p95\n", pct(0.95).Round(time.Microsecond))
+	fmt.Printf("              %12s  p99\n", pct(0.99).Round(time.Microsecond))
+	fmt.Printf("              %12s  max\n", all[len(all)-1].Round(time.Microsecond))
+
+	fmt.Printf("\ndecision distribution:\n")
+	maxLevel := 0
+	for l, n := range levels {
+		if n > 0 {
+			maxLevel = l
+		}
+	}
+	for l := 0; l <= maxLevel; l++ {
+		frac := float64(levels[l]) / float64(decisions)
+		bar := strings.Repeat("#", int(frac*40+0.5))
+		fmt.Printf("  level %d %8.1f%%  %s\n", l, frac*100, bar)
+	}
+	return nil
+}

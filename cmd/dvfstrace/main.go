@@ -20,6 +20,7 @@ import (
 	"strconv"
 	"strings"
 
+	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/baselines"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/epochtrace"
@@ -82,20 +83,11 @@ func run(kernelName, mech string, preset float64, cache string, quick bool, out 
 	}
 
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
+		write := trace.WriteCSV
 		if asJSON {
-			err = trace.WriteJSON(f)
-		} else {
-			err = trace.WriteCSV(f)
+			write = trace.WriteJSON
 		}
-		if err != nil {
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := atomicfile.Write(out, write); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(trace.Records), out)

@@ -1,0 +1,131 @@
+// Command ssmdvfsd is the SSMDVFS decision daemon: it loads a trained
+// Decision-maker + Calibrator model (the plain or compressed artifact,
+// optionally fake-quantized) and serves per-epoch DVFS decisions over
+// two transports — JSON on HTTP for debuggability and a length-prefixed
+// binary protocol on TCP for throughput. The model hot-swaps with zero
+// downtime on SIGHUP or POST /reload.
+//
+// Usage:
+//
+//	ssmdvfsd -model ssmdvfs-cache/compressed.json [-http :8090] [-tcp :8091]
+//	         [-quant 8] [-workers N]
+//
+// Endpoints:
+//
+//	POST /decide   one decision ({"features":[...47],"preset":0.1}) or a
+//	               batch ({"rows":[...]})
+//	GET  /metrics  request/decision counts, latency percentiles, per-level
+//	               decision distribution, reload and error counters
+//	POST /reload   swap in a new model ({"path":"..."}; path optional)
+//	GET  /model    served model info
+//	GET  /healthz  liveness
+//
+// Pair it with cmd/dvfsload to measure serving throughput and latency.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"ssmdvfs/internal/serve"
+)
+
+func main() {
+	var (
+		modelPath = flag.String("model", "", "model file (plain or compressed artifact; required)")
+		httpAddr  = flag.String("http", ":8090", "HTTP listen address (empty disables)")
+		tcpAddr   = flag.String("tcp", ":8091", "binary-protocol listen address (empty disables)")
+		quantBits = flag.Int("quant", 0, "fake-quantize the model to this bit width (0 = off)")
+		workers   = flag.Int("workers", 0, "max concurrent inference batches (0 = GOMAXPROCS)")
+		verbose   = flag.Bool("v", true, "log progress")
+	)
+	flag.Parse()
+
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *quantBits, *workers, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, logf func(string, ...any)) error {
+	if modelPath == "" {
+		return fmt.Errorf("-model is required")
+	}
+	if httpAddr == "" && tcpAddr == "" {
+		return fmt.Errorf("at least one of -http and -tcp is required")
+	}
+	m, err := serve.LoadModel(modelPath, quantBits)
+	if err != nil {
+		return err
+	}
+	logf("ssmdvfsd: loaded %s: %d levels, %d features, %d params, %d FLOPs (%d effective)",
+		modelPath, m.Levels, m.NumFeatures(), m.Params(), m.FLOPs(), m.EffectiveFLOPs())
+
+	srv, err := serve.NewServer(m, serve.Options{
+		ModelPath: modelPath,
+		QuantBits: quantBits,
+		Workers:   workers,
+		Logf:      logf,
+	})
+	if err != nil {
+		return err
+	}
+
+	errc := make(chan error, 2)
+	if tcpAddr != "" {
+		l, err := net.Listen("tcp", tcpAddr)
+		if err != nil {
+			return err
+		}
+		logf("ssmdvfsd: binary protocol on %s", l.Addr())
+		go func() { errc <- srv.ServeTCP(l) }()
+	}
+	var hs *http.Server
+	if httpAddr != "" {
+		hs = &http.Server{Addr: httpAddr, Handler: srv.Handler()}
+		hl, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		logf("ssmdvfsd: HTTP on %s", hl.Addr())
+		go func() { errc <- hs.Serve(hl) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGHUP, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case err := <-errc:
+			if err != nil && err != http.ErrServerClosed {
+				return err
+			}
+		case sig := <-sigc:
+			switch sig {
+			case syscall.SIGHUP:
+				if err := srv.Reload(""); err != nil {
+					logf("ssmdvfsd: reload failed (still serving previous model): %v", err)
+				}
+			default:
+				logf("ssmdvfsd: %s, shutting down", sig)
+				if hs != nil {
+					hs.Close()
+				}
+				srv.Close()
+				snap := srv.Metrics().Snapshot(srv.Model().Levels)
+				logf("ssmdvfsd: served %d decisions in %d batches, %d reloads, %d errors",
+					snap.Decisions, snap.Batches, snap.Reloads, snap.Errors)
+				return nil
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Serving walkthrough: build (or load) the SSMDVFS models, start the
+// decision daemon in-process on loopback, drive it with a short batched
+// load over the binary protocol, hot-swap the model mid-load with zero
+// failed requests, and print the serving metrics — the single-process
+// version of the two-terminal ssmdvfsd + dvfsload quickstart in the
+// README.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"time"
+
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/experiments"
+	"ssmdvfs/internal/serve"
+)
+
+func main() {
+	// 1. Models (cached in ssmdvfs-cache after the first run).
+	opts := experiments.QuickPipelineOptions()
+	opts.CacheDir = "ssmdvfs-cache"
+	opts.Logf = log.Printf
+	pipe, err := experiments.RunPipeline(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Daemon: serve the full model first, hot-swap to the compressed
+	// one mid-load. ModelPath points Reload at the compressed artifact.
+	srv, err := serve.NewServer(pipe.Model, serve.Options{
+		ModelPath: filepath.Join(opts.CacheDir, "compressed.json"),
+		Logf:      log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.ServeTCP(l)
+	defer srv.Close()
+	fmt.Printf("daemon: binary protocol on %s\n", l.Addr())
+
+	// 3. Load: one client, batches of 24 synthetic epochs.
+	cl, err := serve.Dial(l.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]serve.Request, 24)
+	const batches = 2000
+	start := time.Now()
+	for b := 0; b < batches; b++ {
+		for i := range rows {
+			m := rng.Float64()
+			feats := make([]float64, counters.Num)
+			feats[counters.IdxIPC] = 2.0 * (1 - m)
+			feats[counters.IdxPPC] = 3 + 4*(1-m)
+			feats[counters.IdxMH] = 60000 * m
+			feats[counters.IdxMHNL] = 5000 * m
+			feats[counters.IdxL1CRM] = 2000 * m
+			rows[i] = serve.Request{Preset: 0.10, Features: feats}
+		}
+		if _, err := cl.Decide(rows); err != nil {
+			log.Fatal(err)
+		}
+		if b == batches/2 {
+			if err := srv.Reload(""); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("hot-swapped to the compressed model mid-load")
+		}
+	}
+	elapsed := time.Since(start)
+
+	// 4. Metrics.
+	snap := srv.Metrics().Snapshot(srv.Model().Levels)
+	fmt.Printf("\nserved %d decisions in %s (%.0f decisions/s)\n",
+		snap.Decisions, elapsed.Round(time.Millisecond),
+		float64(snap.Decisions)/elapsed.Seconds())
+	fmt.Printf("batch latency p50/p95/p99: %.0f / %.0f / %.0f µs\n",
+		snap.LatencyP50Us, snap.LatencyP95Us, snap.LatencyP99Us)
+	fmt.Printf("reloads %d, errors %d\n", snap.Reloads, snap.Errors)
+	fmt.Println("decision distribution:")
+	for lvl, n := range snap.LevelCounts {
+		fmt.Printf("  level %d: %5.1f%%\n", lvl, 100*float64(n)/float64(snap.Decisions))
+	}
+}

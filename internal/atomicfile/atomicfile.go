@@ -1,0 +1,50 @@
+// Package atomicfile writes files atomically: content is staged in a
+// temporary file in the destination directory and moved into place with
+// os.Rename, so concurrent readers — in particular a hot-reloading
+// ssmdvfsd daemon watching a model file — can never observe a torn or
+// partially written artifact.
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Write stages the output of write in a temporary file next to path and
+// renames it over path once the content is fully flushed. On any error
+// the temporary file is removed and path is left untouched.
+func Write(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if tmp != "" {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err := write(f); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		tmp = ""
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp = ""
+	return nil
+}

@@ -1,0 +1,121 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "first")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "second")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second" {
+		t.Fatalf("content = %q, want %q", got, "second")
+	}
+}
+
+func TestWriteErrorLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.txt")
+	if err := Write(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "original")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantErr := fmt.Errorf("writer failed")
+	err := Write(path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage")
+		return wantErr
+	})
+	if err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "original" {
+		t.Fatalf("content = %q, want untouched original", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %q", e.Name())
+		}
+	}
+}
+
+// TestConcurrentWritersNeverTear hammers one path from several writers
+// while a reader polls: every read must observe one complete payload.
+func TestConcurrentWritersNeverTear(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	payload := func(i int) string {
+		return fmt.Sprintf("writer-%d:%s", i, strings.Repeat("x", 4096))
+	}
+	var wg sync.WaitGroup
+	const writers, rounds = 4, 25
+	for i := 0; i < writers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				if err := Write(path, func(w io.Writer) error {
+					_, err := io.WriteString(w, payload(i))
+					return err
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		got, err := os.ReadFile(path)
+		if os.IsNotExist(err) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok := false
+		for i := 0; i < writers; i++ {
+			if string(got) == payload(i) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatalf("observed torn file of %d bytes", len(got))
+		}
+	}
+}

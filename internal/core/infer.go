@@ -1,0 +1,84 @@
+package core
+
+import (
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/nn"
+)
+
+// Inference is a reusable inference context over a Model: it owns the
+// feature-selection, scaling, and activation scratch buffers so that
+// steady-state decisions allocate nothing — the serving hot path. The
+// underlying Model is only read, so any number of Inference contexts may
+// share one Model concurrently; the Inference itself belongs to a single
+// goroutine at a time (pool one per worker, e.g. with sync.Pool).
+type Inference struct {
+	m *Model
+
+	dRow, cRow []float64 // raw [features..., preset(, level)] rows
+	dStd, cStd []float64 // standardized copies
+	dScratch   nn.Scratch
+	cScratch   nn.Scratch
+}
+
+// NewInference builds an inference context bound to m.
+func NewInference(m *Model) *Inference {
+	inf := &Inference{}
+	inf.Bind(m)
+	return inf
+}
+
+// Model returns the currently bound model.
+func (inf *Inference) Model() *Model { return inf.m }
+
+// Bind points the context at a (possibly different) model, resizing the
+// scratch buffers if the feature set changed. Buffers are retained across
+// rebinds, so hot-swapping models keeps the path allocation-free.
+func (inf *Inference) Bind(m *Model) {
+	inf.m = m
+	nd, nc := m.NumFeatures()+1, m.NumFeatures()+2
+	if cap(inf.dRow) < nd {
+		inf.dRow = make([]float64, nd)
+		inf.dStd = make([]float64, nd)
+	}
+	if cap(inf.cRow) < nc {
+		inf.cRow = make([]float64, nc)
+		inf.cStd = make([]float64, nc)
+	}
+	inf.dRow, inf.dStd = inf.dRow[:nd], inf.dStd[:nd]
+	inf.cRow, inf.cStd = inf.cRow[:nc], inf.cStd[:nc]
+}
+
+// DecideLevel is Model.DecideLevel without allocations.
+func (inf *Inference) DecideLevel(fullFeatures []float64, preset float64) int {
+	m := inf.m
+	n := len(m.FeatureIdx)
+	counters.SelectInto(fullFeatures, m.FeatureIdx, inf.dRow)
+	inf.dRow[n] = preset
+	m.DecisionScaler.TransformInto(inf.dRow, inf.dStd)
+	logits := m.Decision.ForwardScratch(inf.dStd, &inf.dScratch)
+	return nn.Argmax(logits)
+}
+
+// PredictInstructions is Model.PredictInstructions without allocations.
+func (inf *Inference) PredictInstructions(fullFeatures []float64, preset float64, level int) float64 {
+	m := inf.m
+	n := len(m.FeatureIdx)
+	counters.SelectInto(fullFeatures, m.FeatureIdx, inf.cRow)
+	inf.cRow[n] = preset
+	inf.cRow[n+1] = float64(level)
+	m.CalibScaler.TransformInto(inf.cRow, inf.cStd)
+	out := m.Calibrator.ForwardScratch(inf.cStd, &inf.cScratch)
+	pred := out[0] * m.TargetScale
+	if pred < 0 {
+		return 0
+	}
+	return pred
+}
+
+// Decide runs one combined serving step: pick the next epoch's operating
+// level and predict its instruction count (the pair the ASIC engine
+// produces per 10 µs epoch).
+func (inf *Inference) Decide(fullFeatures []float64, preset float64) (level int, predInstr float64) {
+	level = inf.DecideLevel(fullFeatures, preset)
+	return level, inf.PredictInstructions(fullFeatures, preset, level)
+}

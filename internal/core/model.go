@@ -13,6 +13,7 @@ import (
 	"io"
 	"os"
 
+	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/nn"
 )
@@ -173,17 +174,10 @@ func Load(r io.Reader) (*Model, error) {
 	return m, nil
 }
 
-// SaveFile writes the model to path.
+// SaveFile writes the model to path atomically (temp file + rename), so
+// a hot-reloading reader can never observe a torn model file.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, m.Save)
 }
 
 // LoadFile reads a model from path.

@@ -276,10 +276,17 @@ func FitScaler(rows [][]float64) (*Scaler, error) {
 // Transform returns a standardized copy of row.
 func (s *Scaler) Transform(row []float64) []float64 {
 	out := make([]float64, len(row))
-	for j, x := range row {
-		out[j] = (x - s.Mean[j]) / s.Std[j]
-	}
+	s.TransformInto(row, out)
 	return out
+}
+
+// TransformInto standardizes row into dst (len(dst) must equal len(row)),
+// allocating nothing. The scaler itself is read-only and safe for
+// concurrent use.
+func (s *Scaler) TransformInto(row, dst []float64) {
+	for j, x := range row {
+		dst[j] = (x - s.Mean[j]) / s.Std[j]
+	}
 }
 
 // TransformAll standardizes every row, returning new slices.
@@ -305,10 +312,16 @@ func (s *Scaler) Subset(idx []int) *Scaler {
 // Select extracts the given columns from row.
 func Select(row []float64, idx []int) []float64 {
 	out := make([]float64, len(idx))
-	for i, j := range idx {
-		out[i] = row[j]
-	}
+	SelectInto(row, idx, out)
 	return out
+}
+
+// SelectInto extracts the given columns from row into dst, whose first
+// len(idx) elements are overwritten.
+func SelectInto(row []float64, idx []int, dst []float64) {
+	for i, j := range idx {
+		dst[i] = row[j]
+	}
 }
 
 // SelectAll extracts the given columns from every row.

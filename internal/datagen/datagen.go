@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/isa"
@@ -308,17 +309,9 @@ func Load(r io.Reader) (*Dataset, error) {
 	return &d, nil
 }
 
-// SaveFile writes the dataset to path.
+// SaveFile writes the dataset to path atomically (temp file + rename).
 func (d *Dataset) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("datagen: %w", err)
-	}
-	defer f.Close()
-	if err := d.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, d.Save)
 }
 
 // LoadFile reads a dataset from path.

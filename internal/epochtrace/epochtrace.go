@@ -30,6 +30,7 @@ type Record struct {
 	StallMemOth  int64   `json:"stall_mem_other"`
 	StallCompute int64   `json:"stall_compute"`
 	L1MissRate   float64 `json:"l1_miss_rate"`
+	L1Misses     int64   `json:"l1_read_misses"`
 	DRAMLines    int64   `json:"dram_lines"`
 	PowerW       float64 `json:"power_w"`
 	EnergyPJ     float64 `json:"energy_pj"`
@@ -56,6 +57,7 @@ func FromStats(s gpusim.EpochStats) Record {
 		StallMemOth:  s.StallMemOther,
 		StallCompute: s.StallCompute,
 		L1MissRate:   s.L1ReadMissRate(),
+		L1Misses:     s.L1ReadMisses,
 		DRAMLines:    s.DRAMLines,
 		PowerW:       s.PowerW(),
 		EnergyPJ:     s.EnergyPJ,
@@ -122,8 +124,8 @@ func (t *Trace) MeanPowerW() float64 {
 var csvHeader = []string{
 	"epoch", "cluster", "start_us", "level", "freq_mhz", "voltage_v",
 	"instructions", "ipc", "active_frac", "stall_mem", "stall_mem_other",
-	"stall_compute", "l1_miss_rate", "dram_lines", "power_w", "energy_pj",
-	"warps_active",
+	"stall_compute", "l1_miss_rate", "l1_read_misses", "dram_lines",
+	"power_w", "energy_pj", "warps_active",
 }
 
 // WriteCSV writes the trace with a header row.
@@ -141,8 +143,8 @@ func (t *Trace) WriteCSV(w io.Writer) error {
 			strconv.Itoa(r.Level), f(r.FreqMHz), f(r.VoltageV),
 			d(r.Instructions), f(r.IPC), f(r.ActiveFrac),
 			d(r.StallMem), d(r.StallMemOth), d(r.StallCompute),
-			f(r.L1MissRate), d(r.DRAMLines), f(r.PowerW), f(r.EnergyPJ),
-			strconv.Itoa(r.WarpsActive),
+			f(r.L1MissRate), d(r.L1Misses), d(r.DRAMLines),
+			f(r.PowerW), f(r.EnergyPJ), strconv.Itoa(r.WarpsActive),
 		}
 		if err := cw.Write(row); err != nil {
 			return err
@@ -219,10 +221,11 @@ func parseRow(row []string) (Record, error) {
 	r.StallMemOth = getd(row[10])
 	r.StallCompute = getd(row[11])
 	r.L1MissRate = getf(row[12])
-	r.DRAMLines = getd(row[13])
-	r.PowerW = getf(row[14])
-	r.EnergyPJ = getf(row[15])
-	r.WarpsActive = geti(row[16])
+	r.L1Misses = getd(row[13])
+	r.DRAMLines = getd(row[14])
+	r.PowerW = getf(row[15])
+	r.EnergyPJ = getf(row[16])
+	r.WarpsActive = geti(row[17])
 	return r, err
 }
 

@@ -1,0 +1,123 @@
+package epochtrace
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ssmdvfs/internal/counters"
+)
+
+func TestRecordFeaturesRestoresSelectedCounters(t *testing.T) {
+	s := sampleStats(3, 1, 4)
+	want := counters.FromStats(s)
+	got := FromStats(s).Features()
+	if len(got) != counters.Num {
+		t.Fatalf("feature vector has %d entries, want %d", len(got), counters.Num)
+	}
+	// The five Table I counters must round-trip exactly through the
+	// flattened record — they are what a replayed model consumes.
+	for _, idx := range counters.SelectedFive() {
+		if got[idx] != want[idx] {
+			t.Fatalf("counter %d (%s): %g != %g", idx, counters.Def(idx).Name, got[idx], want[idx])
+		}
+	}
+	// Spot-check derived and operating-state counters.
+	for _, idx := range []int{5, 16, 18, 29, 35, 42, 44, 45, 46} {
+		if got[idx] != want[idx] {
+			t.Fatalf("counter %d (%s): %g != %g", idx, counters.Def(idx).Name, got[idx], want[idx])
+		}
+	}
+}
+
+func TestFeatureStreamCyclesConcurrently(t *testing.T) {
+	trace := sampleTrace()
+	s, err := NewFeatureStream(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != len(trace.Records) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(trace.Records))
+	}
+	// Serial: Next cycles through all rows then wraps.
+	first := s.Next()
+	for i := 1; i < s.Len(); i++ {
+		s.Next()
+	}
+	if wrapped := s.Next(); &wrapped[0] != &first[0] {
+		t.Fatal("stream did not wrap to the first row")
+	}
+
+	// Concurrent: every Next must return a valid row.
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				row := s.Next()
+				if len(row) != counters.Num {
+					t.Errorf("row has %d entries", len(row))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestFeatureStreamRejectsEmpty(t *testing.T) {
+	if _, err := NewFeatureStream(&Trace{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := NewFeatureStream(nil); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestOpenFeatureStream(t *testing.T) {
+	trace := sampleTrace()
+	dir := t.TempDir()
+
+	csvPath := filepath.Join(dir, "trace.csv")
+	fc, err := os.Create(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteCSV(fc); err != nil {
+		t.Fatal(err)
+	}
+	fc.Close()
+
+	jsonPath := filepath.Join(dir, "trace.json")
+	fj, err := os.Create(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteJSON(fj); err != nil {
+		t.Fatal(err)
+	}
+	fj.Close()
+
+	for _, path := range []string{csvPath, jsonPath} {
+		s, err := OpenFeatureStream(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if s.Len() != len(trace.Records) {
+			t.Fatalf("%s: Len = %d, want %d", path, s.Len(), len(trace.Records))
+		}
+		want := trace.Records[0].Features()
+		got := s.Row(0)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: row 0 counter %d: %g != %g", path, i, got[i], want[i])
+			}
+		}
+	}
+
+	if _, err := OpenFeatureStream(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sort"
 	"text/tabwriter"
 
+	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/baselines"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/gpusim"
@@ -325,18 +326,12 @@ func (r *Fig4Result) WriteTable(w io.Writer) error {
 	return tw.Flush()
 }
 
-// SaveFile writes the full result (rows + summaries) as JSON, so plots
-// and later analysis do not need to re-run the simulations.
+// SaveFile writes the full result (rows + summaries) as JSON atomically,
+// so plots and later analysis do not need to re-run the simulations.
 func (r *Fig4Result) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("experiments: %w", err)
-	}
-	defer f.Close()
-	if err := json.NewEncoder(f).Encode(r); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(r)
+	})
 }
 
 // LoadFig4File reads a result saved with SaveFile.

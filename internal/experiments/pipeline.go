@@ -101,6 +101,11 @@ func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
 	if len(trainKernels) == 0 {
 		return nil, fmt.Errorf("experiments: no training kernels")
 	}
+	if opts.CacheDir != "" {
+		if err := os.MkdirAll(opts.CacheDir, 0o755); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+	}
 
 	p := &Pipeline{}
 

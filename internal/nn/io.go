@@ -6,6 +6,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"ssmdvfs/internal/atomicfile"
 )
 
 // serialized mirrors MLP for JSON round-trips.
@@ -75,17 +77,9 @@ func Load(r io.Reader) (*MLP, error) {
 	return m, nil
 }
 
-// SaveFile writes the network to path.
+// SaveFile writes the network to path atomically (temp file + rename).
 func (m *MLP) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("nn: %w", err)
-	}
-	defer f.Close()
-	if err := m.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, m.Save)
 }
 
 // LoadFile reads a network from path.

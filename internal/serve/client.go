@@ -1,0 +1,70 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client is a binary-protocol connection to a decision daemon. It is not
+// safe for concurrent use — open one Client per load-generator worker
+// (requests on one connection are strictly request/response).
+type Client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	frame []byte
+	req   []byte
+	decs  []Decision
+}
+
+// Dial connects to a daemon's binary-protocol address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection (useful for tests over
+// loopback or net.Pipe).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 64<<10),
+		bw:   bufio.NewWriterSize(conn, 64<<10),
+	}
+}
+
+// Decide sends one batch and waits for its decisions. The returned slice
+// is reused by the next Decide call.
+func (c *Client) Decide(rows []Request) ([]Decision, error) {
+	req, err := AppendRequestFrame(c.req[:0], rows)
+	if err != nil {
+		return nil, err
+	}
+	c.req = req
+	if err := writeFrame(c.bw, req); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	frame, err := readFrame(c.br, c.frame)
+	if err != nil {
+		return nil, err
+	}
+	c.frame = frame[:cap(frame)]
+	decs, err := DecodeResponseFrame(frame, c.decs)
+	if err != nil {
+		return nil, err
+	}
+	c.decs = decs
+	return decs, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of latency histogram buckets: bucket i counts
+// decisions whose batch latency fell in [2^i, 2^(i+1)) microseconds, with
+// the first and last buckets absorbing the tails.
+const histBuckets = 20
+
+// maxLevels bounds the per-level decision counters; the V/f tables in
+// this project have 6 levels, so 64 leaves ample room for future tables
+// without resizing atomics on model hot-swap.
+const maxLevels = 64
+
+// Metrics aggregates serving counters. All fields are updated with
+// atomics; a Snapshot is consistent enough for monitoring (counters are
+// read individually, not under a lock).
+type Metrics struct {
+	Decisions atomic.Int64 // rows served
+	Batches   atomic.Int64 // frames / HTTP bodies served
+	Errors    atomic.Int64 // malformed frames, bad requests, failed reloads
+	Reloads   atomic.Int64 // successful model swaps
+	Conns     atomic.Int64 // currently open binary-protocol connections
+
+	levels [maxLevels]atomic.Int64
+	hist   [histBuckets]atomic.Int64
+}
+
+// ObserveBatch records one served batch: n decisions in d.
+func (m *Metrics) ObserveBatch(n int, d time.Duration) {
+	m.Batches.Add(1)
+	m.Decisions.Add(int64(n))
+	us := d.Microseconds()
+	b := 0
+	if us > 0 {
+		b = int(math.Log2(float64(us))) + 1
+	}
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	m.hist[b].Add(1)
+}
+
+// ObserveLevel records one decision outcome.
+func (m *Metrics) ObserveLevel(level int) {
+	if level >= 0 && level < maxLevels {
+		m.levels[level].Add(1)
+	}
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the metrics.
+type Snapshot struct {
+	Decisions int64 `json:"decisions"`
+	Batches   int64 `json:"batches"`
+	Errors    int64 `json:"errors"`
+	Reloads   int64 `json:"reloads"`
+	Conns     int64 `json:"open_conns"`
+
+	// LatencyBucketsUs[i] counts batches in [2^(i-1), 2^i) µs (index 0 is
+	// < 1 µs); LatencyP50Us etc. are estimated from the histogram.
+	LatencyBucketsUs []int64 `json:"latency_buckets_us"`
+	LatencyP50Us     float64 `json:"latency_p50_us"`
+	LatencyP95Us     float64 `json:"latency_p95_us"`
+	LatencyP99Us     float64 `json:"latency_p99_us"`
+
+	// LevelCounts[l] counts decisions that chose operating level l.
+	LevelCounts []int64 `json:"level_counts"`
+}
+
+// Snapshot captures the current counters. levels limits how many
+// per-level counters are reported (the serving model's level count).
+func (m *Metrics) Snapshot(levels int) Snapshot {
+	if levels <= 0 || levels > maxLevels {
+		levels = maxLevels
+	}
+	s := Snapshot{
+		Decisions:        m.Decisions.Load(),
+		Batches:          m.Batches.Load(),
+		Errors:           m.Errors.Load(),
+		Reloads:          m.Reloads.Load(),
+		Conns:            m.Conns.Load(),
+		LatencyBucketsUs: make([]int64, histBuckets),
+		LevelCounts:      make([]int64, levels),
+	}
+	for i := range s.LatencyBucketsUs {
+		s.LatencyBucketsUs[i] = m.hist[i].Load()
+	}
+	for l := 0; l < levels; l++ {
+		s.LevelCounts[l] = m.levels[l].Load()
+	}
+	s.LatencyP50Us = histQuantile(s.LatencyBucketsUs, 0.50)
+	s.LatencyP95Us = histQuantile(s.LatencyBucketsUs, 0.95)
+	s.LatencyP99Us = histQuantile(s.LatencyBucketsUs, 0.99)
+	return s
+}
+
+// histQuantile estimates a quantile from the log-2 histogram by linear
+// interpolation within the winning bucket (bucket i spans
+// [2^(i-1), 2^i) µs; bucket 0 is [0, 1) µs).
+func histQuantile(buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := bucketBounds(i)
+		if cum+float64(c) >= target {
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+	}
+	_, hi := bucketBounds(len(buckets) - 1)
+	return hi
+}
+
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return math.Pow(2, float64(i-1)), math.Pow(2, float64(i))
+}

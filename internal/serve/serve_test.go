@@ -1,0 +1,376 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/nn"
+)
+
+// testModel builds a small untrained (but deterministic) model: serving
+// correctness is about transport and concurrency, not accuracy.
+func testModel(tb testing.TB, seed int64) *core.Model {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dec, err := nn.NewMLP([]int{6, 16, 6}, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cal, err := nn.NewMLP([]int{7, 16, 1}, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	identity := func(n int) *counters.Scaler {
+		s := &counters.Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+		for i := range s.Std {
+			s.Std[i] = 1
+		}
+		return s
+	}
+	return &core.Model{
+		FeatureIdx:     counters.SelectedFive(),
+		Levels:         6,
+		Decision:       dec,
+		Calibrator:     cal,
+		DecisionScaler: identity(6),
+		CalibScaler:    identity(7),
+		TargetScale:    1000,
+		PresetSamples:  1,
+	}
+}
+
+func featureRow(rng *rand.Rand) []float64 {
+	row := make([]float64, counters.Num)
+	for j := range row {
+		row[j] = rng.Float64() * 2
+	}
+	return row
+}
+
+// TestServeTCPEndToEnd runs concurrent binary-protocol clients against a
+// live server while the model is hot-swapped mid-load: every request must
+// succeed and the metrics must account for all of them.
+func TestServeTCPEndToEnd(t *testing.T) {
+	m := testModel(t, 1)
+	srv, err := NewServer(m, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.ServeTCP(l) }()
+
+	// A second model on disk for the mid-load swap.
+	swapPath := filepath.Join(t.TempDir(), "model.json")
+	if err := testModel(t, 2).SaveFile(swapPath); err != nil {
+		t.Fatal(err)
+	}
+	srv.opts.ModelPath = swapPath
+
+	const (
+		clients = 8
+		batches = 40
+		rowsPer = 4
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := Dial(l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(c)))
+			rows := make([]Request, rowsPer)
+			for b := 0; b < batches; b++ {
+				for i := range rows {
+					rows[i] = Request{Preset: 0.1, Features: featureRow(rng)}
+				}
+				decs, err := cl.Decide(rows)
+				if err != nil {
+					t.Errorf("client %d batch %d: %v", c, b, err)
+					return
+				}
+				if len(decs) != rowsPer {
+					t.Errorf("client %d: got %d decisions, want %d", c, len(decs), rowsPer)
+					return
+				}
+				for _, d := range decs {
+					if d.Level < 0 || d.Level >= m.Levels {
+						t.Errorf("client %d: level %d out of range", c, d.Level)
+						return
+					}
+				}
+				// Swap the model from one client mid-way through the load.
+				if c == 0 && b == batches/2 {
+					if err := srv.Reload(""); err != nil {
+						t.Errorf("reload: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	snap := srv.Metrics().Snapshot(m.Levels)
+	wantDecisions := int64(clients * batches * rowsPer)
+	if snap.Decisions != wantDecisions {
+		t.Fatalf("decisions = %d, want %d", snap.Decisions, wantDecisions)
+	}
+	if snap.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 (hot swap must not fail requests)", snap.Errors)
+	}
+	if snap.Reloads != 1 {
+		t.Fatalf("reloads = %d, want 1", snap.Reloads)
+	}
+	var levelTotal int64
+	for _, c := range snap.LevelCounts {
+		levelTotal += c
+	}
+	if levelTotal != wantDecisions {
+		t.Fatalf("level counts sum to %d, want %d", levelTotal, wantDecisions)
+	}
+	if snap.LatencyP50Us <= 0 || snap.LatencyP99Us < snap.LatencyP50Us {
+		t.Fatalf("latency percentiles implausible: p50=%g p99=%g", snap.LatencyP50Us, snap.LatencyP99Us)
+	}
+
+	srv.Close()
+	if err := <-serveDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeConnMalformedFrame checks that a protocol violation is
+// answered with an error frame, counted, and the connection dropped.
+func TestServeConnMalformedFrame(t *testing.T) {
+	srv, err := NewServer(testModel(t, 3), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	defer client.Close()
+
+	// A frame with valid length but garbage payload.
+	payload := []byte("this is not a request")
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Write(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadResponse(client); err == nil {
+		t.Fatal("malformed frame got a success response")
+	}
+	if got := srv.Metrics().Errors.Load(); got == 0 {
+		t.Fatal("protocol error not counted")
+	}
+}
+
+func TestHTTPAPI(t *testing.T) {
+	m := testModel(t, 4)
+	srv, err := NewServer(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	post := func(path string, body any) *http.Response {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+path, "application/json", &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// Single decision.
+	resp := post("/decide", map[string]any{"features": featureRow(rng), "preset": 0.1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decide status %d", resp.StatusCode)
+	}
+	var single httpDecision
+	if err := json.NewDecoder(resp.Body).Decode(&single); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if single.Level < 0 || single.Level >= m.Levels {
+		t.Fatalf("level %d out of range", single.Level)
+	}
+
+	// Batch decision.
+	rows := []map[string]any{
+		{"features": featureRow(rng), "preset": 0.1},
+		{"features": featureRow(rng), "preset": 0.2},
+	}
+	resp = post("/decide", map[string]any{"rows": rows})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/decide batch status %d", resp.StatusCode)
+	}
+	var batch struct {
+		Rows []httpDecision `json:"rows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&batch); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(batch.Rows) != 2 {
+		t.Fatalf("batch returned %d rows", len(batch.Rows))
+	}
+
+	// Wrong feature dimension is a 400.
+	resp = post("/decide", map[string]any{"features": []float64{1, 2, 3}, "preset": 0.1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad dimension status %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Reload from an explicit path.
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := testModel(t, 5).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	resp = post("/reload", map[string]any{"path": path})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/reload status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Reload with no path configured fails without killing the server.
+	resp = post("/reload", map[string]any{})
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("/reload without path status %d, want 500", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Metrics reflect the traffic.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(mresp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	mresp.Body.Close()
+	if snap.Decisions != 3 {
+		t.Fatalf("metrics decisions = %d, want 3", snap.Decisions)
+	}
+	if snap.Reloads != 1 {
+		t.Fatalf("metrics reloads = %d, want 1", snap.Reloads)
+	}
+	if snap.Errors == 0 {
+		t.Fatal("bad-dimension request not counted as error")
+	}
+	if len(snap.LevelCounts) != m.Levels {
+		t.Fatalf("level counts length %d, want %d", len(snap.LevelCounts), m.Levels)
+	}
+
+	// Model info.
+	iresp, err := http.Get(ts.URL + "/model")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		Levels int `json:"levels"`
+		Params int `json:"params"`
+	}
+	if err := json.NewDecoder(iresp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	iresp.Body.Close()
+	if info.Levels != m.Levels || info.Params == 0 {
+		t.Fatalf("model info = %+v", info)
+	}
+
+	// Health.
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", hresp.StatusCode)
+	}
+}
+
+// TestServedDecisionsMatchDirectModel pins the serving path to the plain
+// in-process inference: same features, same model, same answers.
+func TestServedDecisionsMatchDirectModel(t *testing.T) {
+	m := testModel(t, 6)
+	srv, err := NewServer(m, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, server := net.Pipe()
+	go srv.ServeConn(server)
+	defer client.Close()
+
+	cl := NewClient(client)
+	rng := rand.New(rand.NewSource(11))
+	rows := make([]Request, 32)
+	for i := range rows {
+		rows[i] = Request{Preset: 0.15, Features: featureRow(rng)}
+	}
+	decs, err := cl.Decide(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		wantLevel := m.DecideLevel(row.Features, row.Preset)
+		wantPred := m.PredictInstructions(row.Features, row.Preset, wantLevel)
+		if decs[i].Level != wantLevel {
+			t.Fatalf("row %d: served level %d, direct %d", i, decs[i].Level, wantLevel)
+		}
+		if diff := decs[i].PredInstr - wantPred; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("row %d: served prediction %g, direct %g", i, decs[i].PredInstr, wantPred)
+		}
+	}
+}
+
+func TestLoadModelQuantized(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	if err := testModel(t, 7).SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := LoadModel(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := LoadModel(path, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Params() != q.Params() {
+		t.Fatal("quantization changed parameter count")
+	}
+	if _, err := LoadModel(path, 1); err == nil {
+		t.Fatal("bits=1 accepted")
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "missing.json"), 0); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,375 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/quant"
+)
+
+// Options configures a Server.
+type Options struct {
+	// ModelPath, when set, is the file Reload re-reads on SIGHUP or
+	// POST /reload without an explicit path.
+	ModelPath string
+	// QuantBits, when non-zero, fake-quantizes every loaded model to the
+	// given symmetric bit width (the INT-MAC deployment configuration).
+	QuantBits int
+	// Workers bounds concurrent inference batches across all transports;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Logf receives progress messages; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Server serves DVFS decisions from a hot-swappable model. One Server
+// may simultaneously serve the binary TCP protocol (ServeConn/ServeTCP)
+// and HTTP (Handler); all transports share the model pointer, the
+// bounded worker pool, and the metrics.
+type Server struct {
+	opts    Options
+	model   atomic.Pointer[core.Model]
+	metrics Metrics
+	sem     chan struct{}
+
+	infPool sync.Pool // *core.Inference
+	bufPool sync.Pool // *connBuffers
+
+	mu    sync.Mutex // serializes Reload
+	conns sync.Map   // net.Conn → struct{}, for Close
+	ls    sync.Map   // net.Listener → struct{}, for Close
+}
+
+// connBuffers is the per-batch scratch a transport needs: frame bytes,
+// decoded rows, and encoded decisions.
+type connBuffers struct {
+	frame []byte
+	rows  []Request
+	decs  []Decision
+	out   []byte
+}
+
+// NewServer builds a server around an initial model.
+func NewServer(m *core.Model, opts Options) (*Server, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	s := &Server{opts: opts, sem: make(chan struct{}, opts.Workers)}
+	s.model.Store(m)
+	s.infPool.New = func() any { return core.NewInference(m) }
+	s.bufPool.New = func() any { return &connBuffers{} }
+	return s, nil
+}
+
+// LoadModel reads a model file and, if quantBits > 0, fake-quantizes it —
+// the loader behind both daemon startup and hot reload, accepting the
+// plain and compressed artifacts interchangeably (they share one format).
+func LoadModel(path string, quantBits int) (*core.Model, error) {
+	m, err := core.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if quantBits > 0 {
+		if m, err = quant.QuantizeModel(m, quantBits); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Model returns the currently served model.
+func (s *Server) Model() *core.Model { return s.model.Load() }
+
+// Metrics exposes the server's counters.
+func (s *Server) Metrics() *Metrics { return &s.metrics }
+
+// Swap atomically replaces the served model. In-flight batches finish on
+// the model they started with; new batches see the new one immediately.
+func (s *Server) Swap(m *core.Model) error {
+	if m == nil {
+		return fmt.Errorf("serve: nil model")
+	}
+	if m.Levels > maxLevels {
+		return fmt.Errorf("serve: model has %d levels, metrics support %d", m.Levels, maxLevels)
+	}
+	s.model.Store(m)
+	s.metrics.Reloads.Add(1)
+	return nil
+}
+
+// Reload loads path (or the configured ModelPath when path is empty) and
+// swaps it in. Concurrent reloads are serialized; decisions never block.
+func (s *Server) Reload(path string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if path == "" {
+		path = s.opts.ModelPath
+	}
+	if path == "" {
+		return fmt.Errorf("serve: no model path configured for reload")
+	}
+	m, err := LoadModel(path, s.opts.QuantBits)
+	if err != nil {
+		s.metrics.Errors.Add(1)
+		return err
+	}
+	if err := s.Swap(m); err != nil {
+		s.metrics.Errors.Add(1)
+		return err
+	}
+	s.opts.Logf("serve: reloaded model from %s (%d params, %d FLOPs)", path, m.Params(), m.FLOPs())
+	return nil
+}
+
+// decideBatch runs the model over rows, appending one Decision per row
+// to decs. It acquires a worker-pool slot, so at most Options.Workers
+// batches run the model at once regardless of connection count.
+func (s *Server) decideBatch(rows []Request, decs []Decision) []Decision {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	inf := s.infPool.Get().(*core.Inference)
+	inf.Bind(s.model.Load())
+	for _, row := range rows {
+		level, pred := inf.Decide(row.Features, row.Preset)
+		s.metrics.ObserveLevel(level)
+		decs = append(decs, Decision{Level: level, PredInstr: pred})
+	}
+	s.infPool.Put(inf)
+	return decs
+}
+
+// ServeConn handles one binary-protocol connection until EOF or error.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.metrics.Conns.Add(1)
+	s.conns.Store(conn, struct{}{})
+	defer func() {
+		s.conns.Delete(conn)
+		s.metrics.Conns.Add(-1)
+		conn.Close()
+	}()
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	bufs := s.bufPool.Get().(*connBuffers)
+	defer s.bufPool.Put(bufs)
+
+	for {
+		frame, err := readFrame(br, bufs.frame)
+		if err != nil {
+			// EOF and closed/truncated connections are normal client
+			// departures; anything else (oversized frame) is a protocol
+			// error worth counting.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, net.ErrClosed) {
+				s.metrics.Errors.Add(1)
+			}
+			return
+		}
+		bufs.frame = frame[:cap(frame)]
+
+		start := time.Now()
+		rows, err := DecodeRequestFrame(frame, bufs.rows)
+		if err != nil {
+			// Protocol violation: report and drop the connection, since
+			// framing can no longer be trusted.
+			s.metrics.Errors.Add(1)
+			if out, eerr := AppendResponseFrame(bufs.out[:0], StatusError, nil); eerr == nil {
+				writeFrame(bw, out)
+				bw.Flush()
+			}
+			return
+		}
+		bufs.rows = rows
+
+		bufs.decs = s.decideBatch(rows, bufs.decs[:0])
+		out, err := AppendResponseFrame(bufs.out[:0], StatusOK, bufs.decs)
+		if err != nil {
+			s.metrics.Errors.Add(1)
+			return
+		}
+		bufs.out = out
+		if err := writeFrame(bw, out); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+		s.metrics.ObserveBatch(len(rows), time.Since(start))
+	}
+}
+
+// ServeTCP accepts binary-protocol connections on l, one goroutine per
+// connection, until the listener is closed.
+func (s *Server) ServeTCP(l net.Listener) error {
+	s.ls.Store(l, struct{}{})
+	defer s.ls.Delete(l)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go s.ServeConn(conn)
+	}
+}
+
+// Close shuts down every listener and open binary connection.
+func (s *Server) Close() {
+	s.ls.Range(func(k, _ any) bool {
+		k.(net.Listener).Close()
+		return true
+	})
+	s.conns.Range(func(k, _ any) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+}
+
+// httpRow mirrors Request in JSON.
+type httpRow struct {
+	Features []float64 `json:"features"`
+	Preset   float64   `json:"preset"`
+}
+
+// httpDecision mirrors Decision in JSON.
+type httpDecision struct {
+	Level     int     `json:"level"`
+	PredInstr float64 `json:"predicted_instructions"`
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /decide   {"features":[...47],"preset":0.1} or {"rows":[...]}
+//	GET  /metrics  counters + latency histogram + level distribution
+//	POST /reload   {"path":"..."} (path optional; defaults to ModelPath)
+//	GET  /model    served model info
+//	GET  /healthz  liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/decide", s.handleDecide)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/reload", s.handleReload)
+	mux.HandleFunc("/model", s.handleModel)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.metrics.Errors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body struct {
+		httpRow
+		Rows []httpRow `json:"rows"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, MaxFrame)).Decode(&body); err != nil {
+		s.httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+		return
+	}
+	single := body.Rows == nil
+	if single {
+		body.Rows = []httpRow{body.httpRow}
+	}
+	if len(body.Rows) > MaxBatch {
+		s.httpError(w, http.StatusBadRequest, "batch of %d rows exceeds %d", len(body.Rows), MaxBatch)
+		return
+	}
+	rows := make([]Request, len(body.Rows))
+	for i, hr := range body.Rows {
+		if len(hr.Features) != counters.Num {
+			s.httpError(w, http.StatusBadRequest, "row %d has %d features, want %d", i, len(hr.Features), counters.Num)
+			return
+		}
+		rows[i] = Request{Preset: hr.Preset, Features: hr.Features}
+	}
+
+	start := time.Now()
+	decs := s.decideBatch(rows, nil)
+	s.metrics.ObserveBatch(len(rows), time.Since(start))
+
+	out := make([]httpDecision, len(decs))
+	for i, d := range decs {
+		out[i] = httpDecision{Level: d.Level, PredInstr: d.PredInstr}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if single {
+		json.NewEncoder(w).Encode(out[0])
+		return
+	}
+	json.NewEncoder(w).Encode(struct {
+		Rows []httpDecision `json:"rows"`
+	}{out})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.metrics.Snapshot(s.Model().Levels))
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var body struct {
+		Path string `json:"path"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(io.LimitReader(r.Body, 1<<16)).Decode(&body); err != nil {
+			s.httpError(w, http.StatusBadRequest, "bad JSON: %v", err)
+			return
+		}
+	}
+	if err := s.Reload(body.Path); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	m := s.Model()
+	json.NewEncoder(w).Encode(struct {
+		Reloaded bool  `json:"reloaded"`
+		Params   int   `json:"params"`
+		Reloads  int64 `json:"reloads"`
+	}{true, m.Params(), s.metrics.Reloads.Load()})
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	m := s.Model()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct {
+		Levels         int   `json:"levels"`
+		Features       int   `json:"features"`
+		Params         int   `json:"params"`
+		FLOPs          int   `json:"flops"`
+		EffectiveFLOPs int   `json:"effective_flops"`
+		QuantBits      int   `json:"quant_bits,omitempty"`
+		Reloads        int64 `json:"reloads"`
+	}{m.Levels, m.NumFeatures(), m.Params(), m.FLOPs(), m.EffectiveFLOPs(), s.opts.QuantBits, s.metrics.Reloads.Load()})
+}

@@ -1,0 +1,284 @@
+// Package serve turns the SSMDVFS model into a long-running decision
+// service: the paper's ASIC engine produces one decision per cluster per
+// 10 µs epoch, and this package is the software equivalent — a concurrent
+// daemon that answers "which operating level next, and how many
+// instructions do you expect?" over HTTP/JSON (debuggable) and a compact
+// length-prefixed binary protocol over TCP (the hot path), with
+// zero-downtime model hot-swap and latency/throughput metrics.
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ssmdvfs/internal/counters"
+)
+
+// Wire protocol: every message is one length-prefixed frame,
+//
+//	uint32  payload length (big endian, <= MaxFrame)
+//	payload
+//
+// and every payload starts with a fixed header,
+//
+//	uint32  magic   "SDVF"
+//	uint8   version (1)
+//	uint8   message type
+//
+// A decide request carries a batch of rows, each a performance-loss
+// preset followed by the full 47-counter feature vector (feature
+// selection happens inside the model, exactly as in the simulator loop):
+//
+//	uint16  row count (>= 1)
+//	uint16  feature dimension (must equal counters.Num)
+//	rows    count × (1+dim) float64, preset first
+//
+// A decide response carries one status byte, then per row the chosen
+// level and predicted next-epoch instruction count:
+//
+//	uint8   status (0 = OK; otherwise count is 0)
+//	uint16  row count
+//	rows    count × (uint8 level, float64 predicted instructions)
+const (
+	Magic   = 0x53445646 // "SDVF"
+	Version = 1
+
+	// MsgDecide and MsgDecisions are the request/response message types.
+	MsgDecide    = 1
+	MsgDecisions = 2
+
+	// MaxFrame bounds a frame payload; anything larger is rejected before
+	// allocation, so a corrupt length prefix cannot balloon memory.
+	MaxFrame = 1 << 20
+
+	// MaxBatch bounds the rows in one request frame.
+	MaxBatch = 1024
+
+	// StatusOK and StatusError are the response status codes.
+	StatusOK    = 0
+	StatusError = 1
+
+	headerLen = 6
+)
+
+// Request is one decision request row.
+type Request struct {
+	// Preset is the performance-loss preset for this decision.
+	Preset float64
+	// Features is the full 47-counter vector of the finished epoch.
+	Features []float64
+}
+
+// Decision is one decision response row.
+type Decision struct {
+	// Level is the operating-point class the Decision-maker chose.
+	Level int
+	// PredInstr is the Calibrator's next-epoch instruction estimate.
+	PredInstr float64
+}
+
+func putHeader(buf []byte, msgType byte) {
+	binary.BigEndian.PutUint32(buf, Magic)
+	buf[4] = Version
+	buf[5] = msgType
+}
+
+func checkHeader(payload []byte, wantType byte) error {
+	if len(payload) < headerLen {
+		return fmt.Errorf("serve: frame too short for header (%d bytes)", len(payload))
+	}
+	if m := binary.BigEndian.Uint32(payload); m != Magic {
+		return fmt.Errorf("serve: bad magic %#x", m)
+	}
+	if payload[4] != Version {
+		return fmt.Errorf("serve: unsupported protocol version %d", payload[4])
+	}
+	if payload[5] != wantType {
+		return fmt.Errorf("serve: unexpected message type %d, want %d", payload[5], wantType)
+	}
+	return nil
+}
+
+// writeFrame writes the length prefix and payload.
+func writeFrame(w io.Writer, payload []byte) error {
+	var n [4]byte
+	binary.BigEndian.PutUint32(n[:], uint32(len(payload)))
+	if _, err := w.Write(n[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame payload into buf (grown if needed) and
+// returns it. Oversized frames are rejected without allocation.
+func readFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return nil, err
+	}
+	size := binary.BigEndian.Uint32(n[:])
+	if size > MaxFrame {
+		return nil, fmt.Errorf("serve: frame of %d bytes exceeds limit %d", size, MaxFrame)
+	}
+	if uint32(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("serve: truncated frame: %w", err)
+	}
+	return buf, nil
+}
+
+// AppendRequestFrame appends an encoded request payload (without the
+// length prefix) for the given rows to dst and returns it.
+func AppendRequestFrame(dst []byte, rows []Request) ([]byte, error) {
+	if len(rows) == 0 || len(rows) > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows outside [1,%d]", len(rows), MaxBatch)
+	}
+	dim := len(rows[0].Features)
+	if dim != counters.Num {
+		return nil, fmt.Errorf("serve: feature dimension %d, want %d", dim, counters.Num)
+	}
+	need := headerLen + 4 + len(rows)*(1+dim)*8
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[off:]
+	putHeader(b, MsgDecide)
+	binary.BigEndian.PutUint16(b[6:], uint16(len(rows)))
+	binary.BigEndian.PutUint16(b[8:], uint16(dim))
+	p := 10
+	for _, row := range rows {
+		if len(row.Features) != dim {
+			return nil, fmt.Errorf("serve: ragged batch: row has %d features, want %d", len(row.Features), dim)
+		}
+		binary.BigEndian.PutUint64(b[p:], math.Float64bits(row.Preset))
+		p += 8
+		for _, f := range row.Features {
+			binary.BigEndian.PutUint64(b[p:], math.Float64bits(f))
+			p += 8
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRequestFrame parses a request payload. The returned rows reuse
+// scratch (resized as needed) so a serving loop can decode without
+// allocating; feature slices alias scratch's backing arrays.
+func DecodeRequestFrame(payload []byte, scratch []Request) ([]Request, error) {
+	if err := checkHeader(payload, MsgDecide); err != nil {
+		return nil, err
+	}
+	if len(payload) < headerLen+4 {
+		return nil, fmt.Errorf("serve: request frame too short (%d bytes)", len(payload))
+	}
+	count := int(binary.BigEndian.Uint16(payload[6:]))
+	dim := int(binary.BigEndian.Uint16(payload[8:]))
+	if count == 0 || count > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows outside [1,%d]", count, MaxBatch)
+	}
+	if dim != counters.Num {
+		return nil, fmt.Errorf("serve: feature dimension %d, want %d", dim, counters.Num)
+	}
+	want := headerLen + 4 + count*(1+dim)*8
+	if len(payload) != want {
+		return nil, fmt.Errorf("serve: request frame is %d bytes, want %d for %d rows", len(payload), want, count)
+	}
+	if cap(scratch) < count {
+		scratch = append(scratch[:cap(scratch)], make([]Request, count-cap(scratch))...)
+	}
+	scratch = scratch[:count]
+	p := headerLen + 4
+	for i := range scratch {
+		scratch[i].Preset = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
+		p += 8
+		if cap(scratch[i].Features) < dim {
+			scratch[i].Features = make([]float64, dim)
+		}
+		feats := scratch[i].Features[:dim]
+		for j := range feats {
+			feats[j] = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
+			p += 8
+		}
+		scratch[i].Features = feats
+	}
+	return scratch, nil
+}
+
+// AppendResponseFrame appends an encoded response payload to dst.
+func AppendResponseFrame(dst []byte, status byte, decs []Decision) ([]byte, error) {
+	if len(decs) > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows exceeds %d", len(decs), MaxBatch)
+	}
+	need := headerLen + 3 + len(decs)*9
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[off:]
+	putHeader(b, MsgDecisions)
+	b[6] = status
+	binary.BigEndian.PutUint16(b[7:], uint16(len(decs)))
+	p := 9
+	for _, d := range decs {
+		if d.Level < 0 || d.Level > 255 {
+			return nil, fmt.Errorf("serve: level %d does not fit the wire format", d.Level)
+		}
+		b[p] = byte(d.Level)
+		binary.BigEndian.PutUint64(b[p+1:], math.Float64bits(d.PredInstr))
+		p += 9
+	}
+	return dst, nil
+}
+
+// DecodeResponseFrame parses a response payload, reusing scratch.
+func DecodeResponseFrame(payload []byte, scratch []Decision) ([]Decision, error) {
+	if err := checkHeader(payload, MsgDecisions); err != nil {
+		return nil, err
+	}
+	if len(payload) < headerLen+3 {
+		return nil, fmt.Errorf("serve: response frame too short (%d bytes)", len(payload))
+	}
+	if payload[6] != StatusOK {
+		return nil, fmt.Errorf("serve: server reported error status %d", payload[6])
+	}
+	count := int(binary.BigEndian.Uint16(payload[7:]))
+	want := headerLen + 3 + count*9
+	if len(payload) != want {
+		return nil, fmt.Errorf("serve: response frame is %d bytes, want %d for %d rows", len(payload), want, count)
+	}
+	if cap(scratch) < count {
+		scratch = make([]Decision, count)
+	}
+	scratch = scratch[:count]
+	p := headerLen + 3
+	for i := range scratch {
+		scratch[i].Level = int(payload[p])
+		scratch[i].PredInstr = math.Float64frombits(binary.BigEndian.Uint64(payload[p+1:]))
+		p += 9
+	}
+	return scratch, nil
+}
+
+// WriteRequest encodes rows as one frame on w.
+func WriteRequest(w *bufio.Writer, rows []Request) error {
+	payload, err := AppendRequestFrame(nil, rows)
+	if err != nil {
+		return err
+	}
+	if err := writeFrame(w, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// ReadResponse reads one response frame from r.
+func ReadResponse(r io.Reader) ([]Decision, error) {
+	payload, err := readFrame(r, nil)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeResponseFrame(payload, nil)
+}
