@@ -8,6 +8,7 @@
 //
 //	dvfsload -addr localhost:8091 [-conns 8] [-batch 24] [-duration 10s]
 //	         [-qps 0] [-preset 0.10] [-trace trace.csv] [-seed 1]
+//	         [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // With -trace the feature stream is a cycled replay of the trace file
 // (CSV or JSON from cmd/dvfstrace); without it, synthetic epochs are
@@ -29,6 +30,7 @@ import (
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/epochtrace"
 	"ssmdvfs/internal/serve"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
@@ -42,11 +44,24 @@ func main() {
 		trace    = flag.String("trace", "", "replay this dvfstrace file (CSV or JSON) instead of synthetic epochs")
 		rows     = flag.Int("rows", 4096, "synthetic feature rows to generate (without -trace)")
 		seed     = flag.Int64("seed", 1, "synthetic feature seed")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the load run here")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit here")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed); err != nil {
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProf)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
+		os.Exit(1)
+	}
+	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed)
+	stopCPU()
+	if err := telemetry.WriteHeapProfile(*memProf); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsload:", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "dvfsload:", runErr)
 		os.Exit(1)
 	}
 }

@@ -1,0 +1,321 @@
+// Command dvfsstat turns telemetry dumps back into human-readable
+// analysis: operating-level residency tables, controller-vs-oracle
+// divergence summaries, stall breakdowns, and latency quantiles from a
+// metrics snapshot; phase tables and Chrome trace-event export from a
+// span capture; and per-epoch divergence between two trace files.
+//
+// Usage:
+//
+//	dvfsstat -metrics telemetry.json          # registry dump (ssmdvfs -telemetry,
+//	                                          # dvfstrace -telemetry, ssmdvfsd /telemetry)
+//	dvfsstat -spans spans.jsonl [-chrome out.json]
+//	dvfsstat -trace run.csv -against oracle.csv
+//
+// Any combination of inputs may be given; each produces its section.
+// -chrome converts the span capture to the Chrome trace-event format
+// viewable in chrome://tracing or Perfetto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ssmdvfs/internal/atomicfile"
+	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/telemetry"
+)
+
+func main() {
+	var (
+		metrics = flag.String("metrics", "", "telemetry registry snapshot (JSON)")
+		spans   = flag.String("spans", "", "span capture (JSONL)")
+		chrome  = flag.String("chrome", "", "with -spans: write Chrome trace-event JSON here")
+		trace   = flag.String("trace", "", "per-epoch trace (CSV or JSON from dvfstrace)")
+		against = flag.String("against", "", "with -trace: reference trace to diff decisions against")
+	)
+	flag.Parse()
+
+	if *metrics == "" && *spans == "" && *trace == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsstat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath string) error {
+	if metricsPath != "" {
+		snap, err := telemetry.ReadSnapshotFile(metricsPath)
+		if err != nil {
+			return err
+		}
+		summarizeMetrics(w, snap)
+	}
+	if spansPath != "" {
+		f, err := os.Open(spansPath)
+		if err != nil {
+			return err
+		}
+		spans, err := telemetry.ReadSpans(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		summarizeSpans(w, spans)
+		if chromePath != "" {
+			if err := atomicfile.Write(chromePath, func(out io.Writer) error {
+				return telemetry.WriteChromeTrace(out, spans)
+			}); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "wrote Chrome trace (%d events) to %s\n", len(spans), chromePath)
+		}
+	}
+	if tracePath != "" {
+		if againstPath == "" {
+			return fmt.Errorf("-trace requires -against (the reference run to diff)")
+		}
+		a, err := readTrace(tracePath)
+		if err != nil {
+			return err
+		}
+		b, err := readTrace(againstPath)
+		if err != nil {
+			return err
+		}
+		if err := summarizeDivergence(w, tracePath, againstPath, a, b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readTrace(path string) (*epochtrace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(strings.ToLower(path), ".json") {
+		return epochtrace.ReadJSON(f)
+	}
+	return epochtrace.ReadCSV(f)
+}
+
+// byLabel collects counters with the given base name into label → value.
+func byLabel(counters map[string]int64, base, label string) map[string]int64 {
+	out := map[string]int64{}
+	for id, v := range counters {
+		name, labels := telemetry.ParseID(id)
+		if name == base {
+			out[labels[label]] = v
+		}
+	}
+	return out
+}
+
+func sortedLabelKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, errA := strconv.Atoi(keys[i])
+		b, errB := strconv.Atoi(keys[j])
+		if errA == nil && errB == nil {
+			return a < b
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// summarizeMetrics prints the sections a registry snapshot supports:
+// residency, stall breakdown, divergence, histograms, and counters.
+func summarizeMetrics(w io.Writer, snap telemetry.Snapshot) {
+	residency := byLabel(snap.Counters, "sim_level_residency_ps", "level")
+	epochs := byLabel(snap.Counters, "sim_level_epochs_total", "level")
+	if len(residency) > 0 {
+		var totalPs int64
+		for _, v := range residency {
+			totalPs += v
+		}
+		fmt.Fprintln(w, "== operating-level residency ==")
+		fmt.Fprintf(w, "%-6s %14s %8s %10s\n", "level", "time_us", "share", "epochs")
+		for _, lvl := range sortedLabelKeys(residency) {
+			ps := residency[lvl]
+			share := 0.0
+			if totalPs > 0 {
+				share = float64(ps) / float64(totalPs) * 100
+			}
+			fmt.Fprintf(w, "%-6s %14.1f %7.1f%% %10d\n", lvl, float64(ps)/1e6, share, epochs[lvl])
+		}
+		fmt.Fprintln(w)
+	}
+
+	stalls := byLabel(snap.Counters, "sim_stall_cycles_total", "kind")
+	if len(stalls) > 0 {
+		var total int64
+		for _, v := range stalls {
+			total += v
+		}
+		fmt.Fprintln(w, "== stall-cycle breakdown ==")
+		fmt.Fprintf(w, "%-18s %14s %8s\n", "kind", "cycles", "share")
+		for _, kind := range sortedLabelKeys(stalls) {
+			share := 0.0
+			if total > 0 {
+				share = float64(stalls[kind]) / float64(total) * 100
+			}
+			fmt.Fprintf(w, "%-18s %14d %7.1f%%\n", kind, stalls[kind], share)
+		}
+		fmt.Fprintln(w)
+	}
+
+	agree := snap.Counters["sim_reference_agree_epochs_total"]
+	diverge := snap.Counters["sim_reference_diverge_epochs_total"]
+	if agree+diverge > 0 {
+		printDivergence(w, "controller vs reference (from registry)", agree, diverge,
+			float64(snap.Counters["sim_reference_diverge_levels_total"]))
+	}
+
+	if len(snap.Histograms) > 0 {
+		fmt.Fprintln(w, "== distributions ==")
+		fmt.Fprintf(w, "%-44s %10s %10s %10s %10s %10s\n", "histogram", "count", "mean", "p50", "p95", "p99")
+		for _, id := range sortedKeys(snap.Histograms) {
+			h := snap.Histograms[id]
+			mean := 0.0
+			if h.Count > 0 {
+				mean = float64(h.Sum) / float64(h.Count)
+			}
+			fmt.Fprintf(w, "%-44s %10d %10.1f %10.1f %10.1f %10.1f\n", id, h.Count, mean, h.P50, h.P95, h.P99)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(snap.Counters) > 0 {
+		fmt.Fprintln(w, "== counters ==")
+		for _, id := range sortedKeys(snap.Counters) {
+			name, _ := telemetry.ParseID(id)
+			switch name {
+			// Already rendered as tables above.
+			case "sim_level_residency_ps", "sim_level_epochs_total", "sim_stall_cycles_total":
+				continue
+			}
+			fmt.Fprintf(w, "%-52s %14d\n", id, snap.Counters[id])
+		}
+	}
+	if len(snap.Gauges) > 0 {
+		fmt.Fprintln(w, "\n== gauges ==")
+		for _, id := range sortedKeys(snap.Gauges) {
+			fmt.Fprintf(w, "%-52s %14.2f\n", id, snap.Gauges[id])
+		}
+	}
+}
+
+// summarizeSpans prints a per-name phase table.
+func summarizeSpans(w io.Writer, spans []telemetry.SpanRecord) {
+	type agg struct {
+		count int
+		total float64
+		max   float64
+	}
+	byName := map[string]*agg{}
+	var order []string
+	for _, sp := range spans {
+		a, ok := byName[sp.Name]
+		if !ok {
+			a = &agg{}
+			byName[sp.Name] = a
+			order = append(order, sp.Name)
+		}
+		a.count++
+		a.total += sp.DurUs
+		if sp.DurUs > a.max {
+			a.max = sp.DurUs
+		}
+	}
+	fmt.Fprintln(w, "== spans ==")
+	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s\n", "phase", "count", "total_ms", "mean_ms", "max_ms")
+	for _, name := range order {
+		a := byName[name]
+		fmt.Fprintf(w, "%-28s %8d %12.2f %12.2f %12.2f\n",
+			name, a.count, a.total/1e3, a.total/1e3/float64(a.count), a.max/1e3)
+	}
+	fmt.Fprintln(w)
+}
+
+// summarizeDivergence diffs the per-(epoch, cluster) operating-level
+// decisions of two runs — typically a controller against an oracle.
+func summarizeDivergence(w io.Writer, nameA, nameB string, a, b *epochtrace.Trace) error {
+	type key struct{ epoch, cluster int }
+	ref := make(map[key]int, len(b.Records))
+	for _, r := range b.Records {
+		ref[key{r.Epoch, r.Cluster}] = r.Level
+	}
+	var agree, diverge int64
+	var absDist float64
+	deltas := map[int]int64{}
+	for _, r := range a.Records {
+		refLevel, ok := ref[key{r.Epoch, r.Cluster}]
+		if !ok {
+			continue
+		}
+		if r.Level == refLevel {
+			agree++
+		} else {
+			diverge++
+			d := r.Level - refLevel
+			if d < 0 {
+				absDist -= float64(d)
+			} else {
+				absDist += float64(d)
+			}
+			deltas[d]++
+		}
+	}
+	if agree+diverge == 0 {
+		return fmt.Errorf("traces share no (epoch, cluster) pairs")
+	}
+	printDivergence(w, fmt.Sprintf("%s vs %s", nameA, nameB), agree, diverge, absDist)
+	if len(deltas) > 0 {
+		fmt.Fprintf(w, "%-8s %10s\n", "Δlevel", "epochs")
+		ds := make([]int, 0, len(deltas))
+		for d := range deltas {
+			ds = append(ds, d)
+		}
+		sort.Ints(ds)
+		for _, d := range ds {
+			fmt.Fprintf(w, "%+-8d %10d\n", d, deltas[d])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func printDivergence(w io.Writer, title string, agree, diverge int64, absDist float64) {
+	total := agree + diverge
+	fmt.Fprintf(w, "== decision divergence: %s ==\n", title)
+	fmt.Fprintf(w, "compared epochs   %12d\n", total)
+	fmt.Fprintf(w, "agreement         %11.1f%%\n", float64(agree)/float64(total)*100)
+	fmt.Fprintf(w, "divergence        %11.1f%%\n", float64(diverge)/float64(total)*100)
+	if diverge > 0 {
+		fmt.Fprintf(w, "mean |Δlevel|     %12.2f  (over divergent epochs)\n", absDist/float64(diverge))
+	}
+	fmt.Fprintln(w)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/telemetry"
+)
+
+// writeFixtureMetrics builds a registry the way a simulator run would and
+// dumps it to disk.
+func writeFixtureMetrics(t *testing.T, path string) {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	reg.Counter("sim_level_residency_ps", "level", "0").Add(30_000_000)
+	reg.Counter("sim_level_residency_ps", "level", "5").Add(70_000_000)
+	reg.Counter("sim_level_epochs_total", "level", "0").Add(3)
+	reg.Counter("sim_level_epochs_total", "level", "5").Add(7)
+	reg.Counter("sim_stall_cycles_total", "kind", "mem_load").Add(9000)
+	reg.Counter("sim_stall_cycles_total", "kind", "compute").Add(1000)
+	reg.Counter("sim_reference_agree_epochs_total").Add(8)
+	reg.Counter("sim_reference_diverge_epochs_total").Add(2)
+	reg.Counter("sim_reference_diverge_levels_total").Add(4)
+	h := reg.HistogramBuckets("serve_batch_latency_us", 20)
+	for _, v := range []int64{3, 5, 9, 17, 33} {
+		h.Observe(v)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := reg.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeMetricsDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "telemetry.json")
+	writeFixtureMetrics(t, path)
+
+	var out bytes.Buffer
+	if err := run(&out, path, "", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"operating-level residency",
+		"70.0%", // level 5 share
+		"stall-cycle breakdown",
+		"mem_load",
+		"decision divergence",
+		"80.0%",         // agreement
+		"mean |Δlevel|", // 4/2 = 2.00
+		"serve_batch_latency_us",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestSummarizeSpansAndChromeExport(t *testing.T) {
+	dir := t.TempDir()
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	chromePath := filepath.Join(dir, "chrome.json")
+
+	f, err := os.Create(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := telemetry.NewTracer(f)
+	tr.Start("datagen").End()
+	tr.Start("train", "epochs", "50").End()
+	tr.Start("train").End()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run(&out, "", spansPath, chromePath, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "datagen") || !strings.Contains(got, "train") {
+		t.Fatalf("span table incomplete:\n%s", got)
+	}
+	cf, err := os.Open(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cf.Close()
+	events, err := telemetry.ReadChromeTrace(cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("chrome export has %d events, want 3", len(events))
+	}
+}
+
+func TestTraceDivergence(t *testing.T) {
+	dir := t.TempDir()
+	mk := func(name string, levels []int) string {
+		tr := &epochtrace.Trace{}
+		for e, lvl := range levels {
+			tr.Records = append(tr.Records, epochtrace.Record{Epoch: e, Cluster: 0, Level: lvl})
+		}
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteCSV(f); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// 3 of 5 epochs agree; the two divergent epochs are off by -2 and +1.
+	run1 := mk("run.csv", []int{5, 3, 4, 5, 2})
+	oracle := mk("oracle.csv", []int{5, 5, 4, 4, 2})
+
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", run1, oracle); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"60.0%", "40.0%", "1.50", "Δlevel"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("divergence output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestTraceRequiresReference(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "whatever.csv", ""); err == nil {
+		t.Fatal("-trace without -against must fail")
+	}
+}

@@ -8,14 +8,20 @@
 //
 //	dvfstrace -kernel rodinia.srad -mech ssmdvfs -preset 0.10 \
 //	          -cache ssmdvfs-cache [-quick] [-o trace.csv] [-json]
+//	          [-telemetry telem.json] [-v]
 //
 // Mechanisms: baseline, pcstall, flemma, ssmdvfs, ssmdvfs-nocal,
 // ssmdvfs-compressed, static-N (fixed level N).
+//
+// With -telemetry a gpusim.TelemetryCollector rides along with the trace
+// observer and the per-level residency, stall breakdown, and IPC
+// histogram land in FILE — summarize with "dvfsstat -metrics FILE".
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -27,6 +33,7 @@ import (
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/telemetry"
 	"ssmdvfs/internal/viz"
 )
 
@@ -40,22 +47,32 @@ func main() {
 		out        = flag.String("o", "", "trace output path (default: stdout summary only)")
 		asJSON     = flag.Bool("json", false, "write JSON instead of CSV")
 		seed       = flag.Int64("seed", 1, "seed for stochastic mechanisms")
+		telemOut   = flag.String("telemetry", "", "write a telemetry snapshot (sim residency/stalls) here")
+		verbose    = flag.Bool("v", false, "log pipeline progress to stderr")
 	)
 	flag.Parse()
 
-	if err := run(*kernelName, *mech, *preset, *cache, *quick, *out, *asJSON, *seed); err != nil {
+	if err := run(*kernelName, *mech, *preset, *cache, *quick, *out, *asJSON, *seed, *telemOut, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernelName, mech string, preset float64, cache string, quick bool, out string, asJSON bool, seed int64) error {
+func run(kernelName, mech string, preset float64, cache string, quick bool, out string, asJSON bool, seed int64, telemOut string, verbose bool) error {
 	opts := experiments.DefaultPipelineOptions()
 	if quick {
 		opts = experiments.QuickPipelineOptions()
 	}
 	opts.CacheDir = cache
-	opts.Logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	var logOut io.Writer
+	if verbose {
+		logOut = os.Stderr
+	}
+	var reg *telemetry.Registry
+	if telemOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	opts.Logger = telemetry.NewLogger(logOut, reg)
 
 	spec, err := kernels.ByName(kernelName)
 	if err != nil {
@@ -73,7 +90,12 @@ func run(kernelName, mech string, preset float64, cache string, quick bool, out 
 		return err
 	}
 	trace := &epochtrace.Trace{}
-	sim.SetObserver(trace.Observe)
+	observe := gpusim.EpochObserver(trace.Observe)
+	if reg != nil {
+		col := gpusim.NewTelemetryCollector(reg, opts.Sim.OPs.Len())
+		observe = gpusim.ChainObservers(trace.Observe, col.Observe)
+	}
+	sim.SetObserver(observe)
 	if ctrl != nil {
 		sim.SetController(ctrl)
 	}
@@ -91,6 +113,12 @@ func run(kernelName, mech string, preset float64, cache string, quick bool, out 
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "wrote %d records to %s\n", len(trace.Records), out)
+	}
+	if reg != nil {
+		if err := atomicfile.Write(telemOut, reg.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote telemetry snapshot to %s\n", telemOut)
 	}
 
 	return summarize(os.Stdout, kernelName, mech, opts.Sim, trace, res)

@@ -17,21 +17,33 @@
 //
 // The cache directory holds dataset.json, model.json and compressed.json;
 // every subcommand builds missing artifacts on demand.
+//
+// Observability flags (any subcommand):
+//
+//	-telemetry FILE   write the telemetry-registry snapshot (JSON) at exit;
+//	                  summarize with "dvfsstat -metrics FILE"
+//	-spans FILE       write pipeline phase spans (JSONL); view with
+//	                  "dvfsstat -spans FILE [-chrome out.json]"
+//	-cpuprofile FILE  CPU profile of the whole run
+//	-memprofile FILE  heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 
 	"ssmdvfs/internal/asic"
+	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/features"
 	"ssmdvfs/internal/kernels"
 	"ssmdvfs/internal/quant"
+	"ssmdvfs/internal/telemetry"
 	"ssmdvfs/internal/viz"
 )
 
@@ -47,19 +59,84 @@ func main() {
 	scale := fs.Float64("scale", 0, "kernel duration scale override (0 = preset default)")
 	presets := fs.String("presets", "0.10,0.20", "comma-separated performance-loss presets")
 	verbose := fs.Bool("v", true, "log progress")
+	telemOut := fs.String("telemetry", "", "write the telemetry snapshot (JSON) here at exit")
+	spansOut := fs.String("spans", "", "write pipeline phase spans (JSONL) here")
+	cpuProf := fs.String("cpuprofile", "", "write a CPU profile here")
+	memProf := fs.String("memprofile", "", "write a heap profile at exit here")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
 
-	logf := func(string, ...any) {}
-	if *verbose {
-		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
-	}
-
-	if err := run(cmd, *cache, *quick, *scale, *presets, logf); err != nil {
+	obs, err := newObservability(*telemOut, *spansOut, *verbose)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfs:", err)
 		os.Exit(1)
 	}
+	stopCPU, err := telemetry.StartCPUProfile(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ssmdvfs:", err)
+		os.Exit(1)
+	}
+
+	runErr := run(cmd, *cache, *quick, *scale, *presets, obs)
+	stopCPU()
+	if err := obs.close(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if err := telemetry.WriteHeapProfile(*memProf); err != nil && runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "ssmdvfs:", runErr)
+		os.Exit(1)
+	}
+}
+
+// observability bundles the CLI's optional telemetry sinks: a registry
+// dumped to JSON at exit, a span file, and the progress logger.
+type observability struct {
+	reg       *telemetry.Registry
+	tracer    *telemetry.Tracer
+	logger    *telemetry.Logger
+	telemPath string
+	spansFile *os.File
+}
+
+func newObservability(telemPath, spansPath string, verbose bool) (*observability, error) {
+	obs := &observability{telemPath: telemPath}
+	if telemPath != "" {
+		obs.reg = telemetry.NewRegistry()
+	}
+	if spansPath != "" {
+		f, err := os.Create(spansPath)
+		if err != nil {
+			return nil, err
+		}
+		obs.spansFile = f
+		obs.tracer = telemetry.NewTracer(f)
+	}
+	var out io.Writer
+	if verbose {
+		out = os.Stderr
+	}
+	obs.logger = telemetry.NewLogger(out, obs.reg)
+	return obs, nil
+}
+
+// close flushes the span file and writes the telemetry dump.
+func (o *observability) close() error {
+	if o.tracer != nil {
+		if err := o.tracer.Flush(); err != nil {
+			return err
+		}
+		if err := o.spansFile.Close(); err != nil {
+			return err
+		}
+	}
+	if o.reg != nil {
+		return atomicfile.Write(o.telemPath, o.reg.WriteJSON)
+	}
+	return nil
 }
 
 func usage() {
@@ -67,7 +144,7 @@ func usage() {
 run "ssmdvfs <cmd> -h" for flags`)
 }
 
-func run(cmd, cache string, quick bool, scale float64, presetsCSV string, logf func(string, ...any)) error {
+func run(cmd, cache string, quick bool, scale float64, presetsCSV string, obs *observability) error {
 	opts := experiments.DefaultPipelineOptions()
 	if quick {
 		opts = experiments.QuickPipelineOptions()
@@ -81,7 +158,10 @@ func run(cmd, cache string, quick bool, scale float64, presetsCSV string, logf f
 		}
 	}
 	opts.CacheDir = cache
-	opts.Logf = logf
+	opts.Logger = obs.logger
+	opts.Telemetry = obs.reg
+	opts.Tracer = obs.tracer
+	logf := obs.logger.Func()
 
 	presets, err := parsePresets(presetsCSV)
 	if err != nil {

@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ssmdvfs/internal/telemetry"
+)
 
 func TestParsePresets(t *testing.T) {
 	got, err := parsePresets("0.10, 0.20,0.5")
@@ -28,7 +34,53 @@ func TestParsePresetsErrors(t *testing.T) {
 }
 
 func TestRunUnknownCommand(t *testing.T) {
-	if err := run("nope", "", true, 0, "0.1", func(string, ...any) {}); err == nil {
+	obs, err := newObservability("", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run("nope", "", true, 0, "0.1", obs); err == nil {
 		t.Fatal("unknown command accepted")
+	}
+}
+
+// TestObservabilityDump runs the quiet observability bundle end to end:
+// the registry snapshot and span file must land on disk and be readable
+// by the telemetry package (the same readers cmd/dvfsstat uses).
+func TestObservabilityDump(t *testing.T) {
+	dir := t.TempDir()
+	telemPath := filepath.Join(dir, "telemetry.json")
+	spansPath := filepath.Join(dir, "spans.jsonl")
+	obs, err := newObservability(telemPath, spansPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.reg.Counter("demo_total").Add(3)
+	obs.tracer.Start("demo").End()
+	obs.logger.Logf("line %d", 1)
+	if err := obs.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := telemetry.ReadSnapshotFile(telemPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["demo_total"] != 3 {
+		t.Fatalf("demo_total = %d, want 3", snap.Counters["demo_total"])
+	}
+	if snap.Counters["log_lines_total"] != 1 {
+		t.Fatalf("log_lines_total = %d, want 1", snap.Counters["log_lines_total"])
+	}
+	f, err := os.Open(spansPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	spans, err := telemetry.ReadSpans(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "demo" {
+		t.Fatalf("spans = %+v, want one span named demo", spans)
 	}
 }

@@ -12,15 +12,19 @@
 //
 // Endpoints:
 //
-//	POST /decide   one decision ({"features":[...47],"preset":0.1}) or a
-//	               batch ({"rows":[...]})
-//	GET  /metrics  request/decision counts, latency percentiles, per-level
-//	               decision distribution, reload and error counters
-//	POST /reload   swap in a new model ({"path":"..."}; path optional)
-//	GET  /model    served model info
-//	GET  /healthz  liveness
+//	POST /decide        one decision ({"features":[...47],"preset":0.1}) or a
+//	                    batch ({"rows":[...]})
+//	GET  /metrics       request/decision counts, latency percentiles, per-level
+//	                    decision distribution, reload and error counters (JSON)
+//	GET  /metrics.prom  the same counters in Prometheus text exposition format
+//	GET  /telemetry     raw telemetry-registry snapshot (cmd/dvfsstat input)
+//	GET  /debug/pprof/  live CPU/heap/goroutine profiling
+//	POST /reload        swap in a new model ({"path":"..."}; path optional)
+//	GET  /model         served model info
+//	GET  /healthz       liveness
 //
-// Pair it with cmd/dvfsload to measure serving throughput and latency.
+// Pair it with cmd/dvfsload to measure serving throughput and latency,
+// and cmd/dvfsstat to summarize a scraped /telemetry dump.
 package main
 
 import (
@@ -28,6 +32,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -54,6 +59,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
+}
+
+// buildMux layers the daemon-only observability endpoints — Prometheus
+// exposition, the raw telemetry dump, and pprof — over the serving API.
+func buildMux(srv *serve.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		srv.Telemetry().WriteProm(w)
+	})
+	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		srv.Telemetry().WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }
 
 func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, logf func(string, ...any)) error {
@@ -91,7 +117,7 @@ func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, logf func(
 	}
 	var hs *http.Server
 	if httpAddr != "" {
-		hs = &http.Server{Addr: httpAddr, Handler: srv.Handler()}
+		hs = &http.Server{Addr: httpAddr, Handler: buildMux(srv)}
 		hl, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			srv.Close()

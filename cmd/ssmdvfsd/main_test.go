@@ -1,0 +1,91 @@
+package main
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/nn"
+	"ssmdvfs/internal/serve"
+)
+
+func testModel(t *testing.T) *core.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	dec, err := nn.NewMLP([]int{6, 16, 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := nn.NewMLP([]int{7, 16, 1}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identity := func(n int) *counters.Scaler {
+		s := &counters.Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+		for i := range s.Std {
+			s.Std[i] = 1
+		}
+		return s
+	}
+	return &core.Model{
+		FeatureIdx:     counters.SelectedFive(),
+		Levels:         6,
+		Decision:       dec,
+		Calibrator:     cal,
+		DecisionScaler: identity(6),
+		CalibScaler:    identity(7),
+		TargetScale:    1000,
+		PresetSamples:  1,
+	}
+}
+
+// TestBuildMuxObservabilityEndpoints checks the daemon-only endpoints the
+// serving package does not provide: Prometheus exposition, the raw
+// telemetry dump, and pprof — layered over the serving API.
+func TestBuildMuxObservabilityEndpoints(t *testing.T) {
+	srv, err := serve.NewServer(testModel(t), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(buildMux(srv))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics.prom"); code != http.StatusOK ||
+		!strings.Contains(body, "# TYPE serve_decisions_total counter") {
+		t.Fatalf("/metrics.prom → %d:\n%s", code, body)
+	}
+	if code, body := get("/telemetry"); code != http.StatusOK ||
+		!strings.Contains(body, "serve_batches_total") {
+		t.Fatalf("/telemetry → %d:\n%s", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline → %d", code)
+	}
+	// The serving API still answers underneath.
+	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz → %d %q", code, body)
+	}
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "latency_buckets_us") {
+		t.Fatalf("/metrics → %d:\n%s", code, body)
+	}
+}

@@ -10,12 +10,15 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"ssmdvfs/internal/compress"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/datagen"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/telemetry"
 )
 
 // PipelineOptions configures the end-to-end build of the SSMDVFS models.
@@ -39,8 +42,19 @@ type PipelineOptions struct {
 	// CacheDir, when non-empty, caches the dataset and models as JSON so
 	// repeated experiment runs skip regeneration.
 	CacheDir string
-	// Logf receives progress lines (nil silences them).
+	// Logf receives progress lines (nil silences them). When Logger is
+	// also set, Logger wins.
 	Logf func(format string, args ...any)
+	// Logger is the telemetry-backed progress logger; nil (with nil
+	// Logf) keeps the run quiet.
+	Logger *telemetry.Logger
+	// Telemetry, when non-nil, receives pipeline counters (samples
+	// generated, cache hits/misses) and per-phase duration histograms.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one span per pipeline phase
+	// (datagen → train → compress → prune), exportable to Chrome
+	// trace-event format.
+	Tracer *telemetry.Tracer
 }
 
 // DefaultPipelineOptions returns the paper-faithful full-scale setup.
@@ -85,12 +99,45 @@ type Pipeline struct {
 	CompressedReport core.Report
 }
 
+// logger resolves the progress logger: an explicit Logger wins, a bare
+// Logf func is adapted, and neither yields a silent logger.
+func (opts *PipelineOptions) logger() *telemetry.Logger {
+	if opts.Logger != nil {
+		return opts.Logger
+	}
+	return telemetry.NewLoggerFunc(opts.Logf, opts.Telemetry)
+}
+
+// phaseSpan opens one pipeline-phase span (nil-safe on a nil tracer).
+func (opts *PipelineOptions) phaseSpan(name string, attrs ...string) *telemetry.Span {
+	sp := opts.Tracer.Start(name, attrs...)
+	sp.SetCat("pipeline")
+	return sp
+}
+
+// observePhase records a finished phase's wall-clock duration.
+func (opts *PipelineOptions) observePhase(name string, start time.Time) {
+	if opts.Telemetry != nil {
+		opts.Telemetry.Histogram("pipeline_phase_ms", "phase", name).Observe(time.Since(start).Milliseconds())
+	}
+}
+
+// countCache records an artifact cache hit or miss.
+func (opts *PipelineOptions) countCache(artifact string, hit bool) {
+	if opts.Telemetry == nil {
+		return
+	}
+	name := "pipeline_cache_misses_total"
+	if hit {
+		name = "pipeline_cache_hits_total"
+	}
+	opts.Telemetry.Counter(name, "artifact", artifact).Add(1)
+}
+
 // RunPipeline executes (or loads from cache) the full build.
 func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+	log := opts.logger()
+	logf := log.Logf
 	if opts.Scale <= 0 {
 		return nil, fmt.Errorf("experiments: Scale must be positive")
 	}
@@ -111,10 +158,15 @@ func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
 
 	// Dataset.
 	dsPath := cachePath(opts.CacheDir, "dataset.json")
+	dsStart := time.Now()
+	dsSpan := opts.phaseSpan("datagen", "kernels", strconv.Itoa(len(trainKernels)))
 	if ds, err := loadCachedDataset(dsPath); err == nil {
+		opts.countCache("dataset", true)
+		dsSpan.SetAttr("cached", "true")
 		logf("experiments: loaded cached dataset (%d samples)", len(ds.Samples))
 		p.Dataset = ds
 	} else {
+		opts.countCache("dataset", false)
 		dgCfg := datagen.DefaultConfig(opts.Sim)
 		if opts.BreakpointPs > 0 {
 			dgCfg.BreakpointPs = opts.BreakpointPs
@@ -125,65 +177,100 @@ func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
 		}
 		ds := &datagen.Dataset{}
 		for _, spec := range trainKernels {
+			kSpan := opts.phaseSpan("datagen:" + spec.Name)
 			if err := datagen.Generate(dgCfg, spec.Build(opts.Scale), ds, logf); err != nil {
+				kSpan.End()
+				dsSpan.End()
 				return nil, err
 			}
+			kSpan.End()
 		}
 		p.Dataset = ds
+		if opts.Telemetry != nil {
+			opts.Telemetry.Counter("pipeline_samples_total").Add(int64(len(ds.Samples)))
+		}
 		logf("experiments: generated dataset with %d samples", len(ds.Samples))
 		if dsPath != "" {
 			if err := ds.SaveFile(dsPath); err != nil {
+				dsSpan.End()
 				return nil, err
 			}
 		}
 	}
+	dsSpan.SetAttr("samples", strconv.Itoa(len(p.Dataset.Samples)))
+	dsSpan.End()
+	opts.observePhase("datagen", dsStart)
 
 	// Uncompressed model.
 	modelPath := cachePath(opts.CacheDir, "model.json")
+	trainStart := time.Now()
+	trainSpan := opts.phaseSpan("train", "epochs", strconv.Itoa(opts.TrainOpts.Epochs))
 	var err error
 	if m, lerr := loadCachedModel(modelPath); lerr == nil {
+		opts.countCache("model", true)
+		trainSpan.SetAttr("cached", "true")
 		p.Model = m
 		p.Report = core.Evaluate(m, p.Dataset)
 		logf("experiments: loaded cached model (acc=%.2f%%)", p.Report.Accuracy*100)
 	} else {
+		opts.countCache("model", false)
 		if p.Model, p.Report, err = core.Train(p.Dataset, opts.TrainOpts); err != nil {
+			trainSpan.End()
 			return nil, err
 		}
 		logf("experiments: trained model acc=%.2f%% mape=%.2f%% flops=%d",
 			p.Report.Accuracy*100, p.Report.MAPE, p.Report.FLOPs)
 		if modelPath != "" {
 			if err := p.Model.SaveFile(modelPath); err != nil {
+				trainSpan.End()
 				return nil, err
 			}
 		}
 	}
+	trainSpan.End()
+	opts.observePhase("train", trainStart)
 
 	// Compressed model: retrain at the compressed architecture, then
 	// prune, as in Section IV.
 	compPath := cachePath(opts.CacheDir, "compressed.json")
+	compStart := time.Now()
+	compSpan := opts.phaseSpan("compress")
 	if m, lerr := loadCachedModel(compPath); lerr == nil {
+		opts.countCache("compressed", true)
+		compSpan.SetAttr("cached", "true")
 		p.Compressed = m
 		p.CompressedReport = core.Evaluate(m, p.Dataset)
 		p.CompressedReport.FLOPs = m.EffectiveFLOPs()
 		logf("experiments: loaded cached compressed model (acc=%.2f%%)", p.CompressedReport.Accuracy*100)
 	} else {
+		opts.countCache("compressed", false)
 		smallOpts := opts.TrainOpts
 		smallOpts.Arch = core.PaperCompressed()
+		smallSpan := opts.phaseSpan("compress:train-small")
 		smallModel, _, err := core.Train(p.Dataset, smallOpts)
+		smallSpan.End()
 		if err != nil {
+			compSpan.End()
 			return nil, err
 		}
-		if p.Compressed, p.CompressedReport, err = compress.PruneModel(smallModel, p.Dataset, opts.PruneOpts); err != nil {
+		pruneSpan := opts.phaseSpan("compress:prune")
+		p.Compressed, p.CompressedReport, err = compress.PruneModel(smallModel, p.Dataset, opts.PruneOpts)
+		pruneSpan.End()
+		if err != nil {
+			compSpan.End()
 			return nil, err
 		}
 		logf("experiments: compressed model acc=%.2f%% mape=%.2f%% effective flops=%d",
 			p.CompressedReport.Accuracy*100, p.CompressedReport.MAPE, p.Compressed.EffectiveFLOPs())
 		if compPath != "" {
 			if err := p.Compressed.SaveFile(compPath); err != nil {
+				compSpan.End()
 				return nil, err
 			}
 		}
 	}
+	compSpan.End()
+	opts.observePhase("compress", compStart)
 	return p, nil
 }
 

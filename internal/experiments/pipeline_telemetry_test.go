@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+// TestPipelineTelemetry runs the pipeline from warm caches with a
+// registry and tracer attached: every phase must leave a span, the cache
+// hits must be counted, and the dump must round-trip through the JSON
+// snapshot the dvfsstat tool consumes.
+func TestPipelineTelemetry(t *testing.T) {
+	p := sharedPipeline(t)
+	dir := t.TempDir()
+	if err := p.Dataset.SaveFile(filepath.Join(dir, "dataset.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Model.SaveFile(filepath.Join(dir, "model.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Compressed.SaveFile(filepath.Join(dir, "compressed.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	var spansBuf bytes.Buffer
+	opts := testPipelineOpts()
+	opts.CacheDir = dir
+	opts.Telemetry = telemetry.NewRegistry()
+	opts.Tracer = telemetry.NewTracer(&spansBuf)
+	opts.Logger = telemetry.NewLogger(nil, opts.Telemetry) // quiet mode
+	if _, err := RunPipeline(opts); err != nil {
+		t.Fatal(err)
+	}
+	if err := opts.Tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, err := telemetry.ReadSpans(&spansBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]telemetry.SpanRecord{}
+	for _, sp := range spans {
+		byName[sp.Name] = sp
+	}
+	for _, phase := range []string{"datagen", "train", "compress"} {
+		sp, ok := byName[phase]
+		if !ok {
+			t.Fatalf("no span for phase %q (got %v)", phase, byName)
+		}
+		if sp.Cat != "pipeline" || sp.DurUs < 0 {
+			t.Fatalf("bad span %+v", sp)
+		}
+		if sp.Attrs["cached"] != "true" {
+			t.Fatalf("phase %q should have hit the cache: %+v", phase, sp)
+		}
+	}
+
+	snap := opts.Telemetry.Snapshot()
+	for _, artifact := range []string{"dataset", "model", "compressed"} {
+		id := telemetry.MetricID("pipeline_cache_hits_total", "artifact", artifact)
+		if snap.Counters[id] != 1 {
+			t.Fatalf("%s = %d, want 1", id, snap.Counters[id])
+		}
+	}
+	for _, phase := range []string{"datagen", "train", "compress"} {
+		id := telemetry.MetricID("pipeline_phase_ms", "phase", phase)
+		if snap.Histograms[id].Count != 1 {
+			t.Fatalf("phase histogram %s missing", id)
+		}
+	}
+	// The quiet logger still counted its progress lines.
+	if snap.Counters["log_lines_total"] == 0 {
+		t.Fatal("quiet logger recorded no lines")
+	}
+	// The whole dump must survive the JSON round trip dvfsstat relies on.
+	var dump bytes.Buffer
+	if err := opts.Telemetry.WriteJSON(&dump); err != nil {
+		t.Fatal(err)
+	}
+	back, err := telemetry.ReadSnapshot(&dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Counters) != len(snap.Counters) || len(back.Histograms) != len(snap.Histograms) {
+		t.Fatal("dump round trip lost metrics")
+	}
+}

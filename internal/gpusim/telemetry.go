@@ -1,0 +1,147 @@
+package gpusim
+
+import (
+	"strconv"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+// TelemetryCollector is an EpochObserver that folds every epoch snapshot
+// into a telemetry.Registry: wall-clock residency per operating level,
+// the stall-cycle breakdown, instruction/cycle/energy totals, an IPC
+// distribution, and — when a reference level sequence is attached —
+// controller-vs-reference divergence counts. cmd/dvfsstat renders the
+// resulting dump as residency tables and divergence summaries.
+//
+// All handles are resolved at construction; Observe performs only atomic
+// updates and is safe to share across concurrently-running simulators.
+type TelemetryCollector struct {
+	epochs       *telemetry.Counter
+	instructions *telemetry.Counter
+	cycles       *telemetry.Counter
+	activeCycles *telemetry.Counter
+	energyPJ     *telemetry.Gauge
+	transitions  *telemetry.Counter
+
+	residencyPs []*telemetry.Counter // per level
+	levelEpochs []*telemetry.Counter // per level
+	stalls      map[string]*telemetry.Counter
+
+	// ipcCentis observes 100×IPC so the log-2 histogram resolves the
+	// IPC ∈ [0, ~8] range the simulator produces.
+	ipcCentis *telemetry.Histogram
+
+	agree       *telemetry.Counter
+	diverge     *telemetry.Counter
+	divergeDist *telemetry.Counter
+
+	// reference[epoch] is the level an oracle (or any reference policy)
+	// chose chip-wide for that epoch; nil disables divergence counting.
+	reference []int
+}
+
+// stallKinds maps the metric label to the EpochStats accessor.
+var stallKinds = []struct {
+	kind string
+	get  func(EpochStats) int64
+}{
+	{"mem_load", func(s EpochStats) int64 { return s.StallMemLoad }},
+	{"mem_other", func(s EpochStats) int64 { return s.StallMemOther }},
+	{"compute", func(s EpochStats) int64 { return s.StallCompute }},
+	{"control", func(s EpochStats) int64 { return s.StallControl }},
+	{"ready_not_issued", func(s EpochStats) int64 { return s.ReadyNotIssued }},
+	{"dvfs", func(s EpochStats) int64 { return s.DVFSStall }},
+}
+
+// NewTelemetryCollector builds a collector for a table with the given
+// number of operating levels, registering its series in reg.
+func NewTelemetryCollector(reg *telemetry.Registry, levels int) *TelemetryCollector {
+	c := &TelemetryCollector{
+		epochs:       reg.Counter("sim_epochs_total"),
+		instructions: reg.Counter("sim_instructions_total"),
+		cycles:       reg.Counter("sim_cycles_total"),
+		activeCycles: reg.Counter("sim_active_cycles_total"),
+		energyPJ:     reg.Gauge("sim_energy_pj"),
+		transitions:  reg.Counter("sim_level_changes_total"),
+		residencyPs:  make([]*telemetry.Counter, levels),
+		levelEpochs:  make([]*telemetry.Counter, levels),
+		stalls:       make(map[string]*telemetry.Counter, len(stallKinds)),
+		ipcCentis:    reg.HistogramBuckets("sim_ipc_centis", 16),
+		agree:        reg.Counter("sim_reference_agree_epochs_total"),
+		diverge:      reg.Counter("sim_reference_diverge_epochs_total"),
+		divergeDist:  reg.Counter("sim_reference_diverge_levels_total"),
+	}
+	for l := 0; l < levels; l++ {
+		lab := strconv.Itoa(l)
+		c.residencyPs[l] = reg.Counter("sim_level_residency_ps", "level", lab)
+		c.levelEpochs[l] = reg.Counter("sim_level_epochs_total", "level", lab)
+	}
+	for _, sk := range stallKinds {
+		c.stalls[sk.kind] = reg.Counter("sim_stall_cycles_total", "kind", sk.kind)
+	}
+	return c
+}
+
+// SetReference attaches the per-epoch chip-wide level sequence of a
+// reference policy (e.g. oracle.GreedyResult.Levels). Epochs beyond the
+// sequence are not counted either way.
+func (c *TelemetryCollector) SetReference(levels []int) { c.reference = levels }
+
+// Observe folds one epoch snapshot into the registry. It satisfies
+// EpochObserver.
+func (c *TelemetryCollector) Observe(s EpochStats) {
+	c.epochs.Add(1)
+	c.instructions.Add(s.Instructions)
+	c.cycles.Add(s.Cycles)
+	c.activeCycles.Add(s.ActiveCycles)
+	c.energyPJ.Add(s.EnergyPJ)
+	if s.Level >= 0 && s.Level < len(c.residencyPs) {
+		c.residencyPs[s.Level].Add(s.EndPs - s.StartPs)
+		c.levelEpochs[s.Level].Add(1)
+	}
+	for _, sk := range stallKinds {
+		if v := sk.get(s); v != 0 {
+			c.stalls[sk.kind].Add(v)
+		}
+	}
+	if s.Cycles > 0 {
+		c.ipcCentis.Observe(int64(s.IPC() * 100))
+	}
+	if c.reference != nil && s.Epoch < len(c.reference) {
+		ref := c.reference[s.Epoch]
+		if ref == s.Level {
+			c.agree.Add(1)
+		} else {
+			c.diverge.Add(1)
+			d := int64(ref - s.Level)
+			if d < 0 {
+				d = -d
+			}
+			c.divergeDist.Add(d)
+		}
+	}
+}
+
+// ChainObservers fans one epoch snapshot out to several observers (e.g.
+// an epochtrace.Trace and a TelemetryCollector on the same run). Nil
+// entries are skipped; chaining zero or one observer returns it directly.
+func ChainObservers(obs ...EpochObserver) EpochObserver {
+	live := obs[:0]
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	chained := append([]EpochObserver(nil), live...)
+	return func(s EpochStats) {
+		for _, o := range chained {
+			o(s)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package gpusim
+
+import (
+	"strconv"
+	"testing"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+func TestTelemetryCollectorResidencyAndTotals(t *testing.T) {
+	cfg := tinyConfig()
+	sim, err := New(cfg, computeTestKernel(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	col := NewTelemetryCollector(reg, cfg.OPs.Len())
+	sim.SetObserver(col.Observe)
+	res := sim.Run(testMaxPs)
+	if !res.Completed {
+		t.Fatal("kernel did not complete")
+	}
+
+	snap := reg.Snapshot()
+	epochs := snap.Counters["sim_epochs_total"]
+	if want := int64(res.Epochs * cfg.Clusters); epochs != want {
+		t.Fatalf("sim_epochs_total = %d, want %d", epochs, want)
+	}
+	// With no controller every epoch runs at the default level, so all
+	// residency lands there and sums to epochs × EpochPs.
+	defID := telemetry.MetricID("sim_level_residency_ps", "level", strconv.Itoa(cfg.OPs.Default()))
+	var residency int64
+	for id, v := range snap.Counters {
+		if name, _ := telemetry.ParseID(id); name == "sim_level_residency_ps" {
+			residency += v
+			if v != 0 && id != defID {
+				t.Fatalf("residency charged to non-default level: %s = %d", id, v)
+			}
+		}
+	}
+	if want := epochs * cfg.EpochPs; residency != want {
+		t.Fatalf("total residency = %d ps, want %d", residency, want)
+	}
+	// Finalized-epoch instruction counts are a lower bound on the run
+	// total (the tail epoch is charged outside the observer).
+	instr := snap.Counters["sim_instructions_total"]
+	if instr <= 0 || instr > res.Instructions {
+		t.Fatalf("sim_instructions_total = %d, run total %d", instr, res.Instructions)
+	}
+	if ipc := snap.Histograms["sim_ipc_centis"]; ipc.Count == 0 {
+		t.Fatal("IPC histogram empty")
+	}
+	var stalls int64
+	for id, v := range snap.Counters {
+		if name, _ := telemetry.ParseID(id); name == "sim_stall_cycles_total" {
+			stalls += v
+		}
+	}
+	if stalls < 0 {
+		t.Fatalf("negative stall total %d", stalls)
+	}
+}
+
+// staticSeq is a controller that replays a fixed per-epoch level sequence,
+// standing in for any reference policy.
+type staticSeq struct{ levels []int }
+
+func (c *staticSeq) Name() string { return "static-seq" }
+func (c *staticSeq) Decide(s EpochStats) int {
+	// Decide is called at the end of epoch s.Epoch for epoch s.Epoch+1.
+	if n := s.Epoch + 1; n < len(c.levels) {
+		return c.levels[n]
+	}
+	return c.levels[len(c.levels)-1]
+}
+
+func TestTelemetryCollectorDivergence(t *testing.T) {
+	cfg := tinyConfig()
+	seq := make([]int, 64)
+	for i := range seq {
+		seq[i] = cfg.OPs.Default()
+		if i%3 == 0 && i > 0 {
+			seq[i] = 0 // every third epoch drops to the lowest level
+		}
+	}
+	sim, err := New(cfg, computeTestKernel(3000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetController(&staticSeq{levels: seq})
+
+	// Reference policy: always the default level. Divergence must then
+	// count exactly the epochs where the controller deviated.
+	ref := make([]int, len(seq))
+	for i := range ref {
+		ref[i] = cfg.OPs.Default()
+	}
+	reg := telemetry.NewRegistry()
+	col := NewTelemetryCollector(reg, cfg.OPs.Len())
+	col.SetReference(ref)
+	sim.SetObserver(col.Observe)
+	if res := sim.Run(testMaxPs); !res.Completed {
+		t.Fatal("kernel did not complete")
+	}
+
+	snap := reg.Snapshot()
+	agree := snap.Counters["sim_reference_agree_epochs_total"]
+	diverge := snap.Counters["sim_reference_diverge_epochs_total"]
+	if agree == 0 || diverge == 0 {
+		t.Fatalf("agree=%d diverge=%d, want both nonzero", agree, diverge)
+	}
+	// Count expected divergent cluster-epochs from the actual level
+	// residency: epochs at level 0 diverge, the default level agrees.
+	lvl0 := snap.Counters[telemetry.MetricID("sim_level_epochs_total", "level", "0")]
+	if diverge != lvl0 {
+		t.Fatalf("diverge = %d, want %d (level-0 epochs)", diverge, lvl0)
+	}
+	// |default - 0| per divergent epoch.
+	wantDist := lvl0 * int64(cfg.OPs.Default())
+	if got := snap.Counters["sim_reference_diverge_levels_total"]; got != wantDist {
+		t.Fatalf("diverge levels = %d, want %d", got, wantDist)
+	}
+}
+
+func TestChainObservers(t *testing.T) {
+	var a, b int
+	obs := ChainObservers(nil, func(EpochStats) { a++ }, nil, func(EpochStats) { b++ })
+	obs(EpochStats{})
+	obs(EpochStats{})
+	if a != 2 || b != 2 {
+		t.Fatalf("a=%d b=%d, want 2,2", a, b)
+	}
+	if ChainObservers(nil, nil) != nil {
+		t.Fatal("all-nil chain must be nil")
+	}
+	single := func(EpochStats) { a++ }
+	if got := ChainObservers(single); got == nil {
+		t.Fatal("single chain must pass through")
+	}
+}

@@ -1,48 +1,80 @@
 package serve
 
 import (
-	"math"
-	"sync/atomic"
 	"time"
+
+	"ssmdvfs/internal/telemetry"
 )
 
 // histBuckets is the number of latency histogram buckets: bucket i counts
-// decisions whose batch latency fell in [2^i, 2^(i+1)) microseconds, with
+// decisions whose batch latency fell in [2^(i-1), 2^i) microseconds, with
 // the first and last buckets absorbing the tails.
 const histBuckets = 20
 
 // maxLevels bounds the per-level decision counters; the V/f tables in
 // this project have 6 levels, so 64 leaves ample room for future tables
-// without resizing atomics on model hot-swap.
+// without resizing the handle table on model hot-swap.
 const maxLevels = 64
 
-// Metrics aggregates serving counters. All fields are updated with
-// atomics; a Snapshot is consistent enough for monitoring (counters are
-// read individually, not under a lock).
+// Metrics aggregates serving counters, hosted on a telemetry.Registry so
+// the same numbers are visible through the JSON Snapshot (the original
+// /metrics shape), the Prometheus exposition, and cmd/dvfsstat. Every
+// update is a single atomic on a pre-resolved handle — the hot path does
+// not allocate or lock.
 type Metrics struct {
-	Decisions atomic.Int64 // rows served
-	Batches   atomic.Int64 // frames / HTTP bodies served
-	Errors    atomic.Int64 // malformed frames, bad requests, failed reloads
-	Reloads   atomic.Int64 // successful model swaps
-	Conns     atomic.Int64 // currently open binary-protocol connections
+	Decisions *telemetry.Counter // rows served
+	Batches   *telemetry.Counter // frames / HTTP bodies served
+	Errors    *telemetry.Counter // malformed frames, bad requests, failed reloads
+	Reloads   *telemetry.Counter // successful model swaps
+	Conns     *telemetry.Counter // currently open binary-protocol connections
 
-	levels [maxLevels]atomic.Int64
-	hist   [histBuckets]atomic.Int64
+	levels [maxLevels]*telemetry.Counter
+	lat    *telemetry.Histogram
+
+	reg *telemetry.Registry
 }
+
+// newMetrics resolves every handle the serving hot path needs up front.
+func newMetrics(reg *telemetry.Registry) *Metrics {
+	m := &Metrics{
+		Decisions: reg.Counter("serve_decisions_total"),
+		Batches:   reg.Counter("serve_batches_total"),
+		Errors:    reg.Counter("serve_errors_total"),
+		Reloads:   reg.Counter("serve_reloads_total"),
+		Conns:     reg.Counter("serve_open_conns"),
+		lat:       reg.HistogramBuckets("serve_batch_latency_us", histBuckets),
+		reg:       reg,
+	}
+	for l := range m.levels {
+		m.levels[l] = reg.Counter("serve_level_decisions_total", "level", itoa(l))
+	}
+	return m
+}
+
+// itoa avoids strconv in the import set for this tiny range.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [4]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// Registry exposes the underlying telemetry registry (Prometheus
+// exposition, extra daemon-level metrics).
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 // ObserveBatch records one served batch: n decisions in d.
 func (m *Metrics) ObserveBatch(n int, d time.Duration) {
 	m.Batches.Add(1)
 	m.Decisions.Add(int64(n))
-	us := d.Microseconds()
-	b := 0
-	if us > 0 {
-		b = int(math.Log2(float64(us))) + 1
-	}
-	if b >= histBuckets {
-		b = histBuckets - 1
-	}
-	m.hist[b].Add(1)
+	m.lat.Observe(d.Microseconds())
 }
 
 // ObserveLevel records one decision outcome.
@@ -83,52 +115,14 @@ func (m *Metrics) Snapshot(levels int) Snapshot {
 		Errors:           m.Errors.Load(),
 		Reloads:          m.Reloads.Load(),
 		Conns:            m.Conns.Load(),
-		LatencyBucketsUs: make([]int64, histBuckets),
+		LatencyBucketsUs: m.lat.Buckets(),
 		LevelCounts:      make([]int64, levels),
-	}
-	for i := range s.LatencyBucketsUs {
-		s.LatencyBucketsUs[i] = m.hist[i].Load()
 	}
 	for l := 0; l < levels; l++ {
 		s.LevelCounts[l] = m.levels[l].Load()
 	}
-	s.LatencyP50Us = histQuantile(s.LatencyBucketsUs, 0.50)
-	s.LatencyP95Us = histQuantile(s.LatencyBucketsUs, 0.95)
-	s.LatencyP99Us = histQuantile(s.LatencyBucketsUs, 0.99)
+	s.LatencyP50Us = telemetry.Quantile(s.LatencyBucketsUs, 0.50)
+	s.LatencyP95Us = telemetry.Quantile(s.LatencyBucketsUs, 0.95)
+	s.LatencyP99Us = telemetry.Quantile(s.LatencyBucketsUs, 0.99)
 	return s
-}
-
-// histQuantile estimates a quantile from the log-2 histogram by linear
-// interpolation within the winning bucket (bucket i spans
-// [2^(i-1), 2^i) µs; bucket 0 is [0, 1) µs).
-func histQuantile(buckets []int64, q float64) float64 {
-	var total int64
-	for _, c := range buckets {
-		total += c
-	}
-	if total == 0 {
-		return 0
-	}
-	target := q * float64(total)
-	var cum float64
-	for i, c := range buckets {
-		if c == 0 {
-			continue
-		}
-		lo, hi := bucketBounds(i)
-		if cum+float64(c) >= target {
-			frac := (target - cum) / float64(c)
-			return lo + frac*(hi-lo)
-		}
-		cum += float64(c)
-	}
-	_, hi := bucketBounds(len(buckets) - 1)
-	return hi
-}
-
-func bucketBounds(i int) (lo, hi float64) {
-	if i == 0 {
-		return 0, 1
-	}
-	return math.Pow(2, float64(i-1)), math.Pow(2, float64(i))
 }

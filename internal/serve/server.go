@@ -16,6 +16,7 @@ import (
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/quant"
+	"ssmdvfs/internal/telemetry"
 )
 
 // Options configures a Server.
@@ -40,7 +41,7 @@ type Options struct {
 type Server struct {
 	opts    Options
 	model   atomic.Pointer[core.Model]
-	metrics Metrics
+	metrics *Metrics
 	sem     chan struct{}
 
 	infPool sync.Pool // *core.Inference
@@ -71,7 +72,11 @@ func NewServer(m *core.Model, opts Options) (*Server, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
-	s := &Server{opts: opts, sem: make(chan struct{}, opts.Workers)}
+	s := &Server{
+		opts:    opts,
+		metrics: newMetrics(telemetry.NewRegistry()),
+		sem:     make(chan struct{}, opts.Workers),
+	}
 	s.model.Store(m)
 	s.infPool.New = func() any { return core.NewInference(m) }
 	s.bufPool.New = func() any { return &connBuffers{} }
@@ -98,7 +103,11 @@ func LoadModel(path string, quantBits int) (*core.Model, error) {
 func (s *Server) Model() *core.Model { return s.model.Load() }
 
 // Metrics exposes the server's counters.
-func (s *Server) Metrics() *Metrics { return &s.metrics }
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Telemetry exposes the registry hosting the server's metrics, for the
+// Prometheus exposition and for daemons that add their own series.
+func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.Registry() }
 
 // Swap atomically replaces the served model. In-flight batches finish on
 // the model they started with; new batches see the new one immediately.

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// DefaultHistBuckets is the bucket count used when none is specified:
+// bucket 31 opens at 2^30, enough for any microsecond- or cycle-valued
+// observation this project makes.
+const DefaultHistBuckets = 32
+
+// Histogram is a fixed-size log-2 histogram: bucket i counts observations
+// v with 2^(i-1) <= v < 2^i (bucket 0 counts v < 1), and the last bucket
+// absorbs the overflow tail. Observe is a pair of atomic adds —
+// allocation-free and safe for concurrent use.
+type Histogram struct {
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// NewHistogram returns a histogram with n buckets (minimum 2).
+func NewHistogram(n int) *Histogram {
+	if n < 2 {
+		n = 2
+	}
+	return &Histogram{buckets: make([]atomic.Int64, n)}
+}
+
+// BucketIndex returns the bucket an observation falls in for a histogram
+// with n buckets.
+func BucketIndex(v int64, n int) int {
+	if v <= 0 {
+		return 0
+	}
+	// bits.Len64 is floor(log2(v))+1, exactly the [2^(i-1), 2^i) bucket.
+	b := bits.Len64(uint64(v))
+	if b >= n {
+		return n - 1
+	}
+	return b
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[BucketIndex(v, len(h.buckets))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Buckets copies the current bucket counts.
+func (h *Histogram) Buckets() []int64 {
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0..1) of the observed distribution.
+func (h *Histogram) Quantile(q float64) float64 {
+	return Quantile(h.Buckets(), q)
+}
+
+// Snapshot captures the histogram with precomputed common quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	b := h.Buckets()
+	return HistogramSnapshot{
+		Buckets: b,
+		Count:   h.count.Load(),
+		Sum:     h.sum.Load(),
+		P50:     Quantile(b, 0.50),
+		P95:     Quantile(b, 0.95),
+		P99:     Quantile(b, 0.99),
+	}
+}
+
+// BucketBounds returns bucket i's value range [lo, hi).
+func BucketBounds(i int) (lo, hi float64) {
+	if i <= 0 {
+		return 0, 1
+	}
+	return math.Pow(2, float64(i-1)), math.Pow(2, float64(i))
+}
+
+// Quantile estimates a quantile from log-2 bucket counts by linear
+// interpolation within the winning bucket. An empty histogram yields 0;
+// estimates for observations past the last bucket saturate at that
+// bucket's range (log-2 histograms cannot resolve the overflow tail).
+func Quantile(buckets []int64, q float64) float64 {
+	var total int64
+	for _, c := range buckets {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := BucketBounds(i)
+		if cum+float64(c) >= target {
+			frac := (target - cum) / float64(c)
+			return lo + frac*(hi-lo)
+		}
+		cum += float64(c)
+	}
+	_, hi := BucketBounds(len(buckets) - 1)
+	return hi
+}
+
+func floatBits(v float64) uint64 { return math.Float64bits(v) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

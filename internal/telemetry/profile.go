@@ -1,0 +1,47 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPUProfile begins writing a CPU profile to path and returns the
+// stop function. An empty path is a no-op (callers wire it straight to a
+// -cpuprofile flag).
+func StartCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: cpu profile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeapProfile writes an allocation profile to path after forcing a
+// GC (so the profile reflects live objects). An empty path is a no-op.
+func WriteHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("telemetry: heap profile: %w", err)
+	}
+	return nil
+}

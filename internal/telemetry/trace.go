@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span as serialized to JSONL: a named,
+// attributed interval on the tracer's clock (microseconds since the
+// tracer was created).
+type SpanRecord struct {
+	Name    string            `json:"name"`
+	Cat     string            `json:"cat,omitempty"`
+	TID     int               `json:"tid,omitempty"`
+	StartUs float64           `json:"start_us"`
+	DurUs   float64           `json:"dur_us"`
+	Attrs   map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer records spans as JSON-lines to a writer. A nil *Tracer is a
+// valid no-op tracer, so instrumented code never needs nil checks:
+//
+//	sp := tracer.Start("train", "epochs", "50")
+//	defer sp.End()
+//
+// Writes are serialized internally; the first write error sticks and is
+// reported by Err.
+type Tracer struct {
+	mu    sync.Mutex
+	w     *bufio.Writer
+	enc   *json.Encoder
+	epoch time.Time
+	now   func() time.Time
+	err   error
+}
+
+// NewTracer returns a tracer writing JSONL spans to w.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{w: bw, enc: json.NewEncoder(bw), epoch: time.Now(), now: time.Now}
+}
+
+// SetClock overrides the tracer's time source (tests); epoch is re-read
+// from the new clock.
+func (t *Tracer) SetClock(now func() time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.now = now
+	t.epoch = now()
+}
+
+// Span is an in-flight interval; call End exactly once. A nil *Span
+// (from a nil tracer) ignores all calls.
+type Span struct {
+	t     *Tracer
+	name  string
+	cat   string
+	tid   int
+	start time.Time
+	attrs map[string]string
+}
+
+// Start opens a span. attrs are key/value pairs attached to the record.
+func (t *Tracer) Start(name string, attrs ...string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{t: t, name: name, start: t.clock()}
+	for i := 0; i+1 < len(attrs); i += 2 {
+		sp.SetAttr(attrs[i], attrs[i+1])
+	}
+	return sp
+}
+
+func (t *Tracer) clock() time.Time {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.now()
+}
+
+// SetAttr attaches or replaces one attribute.
+func (sp *Span) SetAttr(k, v string) {
+	if sp == nil {
+		return
+	}
+	if sp.attrs == nil {
+		sp.attrs = make(map[string]string)
+	}
+	sp.attrs[k] = v
+}
+
+// SetCat sets the span's category (Chrome trace "cat" field).
+func (sp *Span) SetCat(cat string) {
+	if sp != nil {
+		sp.cat = cat
+	}
+}
+
+// SetTID tags the span with a logical track id (Chrome trace "tid").
+func (sp *Span) SetTID(tid int) {
+	if sp != nil {
+		sp.tid = tid
+	}
+}
+
+// End closes the span and writes its record.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	t := sp.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.now()
+	rec := SpanRecord{
+		Name:    sp.name,
+		Cat:     sp.cat,
+		TID:     sp.tid,
+		StartUs: float64(sp.start.Sub(t.epoch)) / float64(time.Microsecond),
+		DurUs:   float64(end.Sub(sp.start)) / float64(time.Microsecond),
+		Attrs:   sp.attrs,
+	}
+	if t.err == nil {
+		t.err = t.enc.Encode(rec)
+	}
+}
+
+// Flush drains buffered records to the underlying writer.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// Err returns the first write error, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// ReadSpans parses a JSONL span stream written by a Tracer.
+func ReadSpans(r io.Reader) ([]SpanRecord, error) {
+	var out []SpanRecord
+	dec := json.NewDecoder(r)
+	for {
+		var rec SpanRecord
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("telemetry: span %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event), viewable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	TsUs float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace exports spans in the Chrome trace-event JSON format.
+func WriteChromeTrace(w io.Writer, spans []SpanRecord) error {
+	ct := chromeTrace{TraceEvents: make([]chromeEvent, len(spans))}
+	for i, sp := range spans {
+		ct.TraceEvents[i] = chromeEvent{
+			Name: sp.Name,
+			Cat:  sp.Cat,
+			Ph:   "X",
+			TsUs: sp.StartUs,
+			Dur:  sp.DurUs,
+			PID:  1,
+			TID:  sp.TID,
+			Args: sp.Attrs,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(ct)
+}
+
+// ReadChromeTrace parses a Chrome trace-event file back into spans
+// (complete "X" events only), inverting WriteChromeTrace.
+func ReadChromeTrace(r io.Reader) ([]SpanRecord, error) {
+	var ct chromeTrace
+	if err := json.NewDecoder(r).Decode(&ct); err != nil {
+		return nil, fmt.Errorf("telemetry: chrome trace: %w", err)
+	}
+	var out []SpanRecord
+	for _, ev := range ct.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		out = append(out, SpanRecord{
+			Name:    ev.Name,
+			Cat:     ev.Cat,
+			TID:     ev.TID,
+			StartUs: ev.TsUs,
+			DurUs:   ev.Dur,
+			Attrs:   ev.Args,
+		})
+	}
+	return out, nil
+}
