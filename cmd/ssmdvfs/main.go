@@ -18,6 +18,14 @@
 // The cache directory holds dataset.json, model.json and compressed.json;
 // every subcommand builds missing artifacts on demand.
 //
+// Parallelism (any subcommand):
+//
+//	-j N              shard independent simulation units (per-kernel
+//	                  datagen, per-(preset,kernel) sweeps, fig3/fig4
+//	                  grid points) across N workers; defaults to
+//	                  runtime.NumCPU(). Output is byte-identical at any
+//	                  worker count.
+//
 // Observability flags (any subcommand):
 //
 //	-telemetry FILE   write the telemetry-registry snapshot (JSON) at exit;
@@ -34,6 +42,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -58,6 +67,7 @@ func main() {
 	quick := fs.Bool("quick", false, "small GPU / short kernels (seconds instead of minutes)")
 	scale := fs.Float64("scale", 0, "kernel duration scale override (0 = preset default)")
 	presets := fs.String("presets", "0.10,0.20", "comma-separated performance-loss presets")
+	workers := fs.Int("j", runtime.NumCPU(), "parallel workers for sharded experiment stages")
 	verbose := fs.Bool("v", true, "log progress")
 	telemOut := fs.String("telemetry", "", "write the telemetry snapshot (JSON) here at exit")
 	spansOut := fs.String("spans", "", "write pipeline phase spans (JSONL) here")
@@ -78,7 +88,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	runErr := run(cmd, *cache, *quick, *scale, *presets, obs)
+	runErr := run(cmd, *cache, *quick, *scale, *presets, *workers, obs)
 	stopCPU()
 	if err := obs.close(); err != nil && runErr == nil {
 		runErr = err
@@ -144,7 +154,7 @@ func usage() {
 run "ssmdvfs <cmd> -h" for flags`)
 }
 
-func run(cmd, cache string, quick bool, scale float64, presetsCSV string, obs *observability) error {
+func run(cmd, cache string, quick bool, scale float64, presetsCSV string, workers int, obs *observability) error {
 	opts := experiments.DefaultPipelineOptions()
 	if quick {
 		opts = experiments.QuickPipelineOptions()
@@ -158,10 +168,10 @@ func run(cmd, cache string, quick bool, scale float64, presetsCSV string, obs *o
 		}
 	}
 	opts.CacheDir = cache
+	opts.Workers = workers
 	opts.Logger = obs.logger
 	opts.Telemetry = obs.reg
 	opts.Tracer = obs.tracer
-	logf := obs.logger.Func()
 
 	presets, err := parsePresets(presetsCSV)
 	if err != nil {
@@ -173,7 +183,7 @@ func run(cmd, cache string, quick bool, scale float64, presetsCSV string, obs *o
 		_, err := experiments.RunPipeline(opts)
 		return err
 	case "fig4":
-		return runFig4(opts, presets, logf)
+		return runFig4(opts, presets)
 	case "table1":
 		return runTable1(opts)
 	case "table2":
@@ -198,7 +208,7 @@ func run(cmd, cache string, quick bool, scale float64, presetsCSV string, obs *o
 		if err := runFig3(opts, quick); err != nil {
 			return err
 		}
-		if err := runFig4(opts, presets, logf); err != nil {
+		if err := runFig4(opts, presets); err != nil {
 			return err
 		}
 		return runASIC(opts)
@@ -227,7 +237,7 @@ func parsePresets(csv string) ([]float64, error) {
 	return out, nil
 }
 
-func runFig4(opts experiments.PipelineOptions, presets []float64, logf func(string, ...any)) error {
+func runFig4(opts experiments.PipelineOptions, presets []float64) error {
 	p, err := experiments.RunPipeline(opts)
 	if err != nil {
 		return err
@@ -244,7 +254,10 @@ func runFig4(opts experiments.PipelineOptions, presets []float64, logf func(stri
 		Model:      p.Model,
 		Compressed: p.Compressed,
 		Seed:       1,
-		Logf:       logf,
+		Logger:     opts.Logger,
+		Workers:    opts.Workers,
+		Telemetry:  opts.Telemetry,
+		Tracer:     opts.Tracer,
 	})
 	if err != nil {
 		return err
@@ -313,6 +326,9 @@ func runFig3(opts experiments.PipelineOptions, quick bool) error {
 	fig3 := experiments.DefaultFig3Options()
 	fig3.TrainOpts = opts.TrainOpts
 	fig3.PruneOpts = opts.PruneOpts
+	fig3.Workers = opts.Workers
+	fig3.Telemetry = opts.Telemetry
+	fig3.Tracer = opts.Tracer
 	if quick {
 		fig3.Archs = fig3.Archs[:8]
 		fig3.X1s = []float64{0.4, 0.6, 0.8}
@@ -332,11 +348,14 @@ func runSweep(opts experiments.PipelineOptions) error {
 		return err
 	}
 	points, err := experiments.RunPresetSweep(experiments.PresetSweepOptions{
-		Sim:     opts.Sim,
-		Kernels: kernels.Evaluation(),
-		Scale:   opts.Scale,
-		Presets: []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50},
-		Model:   p.Compressed,
+		Sim:       opts.Sim,
+		Kernels:   kernels.Evaluation(),
+		Scale:     opts.Scale,
+		Presets:   []float64{0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50},
+		Model:     p.Compressed,
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
+		Tracer:    opts.Tracer,
 	})
 	if err != nil {
 		return err
@@ -351,10 +370,13 @@ func runHeadroom(opts experiments.PipelineOptions) error {
 		return err
 	}
 	rows, err := experiments.RunHeadroom(experiments.PresetSweepOptions{
-		Sim:     opts.Sim,
-		Kernels: kernels.Evaluation()[:6],
-		Scale:   opts.Scale,
-		Model:   p.Model,
+		Sim:       opts.Sim,
+		Kernels:   kernels.Evaluation()[:6],
+		Scale:     opts.Scale,
+		Model:     p.Model,
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
+		Tracer:    opts.Tracer,
 	}, 0.10)
 	if err != nil {
 		return err

@@ -38,7 +38,7 @@ func TestRunUnknownCommand(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := run("nope", "", true, 0, "0.1", obs); err == nil {
+	if err := run("nope", "", true, 0, "0.1", 1, obs); err == nil {
 		t.Fatal("unknown command accepted")
 	}
 }

@@ -13,11 +13,12 @@ import (
 
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
 	opts := experiments.QuickPipelineOptions()
-	opts.Logf = log.Printf
+	opts.Logger = telemetry.NewLoggerFunc(log.Printf, nil)
 	pipeline, err := experiments.RunPipeline(opts)
 	if err != nil {
 		log.Fatal(err)
@@ -36,7 +37,7 @@ func main() {
 		Model:      pipeline.Model,
 		Compressed: pipeline.Compressed,
 		Seed:       1,
-		Logf:       log.Printf,
+		Logger:     telemetry.NewLoggerFunc(log.Printf, nil),
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -21,7 +21,6 @@ import (
 
 func main() {
 	opts := experiments.QuickPipelineOptions()
-	opts.Logf = func(string, ...any) {} // quiet build
 	pipeline, err := experiments.RunPipeline(opts)
 	if err != nil {
 		log.Fatal(err)

@@ -15,11 +15,12 @@ import (
 	"ssmdvfs/internal/compress"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/experiments"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
 	opts := experiments.QuickPipelineOptions()
-	opts.Logf = log.Printf
+	opts.Logger = telemetry.NewLoggerFunc(log.Printf, nil)
 	pipeline, err := experiments.RunPipeline(opts)
 	if err != nil {
 		log.Fatal(err)

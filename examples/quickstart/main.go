@@ -13,6 +13,7 @@ import (
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
@@ -21,7 +22,7 @@ func main() {
 	// compression. QuickPipelineOptions uses a 4-cluster GPU and short
 	// kernels so this takes tens of seconds, not minutes.
 	opts := experiments.QuickPipelineOptions()
-	opts.Logf = log.Printf
+	opts.Logger = telemetry.NewLoggerFunc(log.Printf, nil)
 	pipeline, err := experiments.RunPipeline(opts)
 	if err != nil {
 		log.Fatal(err)

@@ -19,13 +19,14 @@ import (
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/serve"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
 	// 1. Models (cached in ssmdvfs-cache after the first run).
 	opts := experiments.QuickPipelineOptions()
 	opts.CacheDir = "ssmdvfs-cache"
-	opts.Logf = log.Printf
+	opts.Logger = telemetry.NewLoggerFunc(log.Printf, nil)
 	pipe, err := experiments.RunPipeline(opts)
 	if err != nil {
 		log.Fatal(err)

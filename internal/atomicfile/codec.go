@@ -1,0 +1,46 @@
+package atomicfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// WriteJSON encodes v as one JSON document and writes it to path
+// atomically — the shared file codec behind every Save/SaveFile pair
+// (datasets, models, experiment results), so all artifacts get the same
+// torn-write guarantee and encoding.
+func WriteJSON(path string, v any) error {
+	return Write(path, func(w io.Writer) error {
+		return json.NewEncoder(w).Encode(v)
+	})
+}
+
+// ReadJSON reads path and decodes its JSON content into v, the inverse
+// of WriteJSON for types without bespoke validation.
+func ReadJSON(path string, v any) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(v); err != nil {
+		return fmt.Errorf("atomicfile: decoding %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// ReadWith opens path and hands its contents to load — the shared
+// open/close plumbing behind LoadFile wrappers whose formats carry
+// bespoke decode-time validation (nn.Load, core.Load, datagen.Load).
+func ReadWith[T any](path string, load func(io.Reader) (T, error)) (T, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		var zero T
+		return zero, fmt.Errorf("atomicfile: %w", err)
+	}
+	defer f.Close()
+	return load(f)
+}

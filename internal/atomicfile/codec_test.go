@@ -1,0 +1,86 @@
+package atomicfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+func TestWriteReadJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.json")
+	want := payload{Name: "x", Values: []float64{1, 2.5, -3}}
+	if err := WriteJSON(path, want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if err := ReadJSON(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != want.Name || len(got.Values) != 3 || got.Values[1] != 2.5 {
+		t.Fatalf("round trip corrupted: %+v", got)
+	}
+}
+
+func TestWriteJSONMatchesPlainEncoder(t *testing.T) {
+	// The codec must be byte-compatible with the hand-rolled
+	// json.NewEncoder(w).Encode pairs it replaces, so old artifacts load.
+	path := filepath.Join(t.TempDir(), "p.json")
+	if err := WriteJSON(path, payload{Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "{\"name\":\"x\",\"values\":null}\n"; string(raw) != want {
+		t.Fatalf("encoding drifted: %q, want %q", raw, want)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	dir := t.TempDir()
+	var v payload
+	if err := ReadJSON(filepath.Join(dir, "missing.json"), &v); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadJSON(bad, &v); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+}
+
+func TestReadWith(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.txt")
+	if err := os.WriteFile(path, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWith(path, func(r io.Reader) (string, error) {
+		b, err := io.ReadAll(r)
+		return string(b), err
+	})
+	if err != nil || got != "hello" {
+		t.Fatalf("ReadWith = (%q, %v)", got, err)
+	}
+	// Validation errors from the load func must flow through.
+	if _, err := ReadWith(path, func(io.Reader) (string, error) {
+		return "", fmt.Errorf("shape mismatch")
+	}); err == nil {
+		t.Fatal("load error swallowed")
+	}
+	if _, err := ReadWith(filepath.Join(dir, "missing"), func(io.Reader) (string, error) {
+		return "", nil
+	}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

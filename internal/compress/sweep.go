@@ -20,6 +20,23 @@ type Point struct {
 	MAPE     float64
 }
 
+// LayerwisePoint trains the combined model at one architecture and
+// returns its curve point — one independent shard of the layer-wise
+// sweep.
+func LayerwisePoint(ds *datagen.Dataset, arch core.Architecture, opts core.TrainOptions) (Point, error) {
+	opts.Arch = arch
+	m, rep, err := core.Train(ds, opts)
+	if err != nil {
+		return Point{}, fmt.Errorf("compress: training %v: %w", arch, err)
+	}
+	return Point{
+		Label:    archLabel(arch),
+		FLOPs:    m.FLOPs(),
+		Accuracy: rep.Accuracy,
+		MAPE:     rep.MAPE,
+	}, nil
+}
+
 // LayerwiseSweep trains the combined model across an architecture grid
 // and returns the FLOPs-vs-quality curve of Fig. 3's layer-wise series.
 // Each architecture is trained with the same options (apart from Arch).
@@ -29,18 +46,11 @@ func LayerwiseSweep(ds *datagen.Dataset, archs []core.Architecture, opts core.Tr
 	}
 	points := make([]Point, 0, len(archs))
 	for _, a := range archs {
-		o := opts
-		o.Arch = a
-		m, rep, err := core.Train(ds, o)
+		p, err := LayerwisePoint(ds, a, opts)
 		if err != nil {
-			return nil, fmt.Errorf("compress: training %v: %w", a, err)
+			return nil, err
 		}
-		points = append(points, Point{
-			Label:    archLabel(a),
-			FLOPs:    m.FLOPs(),
-			Accuracy: rep.Accuracy,
-			MAPE:     rep.MAPE,
-		})
+		points = append(points, p)
 	}
 	return points, nil
 }
@@ -166,6 +176,23 @@ func fineTune(m *core.Model, ds *datagen.Dataset, opts PruneOptions) error {
 	return err
 }
 
+// PrunePoint prunes a trained model at one (x1, x2) grid point and
+// returns its curve point with effective (sparse) FLOPs — one
+// independent shard of the pruning sweep.
+func PrunePoint(m *core.Model, ds *datagen.Dataset, x1, x2 float64, opts PruneOptions) (Point, error) {
+	opts.X1, opts.X2 = x1, x2
+	pruned, rep, err := PruneModel(m, ds, opts)
+	if err != nil {
+		return Point{}, err
+	}
+	return Point{
+		Label:    fmt.Sprintf("x1=%.2f x2=%.2f", x1, x2),
+		FLOPs:    pruned.EffectiveFLOPs(),
+		Accuracy: rep.Accuracy,
+		MAPE:     rep.MAPE,
+	}, nil
+}
+
 // PruningSweep evaluates a grid of (x1, x2) pruning parameters on a
 // trained model, returning Fig. 3's pruning series. Points are evaluated
 // with effective (sparse) FLOPs.
@@ -176,18 +203,11 @@ func PruningSweep(m *core.Model, ds *datagen.Dataset, x1s, x2s []float64, opts P
 	var points []Point
 	for _, x1 := range x1s {
 		for _, x2 := range x2s {
-			o := opts
-			o.X1, o.X2 = x1, x2
-			pruned, rep, err := PruneModel(m, ds, o)
+			p, err := PrunePoint(m, ds, x1, x2, opts)
 			if err != nil {
 				return nil, err
 			}
-			points = append(points, Point{
-				Label:    fmt.Sprintf("x1=%.2f x2=%.2f", x1, x2),
-				FLOPs:    pruned.EffectiveFLOPs(),
-				Accuracy: rep.Accuracy,
-				MAPE:     rep.MAPE,
-			})
+			points = append(points, p)
 		}
 	}
 	return points, nil

@@ -11,7 +11,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/counters"
@@ -182,10 +181,5 @@ func (m *Model) SaveFile(path string) error {
 
 // LoadFile reads a model from path.
 func LoadFile(path string) (*Model, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	defer f.Close()
-	return Load(f)
+	return atomicfile.ReadWith(path, Load)
 }

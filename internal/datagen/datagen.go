@@ -16,15 +16,17 @@
 package datagen
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/isa"
+	"ssmdvfs/internal/runner"
+	"ssmdvfs/internal/telemetry"
 )
 
 // Sample is one training example: the feature window's counters for one
@@ -125,15 +127,15 @@ func (r *epochRecorder) observe(s gpusim.EpochStats) {
 	}
 }
 
-// Generate runs the methodology over one kernel and appends samples to
-// the dataset. Progress messages go to log if non-nil.
-func Generate(cfg Config, kernel isa.Kernel, ds *Dataset, logf func(format string, args ...any)) error {
+// generate runs the methodology over one kernel and appends samples to
+// the dataset. It is a pure shard function: its output depends only on
+// cfg and kernel, which is what lets RunSuite farm kernels out to a
+// worker pool and still merge a byte-identical corpus.
+func generate(cfg Config, kernel isa.Kernel, ds *Dataset, log *telemetry.Logger) error {
 	if err := cfg.validate(); err != nil {
 		return err
 	}
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
+	logf := log.Logf
 	epochPs := cfg.Sim.EpochPs
 	levels := cfg.Sim.OPs.Len()
 	defaultLevel := cfg.Sim.OPs.Default()
@@ -262,16 +264,102 @@ func Generate(cfg Config, kernel isa.Kernel, ds *Dataset, logf func(format strin
 	return nil
 }
 
-// GenerateSuite runs Generate over every kernel and returns the combined
-// dataset.
-func GenerateSuite(cfg Config, kernelList []isa.Kernel, logf func(string, ...any)) (*Dataset, error) {
-	ds := &Dataset{}
-	for _, k := range kernelList {
-		if err := Generate(cfg, k, ds, logf); err != nil {
+// SuiteOptions configures a corpus build over a kernel set, mirroring
+// experiments.PipelineOptions.
+type SuiteOptions struct {
+	// Config controls generation for every kernel.
+	Config Config
+	// Kernels contribute samples in order; each kernel is one shard of
+	// the parallel run.
+	Kernels []isa.Kernel
+	// Logger receives progress lines (nil = quiet). It is shared across
+	// shards, so lines from different kernels interleave under
+	// parallelism; the dataset itself does not.
+	Logger *telemetry.Logger
+	// Telemetry, when non-nil, receives the runner's shard/utilization
+	// metrics.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one span per kernel plus the
+	// runner's per-worker shard spans.
+	Tracer *telemetry.Tracer
+	// Workers bounds the worker pool (<= 0 = GOMAXPROCS). The merged
+	// dataset is byte-identical at any worker count.
+	Workers int
+}
+
+// RunSuite generates the corpus for every kernel in opts, sharding
+// kernels across a bounded worker pool. Each shard generates into a
+// private dataset; the shards are merged in kernel order, so the result
+// serializes byte-identically to a serial run regardless of Workers.
+// The first failing kernel cancels the remaining shards and is reported
+// with its shard identity.
+func RunSuite(opts SuiteOptions) (*Dataset, error) {
+	if len(opts.Kernels) == 0 {
+		return nil, fmt.Errorf("datagen: suite has no kernels")
+	}
+	if err := opts.Config.validate(); err != nil {
+		return nil, err
+	}
+	parts, err := runner.Map(context.Background(), len(opts.Kernels), runner.Options{
+		Name:      "datagen",
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
+		Tracer:    opts.Tracer,
+	}, func(_ context.Context, s runner.Shard) (*Dataset, error) {
+		kernel := opts.Kernels[s.Index]
+		sp := opts.Tracer.Start("datagen:" + kernel.Name)
+		sp.SetCat("pipeline")
+		defer sp.End()
+		part := &Dataset{}
+		if err := generate(opts.Config, kernel, part, opts.Logger); err != nil {
 			return nil, err
 		}
+		return part, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return ds, nil
+	return Merge(parts), nil
+}
+
+// Merge concatenates per-kernel datasets in order into one corpus. All
+// parts must share the counter layout (they do when produced by
+// generate); the first non-empty header wins.
+func Merge(parts []*Dataset) *Dataset {
+	out := &Dataset{}
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out.CounterNames == nil {
+			out.CounterNames = p.CounterNames
+			out.Levels = p.Levels
+		}
+		out.Samples = append(out.Samples, p.Samples...)
+	}
+	return out
+}
+
+// Generate runs the methodology over one kernel and appends samples to
+// the dataset.
+//
+// Deprecated: use RunSuite with a single-kernel SuiteOptions; this
+// wrapper remains for pre-SuiteOptions callers.
+func Generate(cfg Config, kernel isa.Kernel, ds *Dataset, logf func(format string, args ...any)) error {
+	return generate(cfg, kernel, ds, telemetry.NewLoggerFunc(logf, nil))
+}
+
+// GenerateSuite runs the methodology over every kernel and returns the
+// combined dataset.
+//
+// Deprecated: use RunSuite, which adds parallelism and telemetry.
+func GenerateSuite(cfg Config, kernelList []isa.Kernel, logf func(string, ...any)) (*Dataset, error) {
+	return RunSuite(SuiteOptions{
+		Config:  cfg,
+		Kernels: kernelList,
+		Logger:  telemetry.NewLoggerFunc(logf, nil),
+		Workers: 1,
+	})
 }
 
 // FeatureMatrix returns all sample features as rows (shared backing with
@@ -289,37 +377,41 @@ func (d *Dataset) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(d)
 }
 
+// validate checks the decoded shape invariants Load and LoadFile rely
+// on.
+func (d *Dataset) validate() error {
+	if len(d.CounterNames) == 0 {
+		return fmt.Errorf("datagen: dataset has no counter names")
+	}
+	for i, s := range d.Samples {
+		if len(s.Features) != len(d.CounterNames) {
+			return fmt.Errorf("datagen: sample %d has %d features, want %d", i, len(s.Features), len(d.CounterNames))
+		}
+		if s.Level < 0 || s.Level >= d.Levels {
+			return fmt.Errorf("datagen: sample %d level %d out of range [0,%d)", i, s.Level, d.Levels)
+		}
+	}
+	return nil
+}
+
 // Load reads a dataset saved with Save and validates its shape.
 func Load(r io.Reader) (*Dataset, error) {
 	var d Dataset
 	if err := json.NewDecoder(r).Decode(&d); err != nil {
 		return nil, fmt.Errorf("datagen: decoding dataset: %w", err)
 	}
-	if len(d.CounterNames) == 0 {
-		return nil, fmt.Errorf("datagen: dataset has no counter names")
-	}
-	for i, s := range d.Samples {
-		if len(s.Features) != len(d.CounterNames) {
-			return nil, fmt.Errorf("datagen: sample %d has %d features, want %d", i, len(s.Features), len(d.CounterNames))
-		}
-		if s.Level < 0 || s.Level >= d.Levels {
-			return nil, fmt.Errorf("datagen: sample %d level %d out of range [0,%d)", i, s.Level, d.Levels)
-		}
+	if err := d.validate(); err != nil {
+		return nil, err
 	}
 	return &d, nil
 }
 
 // SaveFile writes the dataset to path atomically (temp file + rename).
 func (d *Dataset) SaveFile(path string) error {
-	return atomicfile.Write(path, d.Save)
+	return atomicfile.WriteJSON(path, d)
 }
 
 // LoadFile reads a dataset from path.
 func LoadFile(path string) (*Dataset, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("datagen: %w", err)
-	}
-	defer f.Close()
-	return Load(f)
+	return atomicfile.ReadWith(path, Load)
 }

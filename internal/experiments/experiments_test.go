@@ -10,6 +10,7 @@ import (
 
 	"ssmdvfs/internal/features"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/telemetry"
 )
 
 // The pipeline is expensive (tens of seconds), so tests share one build.
@@ -74,7 +75,7 @@ func TestPipelineCaching(t *testing.T) {
 	opts := testPipelineOpts()
 	opts.CacheDir = dir
 	var logs []string
-	opts.Logf = func(format string, args ...any) { logs = append(logs, format) }
+	opts.Logger = telemetry.NewLoggerFunc(func(format string, args ...any) { logs = append(logs, format) }, nil)
 	p2, err := RunPipeline(opts)
 	if err != nil {
 		t.Fatal(err)

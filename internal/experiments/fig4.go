@@ -1,10 +1,9 @@
 package experiments
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"text/tabwriter"
 
@@ -13,7 +12,9 @@ import (
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/runner"
 	"ssmdvfs/internal/stats"
+	"ssmdvfs/internal/telemetry"
 )
 
 // Mechanism names the DVFS policies compared in Fig. 4.
@@ -52,7 +53,27 @@ type Fig4Options struct {
 	// MaxRunPs bounds each simulation.
 	MaxRunPs int64
 	Seed     int64
-	Logf     func(format string, args ...any)
+	// Logger is the nil-safe progress logger (nil = quiet). Adapt
+	// printf-style callbacks with telemetry.NewLoggerFunc.
+	Logger *telemetry.Logger
+	// Workers bounds the parallel runner sharding the independent
+	// (kernel, preset, mechanism) simulations (<= 0 = GOMAXPROCS);
+	// results are byte-identical at any worker count.
+	Workers int
+	// Telemetry / Tracer, when non-nil, receive the runner's shard
+	// metrics and per-worker spans.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+}
+
+// runnerOptions builds the runner config for one fig4 stage.
+func (opts *Fig4Options) runnerOptions(name string) runner.Options {
+	return runner.Options{
+		Name:      name,
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
+		Tracer:    opts.Tracer,
+	}
 }
 
 // Fig4Row is one (kernel, mechanism, preset) measurement.
@@ -94,7 +115,10 @@ type Fig4Result struct {
 }
 
 // RunFig4 executes the comparison: for each kernel a default-OP baseline
-// run, then each mechanism at each preset.
+// run, then each mechanism at each preset. The baselines and the
+// (kernel, preset, mechanism) grid are each sharded across the worker
+// pool; rows are merged in the serial nesting order so the result is
+// identical at any worker count.
 func RunFig4(opts Fig4Options) (*Fig4Result, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("experiments: Fig4 requires a trained model")
@@ -115,46 +139,62 @@ func RunFig4(opts Fig4Options) (*Fig4Result, error) {
 	if mechs == nil {
 		mechs = AllMechanisms()
 	}
-	logf := opts.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
+	log := opts.Logger
+
+	built := make([]gpusim.Kernel, len(opts.Kernels))
+	for i, spec := range opts.Kernels {
+		built[i] = spec.Build(opts.Scale)
 	}
-
-	res := &Fig4Result{}
-	for _, spec := range opts.Kernels {
-		kernel := spec.Build(opts.Scale)
-
-		base, err := runOnce(opts.Sim, kernel, nil, opts.MaxRunPs)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline run of %s: %w", spec.Name, err)
-		}
-		baseEDP := base.EDP()
-		logf("fig4: %-24s baseline T=%.1fus E=%.2fmJ", spec.Name,
-			float64(base.ExecTimePs)/1e6, base.EnergyPJ/1e9)
-
-		for _, preset := range opts.Presets {
-			for _, mech := range mechs {
-				var row Fig4Row
-				if mech == MechBaseline {
-					row = makeRow(spec.Name, mech, preset, base, base.ExecTimePs, baseEDP)
-				} else {
-					ctrl, err := buildController(mech, opts, preset)
-					if err != nil {
-						return nil, err
-					}
-					r, err := runOnce(opts.Sim, kernel, ctrl, opts.MaxRunPs)
-					if err != nil {
-						return nil, fmt.Errorf("experiments: %s on %s: %w", mech, spec.Name, err)
-					}
-					row = makeRow(spec.Name, mech, preset, r, base.ExecTimePs, baseEDP)
-				}
-				res.Rows = append(res.Rows, row)
-				logf("fig4: %-24s %-18s preset=%.0f%% edp=%.3f lat=%.3f",
-					spec.Name, mech, preset*100, row.NormEDP, row.NormLatency)
+	ctx := context.Background()
+	bases, err := runner.Map(ctx, len(built), opts.runnerOptions("fig4:baseline"),
+		func(_ context.Context, s runner.Shard) (gpusim.Result, error) {
+			spec := opts.Kernels[s.Index]
+			base, err := runOnce(opts.Sim, built[s.Index], nil, opts.MaxRunPs)
+			if err != nil {
+				return gpusim.Result{}, fmt.Errorf("experiments: baseline run of %s: %w", spec.Name, err)
 			}
-		}
+			log.Logf("fig4: %-24s baseline T=%.1fus E=%.2fmJ", spec.Name,
+				float64(base.ExecTimePs)/1e6, base.EnergyPJ/1e9)
+			return base, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	var err error
+
+	// One shard per (kernel, preset, mechanism) cell, flattened
+	// kernel-major so the merged rows reproduce the serial append order.
+	np, nm := len(opts.Presets), len(mechs)
+	rows, err := runner.Map(ctx, len(built)*np*nm, opts.runnerOptions("fig4"),
+		func(_ context.Context, s runner.Shard) (Fig4Row, error) {
+			k := s.Index / (np * nm)
+			preset := opts.Presets[(s.Index%(np*nm))/nm]
+			mech := mechs[s.Index%nm]
+			spec := opts.Kernels[k]
+			base := bases[k]
+
+			var row Fig4Row
+			if mech == MechBaseline {
+				row = makeRow(spec.Name, mech, preset, base, base.ExecTimePs, base.EDP())
+			} else {
+				ctrl, err := buildController(mech, opts, preset)
+				if err != nil {
+					return Fig4Row{}, err
+				}
+				r, err := runOnce(opts.Sim, built[k], ctrl, opts.MaxRunPs)
+				if err != nil {
+					return Fig4Row{}, fmt.Errorf("experiments: %s on %s: %w", mech, spec.Name, err)
+				}
+				row = makeRow(spec.Name, mech, preset, r, base.ExecTimePs, base.EDP())
+			}
+			log.Logf("fig4: %-24s %-18s preset=%.0f%% edp=%.3f lat=%.3f",
+				spec.Name, mech, preset*100, row.NormEDP, row.NormLatency)
+			return row, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Fig4Result{Rows: rows}
 	res.Summaries, err = summarize(res.Rows, mechs, opts.Presets)
 	return res, err
 }
@@ -329,21 +369,14 @@ func (r *Fig4Result) WriteTable(w io.Writer) error {
 // SaveFile writes the full result (rows + summaries) as JSON atomically,
 // so plots and later analysis do not need to re-run the simulations.
 func (r *Fig4Result) SaveFile(path string) error {
-	return atomicfile.Write(path, func(w io.Writer) error {
-		return json.NewEncoder(w).Encode(r)
-	})
+	return atomicfile.WriteJSON(path, r)
 }
 
 // LoadFig4File reads a result saved with SaveFile.
 func LoadFig4File(path string) (*Fig4Result, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %w", err)
-	}
-	defer f.Close()
 	var r Fig4Result
-	if err := json.NewDecoder(f).Decode(&r); err != nil {
-		return nil, fmt.Errorf("experiments: decoding fig4 result: %w", err)
+	if err := atomicfile.ReadJSON(path, &r); err != nil {
+		return nil, fmt.Errorf("experiments: fig4 result: %w", err)
 	}
 	return &r, nil
 }

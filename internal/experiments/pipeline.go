@@ -17,6 +17,7 @@ import (
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/datagen"
 	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/isa"
 	"ssmdvfs/internal/kernels"
 	"ssmdvfs/internal/telemetry"
 )
@@ -42,11 +43,13 @@ type PipelineOptions struct {
 	// CacheDir, when non-empty, caches the dataset and models as JSON so
 	// repeated experiment runs skip regeneration.
 	CacheDir string
-	// Logf receives progress lines (nil silences them). When Logger is
-	// also set, Logger wins.
-	Logf func(format string, args ...any)
-	// Logger is the telemetry-backed progress logger; nil (with nil
-	// Logf) keeps the run quiet.
+	// Workers bounds the parallel runner that shards per-kernel data
+	// generation (<= 0 = GOMAXPROCS). Output is byte-identical at any
+	// worker count.
+	Workers int
+	// Logger is the telemetry-backed progress logger; a nil *Logger is
+	// valid and keeps the run quiet. Adapt printf-style callbacks with
+	// telemetry.NewLoggerFunc.
 	Logger *telemetry.Logger
 	// Telemetry, when non-nil, receives pipeline counters (samples
 	// generated, cache hits/misses) and per-phase duration histograms.
@@ -99,15 +102,6 @@ type Pipeline struct {
 	CompressedReport core.Report
 }
 
-// logger resolves the progress logger: an explicit Logger wins, a bare
-// Logf func is adapted, and neither yields a silent logger.
-func (opts *PipelineOptions) logger() *telemetry.Logger {
-	if opts.Logger != nil {
-		return opts.Logger
-	}
-	return telemetry.NewLoggerFunc(opts.Logf, opts.Telemetry)
-}
-
 // phaseSpan opens one pipeline-phase span (nil-safe on a nil tracer).
 func (opts *PipelineOptions) phaseSpan(name string, attrs ...string) *telemetry.Span {
 	sp := opts.Tracer.Start(name, attrs...)
@@ -136,7 +130,7 @@ func (opts *PipelineOptions) countCache(artifact string, hit bool) {
 
 // RunPipeline executes (or loads from cache) the full build.
 func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
-	log := opts.logger()
+	log := opts.Logger
 	logf := log.Logf
 	if opts.Scale <= 0 {
 		return nil, fmt.Errorf("experiments: Scale must be positive")
@@ -175,15 +169,21 @@ func RunPipeline(opts PipelineOptions) (*Pipeline, error) {
 		if opts.ClusterStride > 0 {
 			dgCfg.ClusterStride = opts.ClusterStride
 		}
-		ds := &datagen.Dataset{}
-		for _, spec := range trainKernels {
-			kSpan := opts.phaseSpan("datagen:" + spec.Name)
-			if err := datagen.Generate(dgCfg, spec.Build(opts.Scale), ds, logf); err != nil {
-				kSpan.End()
-				dsSpan.End()
-				return nil, err
-			}
-			kSpan.End()
+		built := make([]isa.Kernel, len(trainKernels))
+		for i, spec := range trainKernels {
+			built[i] = spec.Build(opts.Scale)
+		}
+		ds, err := datagen.RunSuite(datagen.SuiteOptions{
+			Config:    dgCfg,
+			Kernels:   built,
+			Logger:    log,
+			Telemetry: opts.Telemetry,
+			Tracer:    opts.Tracer,
+			Workers:   opts.Workers,
+		})
+		if err != nil {
+			dsSpan.End()
+			return nil, err
 		}
 		p.Dataset = ds
 		if opts.Telemetry != nil {

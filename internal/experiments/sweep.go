@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -9,7 +10,9 @@ import (
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
 	"ssmdvfs/internal/oracle"
+	"ssmdvfs/internal/runner"
 	"ssmdvfs/internal/stats"
+	"ssmdvfs/internal/telemetry"
 )
 
 // PresetSweepOptions configures the preset-sensitivity extension
@@ -22,6 +25,24 @@ type PresetSweepOptions struct {
 	Presets  []float64
 	Model    *core.Model
 	MaxRunPs int64
+	// Workers bounds the parallel runner sharding the independent
+	// (preset, kernel) simulations (<= 0 = GOMAXPROCS); results are
+	// byte-identical at any worker count.
+	Workers int
+	// Telemetry / Tracer, when non-nil, receive the runner's shard
+	// metrics and per-worker spans.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
+}
+
+// runnerOptions builds the shared runner config for one sweep stage.
+func (opts *PresetSweepOptions) runnerOptions(name string) runner.Options {
+	return runner.Options{
+		Name:      name,
+		Workers:   opts.Workers,
+		Telemetry: opts.Telemetry,
+		Tracer:    opts.Tracer,
+	}
 }
 
 // PresetSweepPoint aggregates one preset across kernels.
@@ -33,7 +54,11 @@ type PresetSweepPoint struct {
 	Violations  int
 }
 
-// RunPresetSweep runs SSMDVFS at each preset over the kernel set.
+// RunPresetSweep runs SSMDVFS at each preset over the kernel set. The
+// per-kernel baselines and the (preset × kernel) controller runs are
+// independent simulations, sharded across the worker pool; aggregation
+// happens in (preset, kernel) order so the points match a serial run
+// exactly.
 func RunPresetSweep(opts PresetSweepOptions) ([]PresetSweepPoint, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("experiments: preset sweep requires a model")
@@ -48,38 +73,58 @@ func RunPresetSweep(opts PresetSweepOptions) ([]PresetSweepPoint, error) {
 		opts.MaxRunPs = 5_000_000_000_000
 	}
 
-	type baseRun struct {
-		res gpusim.Result
-	}
-	bases := make([]baseRun, len(opts.Kernels))
 	built := make([]gpusim.Kernel, len(opts.Kernels))
 	for i, spec := range opts.Kernels {
 		built[i] = spec.Build(opts.Scale)
-		res, err := runOnce(opts.Sim, built[i], nil, opts.MaxRunPs)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline %s: %w", spec.Name, err)
-		}
-		bases[i] = baseRun{res: res}
+	}
+	ctx := context.Background()
+	bases, err := runner.Map(ctx, len(built), opts.runnerOptions("sweep:baseline"),
+		func(_ context.Context, s runner.Shard) (gpusim.Result, error) {
+			res, err := runOnce(opts.Sim, built[s.Index], nil, opts.MaxRunPs)
+			if err != nil {
+				return gpusim.Result{}, fmt.Errorf("experiments: baseline %s: %w", opts.Kernels[s.Index].Name, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
-	var points []PresetSweepPoint
-	for _, preset := range opts.Presets {
-		var edps, lats []float64
-		maxLoss := 0.0
-		violations := 0
-		for i := range built {
+	// One shard per (preset, kernel) cell, flattened preset-major so the
+	// merged order matches the serial nesting.
+	type cell struct{ edp, lat float64 }
+	nk := len(built)
+	cells, err := runner.Map(ctx, len(opts.Presets)*nk, opts.runnerOptions("sweep"),
+		func(_ context.Context, s runner.Shard) (cell, error) {
+			preset := opts.Presets[s.Index/nk]
+			i := s.Index % nk
 			ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
 			if err != nil {
-				return nil, err
+				return cell{}, err
 			}
 			res, err := runOnce(opts.Sim, built[i], ctrl, opts.MaxRunPs)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s at preset %.2f: %w", opts.Kernels[i].Name, preset, err)
+				return cell{}, fmt.Errorf("experiments: %s at preset %.2f: %w", opts.Kernels[i].Name, preset, err)
 			}
-			edps = append(edps, res.EDP()/bases[i].res.EDP())
-			lat := float64(res.ExecTimePs) / float64(bases[i].res.ExecTimePs)
-			lats = append(lats, lat)
-			loss := lat - 1
+			return cell{
+				edp: res.EDP() / bases[i].EDP(),
+				lat: float64(res.ExecTimePs) / float64(bases[i].ExecTimePs),
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var points []PresetSweepPoint
+	for pi, preset := range opts.Presets {
+		var edps, lats []float64
+		maxLoss := 0.0
+		violations := 0
+		for i := 0; i < nk; i++ {
+			c := cells[pi*nk+i]
+			edps = append(edps, c.edp)
+			lats = append(lats, c.lat)
+			loss := c.lat - 1
 			if loss > maxLoss {
 				maxLoss = loss
 			}
@@ -125,7 +170,9 @@ type HeadroomRow struct {
 }
 
 // RunHeadroom measures how much EDP the clairvoyant policies leave on the
-// table relative to SSMDVFS at the given preset.
+// table relative to SSMDVFS at the given preset. Each kernel's row —
+// baseline, SSMDVFS, and both oracle probes — is one shard of the
+// parallel run; rows come back in kernel order.
 func RunHeadroom(opts PresetSweepOptions, preset float64) ([]HeadroomRow, error) {
 	if opts.Model == nil {
 		return nil, fmt.Errorf("experiments: headroom requires a model")
@@ -136,46 +183,46 @@ func RunHeadroom(opts PresetSweepOptions, preset float64) ([]HeadroomRow, error)
 	if opts.MaxRunPs <= 0 {
 		opts.MaxRunPs = 5_000_000_000_000
 	}
-	var rows []HeadroomRow
-	for _, spec := range opts.Kernels {
-		k := spec.Build(opts.Scale)
-		base, err := runOnce(opts.Sim, k, nil, opts.MaxRunPs)
-		if err != nil {
-			return nil, err
-		}
+	return runner.Map(context.Background(), len(opts.Kernels), opts.runnerOptions("headroom"),
+		func(_ context.Context, s runner.Shard) (HeadroomRow, error) {
+			spec := opts.Kernels[s.Index]
+			k := spec.Build(opts.Scale)
+			base, err := runOnce(opts.Sim, k, nil, opts.MaxRunPs)
+			if err != nil {
+				return HeadroomRow{}, err
+			}
 
-		ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
-		if err != nil {
-			return nil, err
-		}
-		ssm, err := runOnce(opts.Sim, k, ctrl, opts.MaxRunPs)
-		if err != nil {
-			return nil, err
-		}
+			ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
+			if err != nil {
+				return HeadroomRow{}, err
+			}
+			ssm, err := runOnce(opts.Sim, k, ctrl, opts.MaxRunPs)
+			if err != nil {
+				return HeadroomRow{}, err
+			}
 
-		staticRes, bestLvl, err := oracle.StaticBest(opts.Sim, k, preset, oracle.EDPObjective, opts.MaxRunPs)
-		if err != nil {
-			return nil, err
-		}
-		greedy, err := oracle.Greedy(opts.Sim, k, oracle.GreedyOptions{
-			Preset: preset, MaxRunPs: opts.MaxRunPs,
-			// A bounded horizon keeps the probe cost manageable; the
-			// greedy oracle remains an upper-bound estimate.
-			HorizonPs: 5 * opts.Sim.EpochPs,
+			staticRes, bestLvl, err := oracle.StaticBest(opts.Sim, k, preset, oracle.EDPObjective, opts.MaxRunPs)
+			if err != nil {
+				return HeadroomRow{}, err
+			}
+			greedy, err := oracle.Greedy(opts.Sim, k, oracle.GreedyOptions{
+				Preset: preset, MaxRunPs: opts.MaxRunPs,
+				// A bounded horizon keeps the probe cost manageable; the
+				// greedy oracle remains an upper-bound estimate.
+				HorizonPs: 5 * opts.Sim.EpochPs,
+			})
+			if err != nil {
+				return HeadroomRow{}, err
+			}
+
+			return HeadroomRow{
+				Kernel:        spec.Name,
+				SSMDVFSEDP:    ssm.EDP() / base.EDP(),
+				StaticBestEDP: staticRes[bestLvl].EDP() / base.EDP(),
+				GreedyEDP:     greedy.Result.EDP() / base.EDP(),
+				StaticLevel:   bestLvl,
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-
-		rows = append(rows, HeadroomRow{
-			Kernel:        spec.Name,
-			SSMDVFSEDP:    ssm.EDP() / base.EDP(),
-			StaticBestEDP: staticRes[bestLvl].EDP() / base.EDP(),
-			GreedyEDP:     greedy.Result.EDP() / base.EDP(),
-			StaticLevel:   bestLvl,
-		})
-	}
-	return rows, nil
 }
 
 // WriteHeadroom renders the oracle comparison.

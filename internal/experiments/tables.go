@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"text/tabwriter"
@@ -11,6 +12,8 @@ import (
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/datagen"
 	"ssmdvfs/internal/features"
+	"ssmdvfs/internal/runner"
+	"ssmdvfs/internal/telemetry"
 )
 
 // TableIResult is the feature-selection experiment (Table I): the RFE
@@ -121,6 +124,14 @@ type Fig3Options struct {
 	X1s, X2s  []float64
 	TrainOpts core.TrainOptions
 	PruneOpts compress.PruneOptions
+	// Workers bounds the parallel runner sharding the independent grid
+	// points (<= 0 = GOMAXPROCS); results are byte-identical at any
+	// worker count.
+	Workers int
+	// Telemetry / Tracer, when non-nil, receive the runner's shard
+	// metrics and per-worker spans.
+	Telemetry *telemetry.Registry
+	Tracer    *telemetry.Tracer
 }
 
 // DefaultFig3Options returns the paper-style sweep grids.
@@ -135,13 +146,38 @@ func DefaultFig3Options() Fig3Options {
 }
 
 // RunFig3 executes both sweeps: layer-wise over architectures, pruning
-// over (x1, x2) starting from the given trained model.
+// over (x1, x2) starting from the given trained model. Every grid point
+// is an independent training run, sharded across the worker pool; the
+// curves come back in grid order, identical at any worker count.
 func RunFig3(ds *datagen.Dataset, base *core.Model, opts Fig3Options) (*Fig3Result, error) {
-	lw, err := compress.LayerwiseSweep(ds, opts.Archs, opts.TrainOpts)
+	if len(opts.Archs) == 0 {
+		return nil, fmt.Errorf("compress: empty architecture grid")
+	}
+	if len(opts.X1s) == 0 || len(opts.X2s) == 0 {
+		return nil, fmt.Errorf("compress: empty pruning grid")
+	}
+	runnerOpts := func(name string) runner.Options {
+		return runner.Options{
+			Name:      name,
+			Workers:   opts.Workers,
+			Telemetry: opts.Telemetry,
+			Tracer:    opts.Tracer,
+		}
+	}
+	ctx := context.Background()
+	lw, err := runner.Map(ctx, len(opts.Archs), runnerOpts("fig3:layerwise"),
+		func(_ context.Context, s runner.Shard) (compress.Point, error) {
+			return compress.LayerwisePoint(ds, opts.Archs[s.Index], opts.TrainOpts)
+		})
 	if err != nil {
 		return nil, err
 	}
-	pr, err := compress.PruningSweep(base, ds, opts.X1s, opts.X2s, opts.PruneOpts)
+	// Pruning grid flattened x1-major, matching the serial nesting.
+	n2 := len(opts.X2s)
+	pr, err := runner.Map(ctx, len(opts.X1s)*n2, runnerOpts("fig3:pruning"),
+		func(_ context.Context, s runner.Shard) (compress.Point, error) {
+			return compress.PrunePoint(base, ds, opts.X1s[s.Index/n2], opts.X2s[s.Index%n2], opts.PruneOpts)
+		})
 	if err != nil {
 		return nil, err
 	}

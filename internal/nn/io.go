@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"os"
 
 	"ssmdvfs/internal/atomicfile"
 )
@@ -84,10 +83,5 @@ func (m *MLP) SaveFile(path string) error {
 
 // LoadFile reads a network from path.
 func LoadFile(path string) (*MLP, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("nn: %w", err)
-	}
-	defer f.Close()
-	return Load(f)
+	return atomicfile.ReadWith(path, Load)
 }

@@ -1,0 +1,180 @@
+// Package runner is the deterministic parallel execution engine behind
+// the offline pipeline: datagen suites, preset sweeps, and the Fig. 4 /
+// Fig. 3 generators all shard their independent simulation units across
+// a bounded worker pool through Map. Shards are claimed in index order,
+// results land in a slice indexed by shard, and every shard derives its
+// RNG seed from the base seed and shard index alone — never from worker
+// identity or scheduling — so output is byte-identical to a serial run
+// at any worker count. The first shard error cancels the fleet through
+// the context and is returned wrapped with its shard identity.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+// Options configures one Map run.
+type Options struct {
+	// Name labels the run in spans and metrics ("datagen", "fig4", ...).
+	Name string
+	// Workers bounds the pool; <= 0 uses runtime.GOMAXPROCS(0). The pool
+	// never exceeds the shard count.
+	Workers int
+	// Seed is the base RNG seed mixed into every Shard.Seed.
+	Seed int64
+	// Telemetry, when non-nil, receives shard counters, per-shard
+	// duration histograms, and per-run worker busy-time (utilization)
+	// counters, all labelled runner=Name.
+	Telemetry *telemetry.Registry
+	// Tracer, when non-nil, records one span per shard on the executing
+	// worker's track id — a Chrome-trace view of pool utilization.
+	Tracer *telemetry.Tracer
+}
+
+// Shard identifies one unit of work handed to a Map function.
+type Shard struct {
+	// Index is the unit's position in [0, n); results are merged in
+	// index order regardless of which worker ran them.
+	Index int
+	// Seed is a deterministic per-shard RNG seed derived only from
+	// Options.Seed and Index, so randomized shards reproduce exactly at
+	// any worker count.
+	Seed int64
+	// Worker is the executing worker's id in [0, workers). It is
+	// informational (log prefixes, span tracks) and must not influence
+	// shard results.
+	Worker int
+}
+
+// ShardError wraps a failing shard's error with the shard's identity.
+type ShardError struct {
+	// Name is the runner label of the failing Map call.
+	Name string
+	// Index is the failing shard.
+	Index int
+	// Err is the shard function's error.
+	Err error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("%s: shard %d: %v", e.Name, e.Index, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// Map runs fn over n shards on a bounded worker pool and returns the n
+// results in shard order. fn must be pure with respect to scheduling:
+// given the same Shard.Index (and Seed), it must produce the same value
+// no matter which worker runs it or in what order — that is what makes
+// parallel output byte-identical to serial output.
+//
+// The first shard error cancels the context handed to the remaining
+// shards, the pool drains, and the error is returned wrapped in a
+// *ShardError carrying the lowest failing shard index. A nil result
+// slice with a nil error means n was zero.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, s Shard) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	name := opts.Name
+	if name == "" {
+		name = "runner"
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var shardUs *telemetry.Histogram
+	if opts.Telemetry != nil {
+		opts.Telemetry.Gauge("runner_workers", "runner", name).Set(float64(workers))
+		shardUs = opts.Telemetry.Histogram("runner_shard_us", "runner", name)
+	}
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next, done atomic.Int64
+	var failed atomic.Bool
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			var busy time.Duration
+			defer func() {
+				if opts.Telemetry != nil {
+					opts.Telemetry.Counter("runner_busy_us_total", "runner", name).Add(busy.Microseconds())
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				sp := opts.Tracer.Start(name+":shard", "shard", strconv.Itoa(i))
+				sp.SetCat("runner")
+				sp.SetTID(worker + 1)
+				t0 := time.Now()
+				res, err := fn(ctx, Shard{Index: i, Seed: shardSeed(opts.Seed, i), Worker: worker})
+				busy += time.Since(t0)
+				if shardUs != nil {
+					shardUs.Observe(time.Since(t0).Microseconds())
+				}
+				sp.End()
+				done.Add(1)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel()
+					return
+				}
+				results[i] = res
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if opts.Telemetry != nil {
+		opts.Telemetry.Counter("runner_shards_total", "runner", name).Add(done.Load())
+		opts.Telemetry.Histogram("runner_wall_us", "runner", name).Observe(time.Since(start).Microseconds())
+	}
+	if failed.Load() {
+		for i, err := range errs {
+			if err != nil {
+				if opts.Telemetry != nil {
+					opts.Telemetry.Counter("runner_shard_errors_total", "runner", name).Add(1)
+				}
+				return nil, &ShardError{Name: name, Index: i, Err: err}
+			}
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// shardSeed mixes the base seed and shard index through a splitmix64
+// finalizer so neighbouring shards get decorrelated RNG streams.
+func shardSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+func TestMapOrderStableAtAnyWorkerCount(t *testing.T) {
+	want := make([]int, 64)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{0, 1, 2, 7, 64, 200} {
+		got, err := Map(context.Background(), len(want), Options{Name: "t", Workers: workers},
+			func(_ context.Context, s Shard) (int, error) {
+				return s.Index * s.Index, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapSeedsDeterministicAcrossWorkerCounts(t *testing.T) {
+	seeds := func(workers int) []int64 {
+		out, err := Map(context.Background(), 32, Options{Workers: workers, Seed: 42},
+			func(_ context.Context, s Shard) (int64, error) { return s.Seed, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := seeds(1)
+	parallel := seeds(8)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("shard %d seed differs: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+	// Distinct shards must get distinct seeds.
+	seen := map[int64]int{}
+	for i, s := range serial {
+		if j, dup := seen[s]; dup {
+			t.Fatalf("shards %d and %d share seed %d", j, i, s)
+		}
+		seen[s] = i
+	}
+}
+
+func TestMapErrorCarriesShardIdentity(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 16, Options{Name: "fleet", Workers: 4},
+		func(_ context.Context, s Shard) (int, error) {
+			if s.Index == 5 {
+				return 0, fmt.Errorf("kernel five: %w", boom)
+			}
+			return s.Index, nil
+		})
+	if err == nil {
+		t.Fatal("shard error swallowed")
+	}
+	var se *ShardError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a *ShardError", err)
+	}
+	if se.Name != "fleet" || se.Index != 5 {
+		t.Fatalf("shard identity lost: %+v", se)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("wrapped cause lost")
+	}
+}
+
+func TestMapFirstErrorStopsFleet(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 1000, Options{Workers: 2},
+		func(ctx context.Context, s Shard) (int, error) {
+			ran.Add(1)
+			if s.Index == 0 {
+				return 0, errors.New("early failure")
+			}
+			return 0, nil
+		})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("fleet ran all %d shards despite early failure", n)
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 8, Options{Workers: 2},
+		func(_ context.Context, s Shard) (int, error) { return s.Index, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled parent returned %v, want context.Canceled", err)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{},
+		func(_ context.Context, s Shard) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("empty map returned (%v, %v)", got, err)
+	}
+}
+
+func TestMapTelemetryAndSpans(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var spansBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&spansBuf)
+	_, err := Map(context.Background(), 10, Options{
+		Name: "dg", Workers: 3, Telemetry: reg, Tracer: tracer,
+	}, func(_ context.Context, s Shard) (int, error) { return s.Index, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	if n := snap.Counters[telemetry.MetricID("runner_shards_total", "runner", "dg")]; n != 10 {
+		t.Fatalf("runner_shards_total = %d, want 10", n)
+	}
+	if w := snap.Gauges[telemetry.MetricID("runner_workers", "runner", "dg")]; w != 3 {
+		t.Fatalf("runner_workers = %g, want 3", w)
+	}
+	if h := snap.Histograms[telemetry.MetricID("runner_shard_us", "runner", "dg")]; h.Count != 10 {
+		t.Fatalf("runner_shard_us count = %d, want 10", h.Count)
+	}
+	if h := snap.Histograms[telemetry.MetricID("runner_wall_us", "runner", "dg")]; h.Count != 1 {
+		t.Fatalf("runner_wall_us count = %d, want 1", h.Count)
+	}
+
+	spans, err := telemetry.ReadSpans(&spansBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 10 {
+		t.Fatalf("got %d spans, want 10", len(spans))
+	}
+	shardSeen := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Name != "dg:shard" || sp.Cat != "runner" {
+			t.Fatalf("unexpected span %+v", sp)
+		}
+		if sp.TID < 1 || sp.TID > 3 {
+			t.Fatalf("span worker track %d out of range [1,3]", sp.TID)
+		}
+		shardSeen[sp.Attrs["shard"]] = true
+	}
+	if len(shardSeen) != 10 {
+		t.Fatalf("spans cover %d distinct shards, want 10", len(shardSeen))
+	}
+}

@@ -40,7 +40,9 @@ func NewLoggerFunc(fn func(format string, args ...any), reg *Registry) *Logger {
 }
 
 // Logf records one progress line, appending a newline on writer-backed
-// loggers.
+// loggers. It is safe for concurrent use: both writer- and func-backed
+// sinks are serialized by the logger's mutex, so parallel pipeline
+// shards can share one logger (and one capture callback) freely.
 func (l *Logger) Logf(format string, args ...any) {
 	if l == nil {
 		return
@@ -48,6 +50,8 @@ func (l *Logger) Logf(format string, args ...any) {
 	if l.lines != nil {
 		l.lines.Add(1)
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	if l.fn != nil {
 		l.fn(format, args...)
 		return
@@ -55,8 +59,6 @@ func (l *Logger) Logf(format string, args ...any) {
 	if l.out == nil {
 		return
 	}
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	fmt.Fprintf(l.out, format+"\n", args...)
 }
 

@@ -1,0 +1,56 @@
+package ssmdvfs_bench
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"ssmdvfs/internal/datagen"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/isa"
+	"ssmdvfs/internal/kernels"
+)
+
+// benchSuiteInputs returns a reduced datagen setup: small GPU, one
+// breakpoint, two feature levels, four short training kernels — enough
+// work to shard, small enough for the CI benchmark smoke.
+func benchSuiteInputs() (datagen.Config, []isa.Kernel) {
+	sim := gpusim.SmallConfig()
+	cfg := datagen.DefaultConfig(sim)
+	cfg.BreakpointPs = 50_000_000
+	cfg.MaxBreakpoints = 1
+	cfg.FeatureLevels = []int{0, sim.OPs.Default()}
+	specs := kernels.Training()[:4]
+	built := make([]isa.Kernel, len(specs))
+	for i, spec := range specs {
+		built[i] = spec.Build(0.3)
+	}
+	return cfg, built
+}
+
+// BenchmarkGenerateSuiteParallel measures the parallel experiment
+// engine on per-kernel data generation: the same suite at workers=1 and
+// workers=NumCPU. The outputs are byte-identical (asserted by the
+// determinism tests); this bench shows the wall-clock effect of
+// sharding, so a multi-core run should report a near-linear speedup of
+// the serial ns/op.
+func BenchmarkGenerateSuiteParallel(b *testing.B) {
+	cfg, built := benchSuiteInputs()
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var samples int
+			for i := 0; i < b.N; i++ {
+				ds, err := datagen.RunSuite(datagen.SuiteOptions{
+					Config:  cfg,
+					Kernels: built,
+					Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				samples = len(ds.Samples)
+			}
+			b.ReportMetric(float64(samples), "samples")
+		})
+	}
+}
