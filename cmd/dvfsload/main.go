@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -29,32 +30,50 @@ import (
 
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", "localhost:8091", "daemon binary-protocol address")
-		conns    = flag.Int("conns", 8, "concurrent connections")
-		batch    = flag.Int("batch", 24, "decisions per request frame (1 = per-epoch latency mode)")
-		duration = flag.Duration("duration", 10*time.Second, "load duration")
-		qps      = flag.Float64("qps", 0, "target total decisions/second (0 = unlimited)")
-		preset   = flag.Float64("preset", 0.10, "performance-loss preset sent with every row")
-		trace    = flag.String("trace", "", "replay this dvfstrace file (CSV or JSON) instead of synthetic epochs")
-		rows     = flag.Int("rows", 4096, "synthetic feature rows to generate (without -trace)")
-		seed     = flag.Int64("seed", 1, "synthetic feature seed")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the load run here")
-		memProf  = flag.String("memprofile", "", "write a heap profile at exit here")
+		addr      = flag.String("addr", "localhost:8091", "daemon binary-protocol address")
+		conns     = flag.Int("conns", 8, "concurrent connections")
+		batch     = flag.Int("batch", 24, "decisions per request frame (1 = per-epoch latency mode)")
+		duration  = flag.Duration("duration", 10*time.Second, "load duration")
+		qps       = flag.Float64("qps", 0, "target total decisions/second (0 = unlimited)")
+		preset    = flag.Float64("preset", 0.10, "performance-loss preset sent with every row")
+		trace     = flag.String("trace", "", "replay this dvfstrace file (CSV or JSON) instead of synthetic epochs")
+		rows      = flag.Int("rows", 4096, "synthetic feature rows to generate (without -trace)")
+		seed      = flag.Int64("seed", 1, "synthetic feature seed")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-attempt connection timeout")
+		retries   = flag.Int("retries", 0, "reconnect/retry attempts per failed connect or request")
+		backoff   = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
+		faultSpec = flag.String("faults", "", "arm client-side fault injection, e.g. 'client.io:error:every=50'")
+		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run here")
+		memProf   = flag.String("memprofile", "", "write a heap profile at exit here")
 	)
 	flag.Parse()
+
+	inj, err := faults.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsload:", err)
+		os.Exit(1)
+	}
+	dialOpts := serve.DialOptions{
+		Timeout: *timeout,
+		Retries: *retries,
+		Backoff: *backoff,
+		Faults:  inj,
+	}
 
 	stopCPU, err := telemetry.StartCPUProfile(*cpuProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
 		os.Exit(1)
 	}
-	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed)
+	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed, dialOpts)
 	stopCPU()
 	if err := telemetry.WriteHeapProfile(*memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
@@ -87,13 +106,14 @@ func syntheticRows(n int, seed int64) [][]float64 {
 }
 
 type workerStats struct {
-	latencies []time.Duration // one per batch
-	decisions int64
-	levels    [64]int64
-	err       error
+	latencies  []time.Duration // one per batch
+	decisions  int64
+	reconnects int64
+	levels     [64]int64
+	err        error
 }
 
-func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64) error {
+func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64, dialOpts serve.DialOptions) error {
 	if conns <= 0 || batch <= 0 || batch > serve.MaxBatch {
 		return fmt.Errorf("need conns > 0 and batch in [1,%d]", serve.MaxBatch)
 	}
@@ -133,12 +153,13 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		go func(c int) {
 			defer wg.Done()
 			st := &stats[c]
-			cl, err := serve.Dial(addr)
+			cl, err := serve.DialContext(context.Background(), addr, dialOpts)
 			if err != nil {
 				st.err = err
 				return
 			}
 			defer cl.Close()
+			defer func() { st.reconnects = cl.Reconnects() }()
 			reqs := make([]serve.Request, batch)
 			next := c // offset workers into the feed so replays interleave
 			var tick *time.Ticker
@@ -175,7 +196,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 
 	// Merge.
 	var all []time.Duration
-	var decisions, batches int64
+	var decisions, batches, reconnects int64
 	var levels [64]int64
 	for c := range stats {
 		if stats[c].err != nil {
@@ -184,6 +205,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		all = append(all, stats[c].latencies...)
 		decisions += stats[c].decisions
 		batches += int64(len(stats[c].latencies))
+		reconnects += stats[c].reconnects
 		for l, n := range stats[c].levels {
 			levels[l] += n
 		}
@@ -195,6 +217,9 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 	pct := func(q float64) time.Duration { return all[int(q*float64(len(all)-1))] }
 
 	fmt.Printf("\ndecisions     %12d  (%d batches)\n", decisions, batches)
+	if reconnects > 0 {
+		fmt.Printf("reconnects    %12d\n", reconnects)
+	}
 	fmt.Printf("elapsed       %12s\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput    %12.0f  decisions/s\n", float64(decisions)/elapsed.Seconds())
 	fmt.Printf("batch latency %12s  p50\n", pct(0.50).Round(time.Microsecond))

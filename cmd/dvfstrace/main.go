@@ -28,7 +28,6 @@ import (
 
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/baselines"
-	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/epochtrace"
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/gpusim"
@@ -155,7 +154,7 @@ func buildController(mech string, preset float64, opts experiments.PipelineOptio
 		default:
 			return nil, fmt.Errorf("unknown mechanism %q", mech)
 		}
-		return core.NewController(model, preset, clusters, calibrate)
+		return experiments.NewSSMDVFS(model, preset, opts.Sim, calibrate)
 	default:
 		return nil, fmt.Errorf("unknown mechanism %q", mech)
 	}

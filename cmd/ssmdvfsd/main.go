@@ -8,7 +8,14 @@
 // Usage:
 //
 //	ssmdvfsd -model ssmdvfs-cache/compressed.json [-http :8090] [-tcp :8091]
-//	         [-quant 8] [-workers N]
+//	         [-quant 8] [-workers N] [-budget 200us]
+//	         [-faults 'serve.infer:panic:every=100'] [-faults-seed 1]
+//
+// The daemon degrades instead of failing: model panics, deadline misses
+// (-budget), and malformed feature rows are answered by the analytical
+// PCSTALL fallback, and /healthz reports the healthy → degraded →
+// fallback-only state machine. -faults arms deterministic fault
+// injection for chaos testing (see internal/faults).
 //
 // Endpoints:
 //
@@ -36,7 +43,9 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
+	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/serve"
 )
 
@@ -47,6 +56,9 @@ func main() {
 		tcpAddr   = flag.String("tcp", ":8091", "binary-protocol listen address (empty disables)")
 		quantBits = flag.Int("quant", 0, "fake-quantize the model to this bit width (0 = off)")
 		workers   = flag.Int("workers", 0, "max concurrent inference batches (0 = GOMAXPROCS)")
+		budget    = flag.Duration("budget", 0, "per-decision deadline; rows past it get the analytical fallback (0 = off)")
+		faultSpec = flag.String("faults", "", "arm fault injection, e.g. 'serve.infer:panic:every=100;serve.conn:error:rate=0.01' (chaos testing)")
+		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
 		verbose   = flag.Bool("v", true, "log progress")
 	)
 	flag.Parse()
@@ -55,7 +67,7 @@ func main() {
 	if *verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
-	if err := run(*modelPath, *httpAddr, *tcpAddr, *quantBits, *workers, logf); err != nil {
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *quantBits, *workers, *budget, *faultSpec, *faultSeed, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
@@ -82,7 +94,7 @@ func buildMux(srv *serve.Server) http.Handler {
 	return mux
 }
 
-func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, logf func(string, ...any)) error {
+func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget time.Duration, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -96,10 +108,20 @@ func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, logf func(
 	logf("ssmdvfsd: loaded %s: %d levels, %d features, %d params, %d FLOPs (%d effective)",
 		modelPath, m.Levels, m.NumFeatures(), m.Params(), m.FLOPs(), m.EffectiveFLOPs())
 
+	inj, err := faults.Parse(faultSpec, faultSeed)
+	if err != nil {
+		return err
+	}
+	if inj != nil {
+		logf("ssmdvfsd: FAULT INJECTION ARMED: %s (seed %d)", inj, faultSeed)
+	}
+
 	srv, err := serve.NewServer(m, serve.Options{
 		ModelPath: modelPath,
 		QuantBits: quantBits,
 		Workers:   workers,
+		Budget:    budget,
+		Faults:    inj,
 		Logf:      logf,
 	})
 	if err != nil {

@@ -80,8 +80,10 @@ func TestBuildMuxObservabilityEndpoints(t *testing.T) {
 	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
 		t.Fatalf("/debug/pprof/cmdline → %d", code)
 	}
-	// The serving API still answers underneath.
-	if code, body := get("/healthz"); code != http.StatusOK || body != "ok\n" {
+	// The serving API still answers underneath; /healthz now reports the
+	// degradation state machine.
+	if code, body := get("/healthz"); code != http.StatusOK ||
+		!strings.Contains(body, `"state":"healthy"`) {
 		t.Fatalf("/healthz → %d %q", code, body)
 	}
 	if code, body := get("/metrics"); code != http.StatusOK ||

@@ -1,0 +1,81 @@
+package baselines
+
+import (
+	"math"
+
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/counters"
+)
+
+// This file adapts PCSTALL to the serving path, where no EpochStats exist
+// — only the raw 47-counter feature row a client sent. The functions are
+// stateless (no cross-epoch smoothing) and allocation-free, so any number
+// of serving workers can call them concurrently; they are the guaranteed
+// analytical fallback behind the ML decision path: whatever happens to
+// the model, a safe operating point can always be computed from the row,
+// and for garbage rows the answer degrades to the table's default
+// (fastest, zero-performance-loss) point.
+
+// RowSensitivity estimates the epoch's memory-boundedness from a feature
+// row, mirroring PCSTALL's counter-based sensitivity: memory-stall issue
+// opportunities over all issue opportunities. Non-finite or negative
+// inputs yield 0 (fully compute-bound — the conservative end, which
+// biases the fallback toward faster operating points).
+func RowSensitivity(features []float64) float64 {
+	if len(features) < counters.Num {
+		return 0
+	}
+	mem := features[counters.IdxMH] + features[counters.IdxMHNL]
+	comp := features[counters.IdxStallCompute] + features[counters.IdxStallControl] + features[counters.IdxInstr]
+	if mem < 0 || comp < 0 {
+		return 0
+	}
+	total := mem + comp
+	s := mem / total
+	// A single comparison rejects NaN (from NaN inputs or 0/0) and keeps
+	// the estimate in range; +Inf/+Inf also lands here.
+	if !(s > 0 && s <= 1) {
+		return 0
+	}
+	return s
+}
+
+// FallbackDecision is the analytical safety net for one serving row: pick
+// the slowest level whose predicted performance loss under the PCSTALL
+// linear model stays within preset, and estimate the next epoch's
+// instruction count at that level. If preset is non-finite or negative
+// the table's default (fastest) point is returned — the safe operating
+// point that costs energy, never deadlines.
+func FallbackDecision(t *clockdomain.Table, features []float64, preset float64) (level int, predInstr float64) {
+	level = t.Default()
+	if preset >= 0 && !math.IsInf(preset, 0) && preset == preset {
+		s := RowSensitivity(features)
+		fDefault := t.Point(t.Default()).FrequencyHz
+		for l := 0; l < t.Len(); l++ {
+			f := t.Point(l).FrequencyHz
+			if (1-s)*(fDefault/f)+s-1 <= preset {
+				level = l
+				break
+			}
+		}
+		predInstr = fallbackPredict(t, features, s, level)
+	}
+	return level, predInstr
+}
+
+// fallbackPredict scales the finished epoch's instruction count by the
+// relative speed the sensitivity model predicts for the chosen level: in
+// a fixed-length epoch, instructions shrink with effective slowdown.
+func fallbackPredict(t *clockdomain.Table, features []float64, s float64, level int) float64 {
+	if len(features) < counters.Num {
+		return 0
+	}
+	instr := features[counters.IdxInstr]
+	fDefault := t.Point(t.Default()).FrequencyHz
+	slowdown := (1-s)*(fDefault/t.Point(level).FrequencyHz) + s
+	pred := instr / slowdown
+	if !(pred > 0) || math.IsInf(pred, 0) {
+		return 0
+	}
+	return pred
+}

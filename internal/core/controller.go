@@ -2,10 +2,17 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/gpusim"
 )
+
+// FaultDecide is the controller's fault-injection site, fired once per
+// model decision (error kinds degrade that epoch to the fallback; panic
+// kinds exercise the recovery path).
+const FaultDecide = "core.decide"
 
 // Controller is the SSMDVFS runtime (Fig. 1 of the paper). At every 10 µs
 // epoch boundary it:
@@ -39,6 +46,14 @@ type Controller struct {
 
 	state      []clusterCalib
 	inferences int64
+
+	// fallback, when set, answers epochs whose model step failed (panic,
+	// non-finite counters, or injected fault); without it the controller
+	// holds the cluster's current operating point. fallbacks counts the
+	// epochs answered this way.
+	fallback  gpusim.Controller
+	injector  *faults.Injector
+	fallbacks int64
 }
 
 type clusterCalib struct {
@@ -98,6 +113,19 @@ func (c *Controller) Inferences() int64 { return c.inferences }
 // analysis hook).
 func (c *Controller) EffectivePreset(i int) float64 { return c.state[i].effPreset }
 
+// SetFallback installs a safety-net controller (typically the analytical
+// PCSTALL baseline) consulted when the model path fails. Must be set
+// before the first Decide call.
+func (c *Controller) SetFallback(fb gpusim.Controller) { c.fallback = fb }
+
+// SetFaults installs a fault injector firing at the FaultDecide site.
+// Must be set before the first Decide call; nil (the default) is free.
+func (c *Controller) SetFaults(inj *faults.Injector) { c.injector = inj }
+
+// Fallbacks returns how many epochs were answered by the fallback (or by
+// holding the current operating point when no fallback is set).
+func (c *Controller) Fallbacks() int64 { return c.fallbacks }
+
 // Decide implements gpusim.Controller.
 func (c *Controller) Decide(stats gpusim.EpochStats) int {
 	cs := &c.state[stats.Cluster]
@@ -132,16 +160,50 @@ func (c *Controller) Decide(stats gpusim.EpochStats) int {
 
 	feats := counters.FromStats(stats)
 
+	// Steps 2+3: decision and prediction for the next epoch. A failed
+	// model step (panic, non-finite counters, injected fault) must not
+	// take the DVFS loop down with it — the epoch degrades to the
+	// analytical fallback (or holds the current point) and the stale
+	// prediction is dropped so self-calibration does not act on it.
+	level, ok := c.modelDecide(cs, feats, stats.WarpsActive)
+	if !ok {
+		cs.hasPred = false
+		c.fallbacks++
+		if c.fallback != nil {
+			return c.fallback.Decide(stats)
+		}
+		return stats.Level
+	}
+	return level
+}
+
+// modelDecide runs the model's decision and calibration inferences,
+// converting panics and non-finite inputs into ok=false.
+func (c *Controller) modelDecide(cs *clusterCalib, feats []float64, warps int) (level int, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			ok = false
+		}
+	}()
+	for _, f := range feats {
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0, false
+		}
+	}
+	if err := c.injector.Inject(FaultDecide); err != nil {
+		return 0, false
+	}
+
 	// Step 2: decision for the next epoch.
-	level := c.model.DecideLevel(feats, cs.effPreset)
+	level = c.model.DecideLevel(feats, cs.effPreset)
 
 	// Step 3: prediction for the next epoch, always under the original
 	// preset.
 	cs.predicted = c.model.PredictInstructions(feats, c.preset, level)
-	cs.predWarps = stats.WarpsActive
+	cs.predWarps = warps
 	cs.hasPred = true
 	c.inferences++
-	return level
+	return level, true
 }
 
 var _ gpusim.Controller = (*Controller)(nil)

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/gpusim"
+)
+
+func pcstallFallback(t *testing.T, preset float64, clusters int) gpusim.Controller {
+	t.Helper()
+	fb, err := baselines.NewPCSTALL(clockdomain.TitanX(), preset, clusters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+// TestControllerFallbackOnInjectedError checks that model-path faults
+// degrade single epochs to the fallback controller without disturbing the
+// epochs around them.
+func TestControllerFallbackOnInjectedError(t *testing.T) {
+	m := trainedModel(t, 51)
+	ctrl, err := NewController(m, 0.10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFallback(pcstallFallback(t, 0.10, 1))
+	inj := faults.New(5)
+	if err := inj.Arm(FaultDecide, faults.Spec{Kind: faults.KindError, Every: 3}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFaults(inj)
+
+	levels := clockdomain.TitanX().Len()
+	for epoch := 0; epoch < 12; epoch++ {
+		level := ctrl.Decide(statsWith(0, 20000, epoch%2 == 0))
+		if level < 0 || level >= levels {
+			t.Fatalf("epoch %d: level %d out of range", epoch, level)
+		}
+	}
+	if got := ctrl.Fallbacks(); got != 4 {
+		t.Fatalf("fallbacks = %d, want 4 (every 3rd of 12 epochs)", got)
+	}
+	if got := ctrl.Inferences(); got != 8 {
+		t.Fatalf("inferences = %d, want 8 (the epochs the model answered)", got)
+	}
+}
+
+// TestControllerFallbackOnPanic arms a panic fault: Decide must recover
+// and still return a safe level.
+func TestControllerFallbackOnPanic(t *testing.T) {
+	m := trainedModel(t, 52)
+	ctrl, err := NewController(m, 0.10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFallback(pcstallFallback(t, 0.10, 1))
+	inj := faults.New(6)
+	if err := inj.Arm(FaultDecide, faults.Spec{Kind: faults.KindPanic, Every: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFaults(inj)
+
+	levels := clockdomain.TitanX().Len()
+	for epoch := 0; epoch < 6; epoch++ {
+		level := ctrl.Decide(statsWith(0, 20000, true))
+		if level < 0 || level >= levels {
+			t.Fatalf("epoch %d: level %d out of range", epoch, level)
+		}
+	}
+	if got := ctrl.Fallbacks(); got != 3 {
+		t.Fatalf("fallbacks = %d, want 3", got)
+	}
+}
+
+// TestControllerFallbackOnNonFiniteCounters feeds an epoch whose stats
+// project to non-finite features: the model must be bypassed.
+func TestControllerFallbackOnNonFiniteCounters(t *testing.T) {
+	m := trainedModel(t, 53)
+	ctrl, err := NewController(m, 0.10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := pcstallFallback(t, 0.10, 1)
+	ctrl.SetFallback(fb)
+
+	bad := statsWith(0, 20000, true)
+	bad.DynPowerW = math.NaN()
+	level := ctrl.Decide(bad)
+	if level < 0 || level >= clockdomain.TitanX().Len() {
+		t.Fatalf("level %d out of range", level)
+	}
+	if got := ctrl.Fallbacks(); got != 1 {
+		t.Fatalf("fallbacks = %d, want 1", got)
+	}
+	if ctrl.Inferences() != 0 {
+		t.Fatal("model ran on non-finite features")
+	}
+
+	// A degraded epoch drops the stale prediction, so the next clean
+	// epoch must not self-calibrate against it.
+	ctrl.Decide(statsWith(0, 10, true)) // tiny instr count would tighten if a pred survived
+	if got := ctrl.EffectivePreset(0); got != 0.10 {
+		t.Fatalf("effective preset = %g, want 0.10 (no calibration against a dropped prediction)", got)
+	}
+}
+
+// TestControllerFallbackHoldsLevelWithoutFallback pins the last-resort
+// behaviour: with no fallback installed, a failed epoch holds the
+// cluster's current operating point.
+func TestControllerFallbackHoldsLevelWithoutFallback(t *testing.T) {
+	m := trainedModel(t, 54)
+	ctrl, err := NewController(m, 0.10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faults.New(7)
+	if err := inj.Arm(FaultDecide, faults.Spec{Kind: faults.KindError}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFaults(inj)
+
+	stats := statsWith(0, 20000, true)
+	stats.Level = 2
+	if got := ctrl.Decide(stats); got != 2 {
+		t.Fatalf("level = %d, want held level 2", got)
+	}
+	if got := ctrl.Fallbacks(); got != 1 {
+		t.Fatalf("fallbacks = %d, want 1", got)
+	}
+}

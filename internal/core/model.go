@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/counters"
@@ -94,6 +95,75 @@ func (m *Model) Clone() *Model {
 	cp.Decision = m.Decision.Clone()
 	cp.Calibrator = m.Calibrator.Clone()
 	return &cp
+}
+
+// Validate checks the model's structural and numerical sanity: head
+// shapes consistent with the feature set and level count, scalers of the
+// right length with finite statistics and positive spread, and every
+// weight finite. It is the gate a model must pass before being swapped
+// into a serving or control path — a corrupt or truncated artifact must
+// keep the previous model serving, not poison decisions with NaNs.
+func (m *Model) Validate() error {
+	if m.Decision == nil || m.Calibrator == nil {
+		return fmt.Errorf("core: model is missing a head")
+	}
+	if m.Levels <= 0 {
+		return fmt.Errorf("core: model has %d levels", m.Levels)
+	}
+	if len(m.FeatureIdx) == 0 {
+		return fmt.Errorf("core: model selects no features")
+	}
+	for _, i := range m.FeatureIdx {
+		if i < 0 || i >= counters.Num {
+			return fmt.Errorf("core: feature index %d out of range", i)
+		}
+	}
+	n := len(m.FeatureIdx)
+	if got := m.Decision.InputSize(); got != n+1 {
+		return fmt.Errorf("core: decision head input %d, want %d", got, n+1)
+	}
+	if got := m.Decision.OutputSize(); got != m.Levels {
+		return fmt.Errorf("core: decision head output %d, want %d levels", got, m.Levels)
+	}
+	if got := m.Calibrator.InputSize(); got != n+2 {
+		return fmt.Errorf("core: calibrator head input %d, want %d", got, n+2)
+	}
+	if got := m.Calibrator.OutputSize(); got != 1 {
+		return fmt.Errorf("core: calibrator head output %d, want 1", got)
+	}
+	if !(m.TargetScale > 0) || math.IsInf(m.TargetScale, 0) {
+		return fmt.Errorf("core: target scale %g is not positive and finite", m.TargetScale)
+	}
+	for _, sc := range []struct {
+		name string
+		s    *counters.Scaler
+		dim  int
+	}{
+		{"decision", m.DecisionScaler, n + 1},
+		{"calibrator", m.CalibScaler, n + 2},
+	} {
+		if sc.s == nil {
+			return fmt.Errorf("core: model is missing the %s scaler", sc.name)
+		}
+		if len(sc.s.Mean) != sc.dim || len(sc.s.Std) != sc.dim {
+			return fmt.Errorf("core: %s scaler has %d/%d stats, want %d", sc.name, len(sc.s.Mean), len(sc.s.Std), sc.dim)
+		}
+		for i := range sc.s.Mean {
+			if math.IsNaN(sc.s.Mean[i]) || math.IsInf(sc.s.Mean[i], 0) {
+				return fmt.Errorf("core: %s scaler mean[%d] is non-finite", sc.name, i)
+			}
+			if !(sc.s.Std[i] > 0) || math.IsInf(sc.s.Std[i], 0) {
+				return fmt.Errorf("core: %s scaler std[%d] = %g, want positive and finite", sc.name, i, sc.s.Std[i])
+			}
+		}
+	}
+	if err := m.Decision.CheckFinite(); err != nil {
+		return fmt.Errorf("core: decision head: %w", err)
+	}
+	if err := m.Calibrator.CheckFinite(); err != nil {
+		return fmt.Errorf("core: calibrator head: %w", err)
+	}
+	return nil
 }
 
 // serializedModel mirrors Model for JSON round-trips; the MLPs are

@@ -56,6 +56,12 @@ const (
 	IdxMH    = 2 // memory hazard stalls (waiting on load data)
 	IdxMHNL  = 3 // memory hazards from other than load
 	IdxL1CRM = 4 // L1 cache read misses
+
+	// Indices consumed by the analytical fallback path, which must be able
+	// to reconstruct PCSTALL's sensitivity estimate from a raw feature row.
+	IdxInstr        = 5  // instructions executed in the epoch
+	IdxStallCompute = 21 // compute-dependency stalls
+	IdxStallControl = 22 // control-dependency stalls
 )
 
 var defs = [Num]Counter{

@@ -222,17 +222,34 @@ func buildController(mech Mechanism, opts Fig4Options, preset float64) (gpusim.C
 	case MechFLEMMA:
 		return baselines.NewFLEMMA(opts.Sim.OPs, preset, clusters, opts.Seed)
 	case MechSSMDVFS:
-		return core.NewController(opts.Model, preset, clusters, true)
+		return NewSSMDVFS(opts.Model, preset, opts.Sim, true)
 	case MechSSMDVFSNoCal:
-		return core.NewController(opts.Model, preset, clusters, false)
+		return NewSSMDVFS(opts.Model, preset, opts.Sim, false)
 	case MechSSMDVFSComp:
 		if opts.Compressed == nil {
 			return nil, fmt.Errorf("experiments: %s requires a compressed model", mech)
 		}
-		return core.NewController(opts.Compressed, preset, clusters, true)
+		return NewSSMDVFS(opts.Compressed, preset, opts.Sim, true)
 	default:
 		return nil, fmt.Errorf("experiments: unknown mechanism %q", mech)
 	}
+}
+
+// NewSSMDVFS builds the SSMDVFS controller with the analytical PCSTALL
+// baseline installed as its degradation fallback, so a model failure
+// mid-run degrades that epoch to a safe analytical decision instead of
+// crashing the simulation.
+func NewSSMDVFS(model *core.Model, preset float64, cfg gpusim.Config, calibrate bool) (gpusim.Controller, error) {
+	ctrl, err := core.NewController(model, preset, cfg.Clusters, calibrate)
+	if err != nil {
+		return nil, err
+	}
+	fb, err := baselines.NewPCSTALL(cfg.OPs, preset, cfg.Clusters)
+	if err != nil {
+		return nil, err
+	}
+	ctrl.SetFallback(fb)
+	return ctrl, nil
 }
 
 func makeRow(kernel string, mech Mechanism, preset float64, r gpusim.Result, baseT int64, baseEDP float64) Fig4Row {

@@ -98,7 +98,7 @@ func RunPresetSweep(opts PresetSweepOptions) ([]PresetSweepPoint, error) {
 		func(_ context.Context, s runner.Shard) (cell, error) {
 			preset := opts.Presets[s.Index/nk]
 			i := s.Index % nk
-			ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
+			ctrl, err := NewSSMDVFS(opts.Model, preset, opts.Sim, true)
 			if err != nil {
 				return cell{}, err
 			}
@@ -192,7 +192,7 @@ func RunHeadroom(opts PresetSweepOptions, preset float64) ([]HeadroomRow, error)
 				return HeadroomRow{}, err
 			}
 
-			ctrl, err := core.NewController(opts.Model, preset, opts.Sim.Clusters, true)
+			ctrl, err := NewSSMDVFS(opts.Model, preset, opts.Sim, true)
 			if err != nil {
 				return HeadroomRow{}, err
 			}

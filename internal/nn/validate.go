@@ -1,0 +1,44 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// CheckFinite reports an error if any weight, bias, or mask entry of any
+// layer is NaN or ±Inf, or if consecutive layers disagree on their shared
+// dimension. A model that fails this check must never be swapped into a
+// serving path: a single non-finite weight poisons every downstream
+// activation and turns decisions into garbage.
+func (m *MLP) CheckFinite() error {
+	if len(m.Layers) == 0 {
+		return fmt.Errorf("nn: MLP has no layers")
+	}
+	for i, l := range m.Layers {
+		if l == nil {
+			return fmt.Errorf("nn: layer %d is nil", i)
+		}
+		if l.In <= 0 || l.Out <= 0 {
+			return fmt.Errorf("nn: layer %d has shape %dx%d", i, l.In, l.Out)
+		}
+		if i > 0 && m.Layers[i-1].Out != l.In {
+			return fmt.Errorf("nn: layer %d input %d does not match layer %d output %d",
+				i, l.In, i-1, m.Layers[i-1].Out)
+		}
+		if len(l.W) != l.In*l.Out || len(l.B) != l.Out {
+			return fmt.Errorf("nn: layer %d weight/bias lengths %d/%d do not match shape %dx%d",
+				i, len(l.W), len(l.B), l.In, l.Out)
+		}
+		if l.Mask != nil && len(l.Mask) != len(l.W) {
+			return fmt.Errorf("nn: layer %d mask length %d does not match %d weights", i, len(l.Mask), len(l.W))
+		}
+		for _, vs := range [][]float64{l.W, l.B, l.Mask} {
+			for j, v := range vs {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("nn: layer %d has non-finite parameter at index %d: %g", i, j, v)
+				}
+			}
+		}
+	}
+	return nil
+}

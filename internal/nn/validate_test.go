@@ -1,0 +1,56 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCheckFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewMLP([]int{4, 8, 3}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckFinite(); err != nil {
+		t.Fatalf("fresh model rejected: %v", err)
+	}
+
+	m.Layers[1].W[5] = math.NaN()
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+	m.Layers[1].W[5] = 0
+
+	m.Layers[0].B[2] = math.Inf(-1)
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("-Inf bias accepted")
+	}
+	m.Layers[0].B[2] = 0
+
+	m.Layers[0].Mask = make([]float64, len(m.Layers[0].W))
+	m.Layers[0].Mask[0] = math.Inf(1)
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("+Inf mask accepted")
+	}
+	m.Layers[0].Mask = nil
+
+	// Truncated weight slice (a torn/corrupt artifact shape).
+	w := m.Layers[1].W
+	m.Layers[1].W = w[:len(w)-1]
+	if err := m.CheckFinite(); err == nil {
+		t.Fatal("truncated weights accepted")
+	}
+	m.Layers[1].W = w
+
+	// Mismatched inter-layer shape.
+	m2, _ := NewMLP([]int{4, 8, 3}, rng)
+	m2.Layers[1] = NewDense(7, 3, rng)
+	if err := m2.CheckFinite(); err == nil {
+		t.Fatal("layer shape mismatch accepted")
+	}
+
+	if err := (&MLP{}).CheckFinite(); err == nil {
+		t.Fatal("empty MLP accepted")
+	}
+}

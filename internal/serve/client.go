@@ -2,51 +2,228 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"net"
 	"time"
+
+	"ssmdvfs/internal/faults"
 )
+
+// Client-side fault-injection sites (armed via DialOptions.Faults).
+const (
+	// FaultClientDial fires per connection attempt (error kinds fail it).
+	FaultClientDial = "client.dial"
+	// FaultClientIO fires per request round-trip before the write (error
+	// kinds poison the connection and trigger reconnect).
+	FaultClientIO = "client.io"
+)
+
+// DialOptions configures connection and retry behaviour for a Client.
+// The zero value reproduces the original Dial: one 5 s connection
+// attempt, no retries.
+type DialOptions struct {
+	// Timeout bounds each individual connection attempt (default 5 s).
+	Timeout time.Duration
+	// Retries is how many times a failed connect or round-trip is retried
+	// after the first attempt, reconnecting between attempts (default 0:
+	// fail fast).
+	Retries int
+	// Backoff is the delay before the first retry; it doubles per attempt
+	// (capped at 5 s) with deterministic ±25% jitter derived from the
+	// address and attempt number, so a fleet of clients hammering one
+	// recovering daemon spreads out the same way on every run
+	// (default 50 ms).
+	Backoff time.Duration
+	// Faults optionally injects client-side faults at the FaultClient*
+	// sites. Nil keeps the path fault-free.
+	Faults *faults.Injector
+}
+
+func (o DialOptions) withDefaults() DialOptions {
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Second
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 50 * time.Millisecond
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	return o
+}
 
 // Client is a binary-protocol connection to a decision daemon. It is not
 // safe for concurrent use — open one Client per load-generator worker
-// (requests on one connection are strictly request/response).
+// (requests on one connection are strictly request/response). When built
+// with DialOptions.Retries > 0 it transparently reconnects with
+// exponential backoff after dropped connections and re-sends the
+// in-flight request (decision requests are idempotent).
 type Client struct {
 	conn net.Conn
 	br   *bufio.Reader
 	bw   *bufio.Writer
+
+	addr string
+	opts DialOptions
+	ctx  context.Context
+
+	reconnects int64
 
 	frame []byte
 	req   []byte
 	decs  []Decision
 }
 
-// Dial connects to a daemon's binary-protocol address.
+// Dial connects to a daemon's binary-protocol address with the default
+// options (one 5 s attempt, no retries).
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
+	return DialContext(context.Background(), addr, DialOptions{})
+}
+
+// DialContext connects to a daemon's binary-protocol address. ctx bounds
+// the initial connection (including retries) and the backoff sleeps of
+// later reconnects.
+func DialContext(ctx context.Context, addr string, opts DialOptions) (*Client, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return NewClient(conn), nil
+	c := &Client{addr: addr, opts: opts.withDefaults(), ctx: ctx}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
 }
 
 // NewClient wraps an established connection (useful for tests over
-// loopback or net.Pipe).
+// loopback or net.Pipe). A Client built this way has no address and
+// cannot reconnect.
 func NewClient(conn net.Conn) *Client {
-	return &Client{
-		conn: conn,
-		br:   bufio.NewReaderSize(conn, 64<<10),
-		bw:   bufio.NewWriterSize(conn, 64<<10),
+	c := &Client{ctx: context.Background(), opts: DialOptions{}.withDefaults()}
+	c.bind(conn)
+	return c
+}
+
+// Reconnects returns how many times the client re-established its
+// connection.
+func (c *Client) Reconnects() int64 { return c.reconnects }
+
+func (c *Client) bind(conn net.Conn) {
+	c.conn = conn
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(conn, 64<<10)
+		c.bw = bufio.NewWriterSize(conn, 64<<10)
+	} else {
+		c.br.Reset(conn)
+		c.bw.Reset(conn)
 	}
 }
 
-// Decide sends one batch and waits for its decisions. The returned slice
-// is reused by the next Decide call.
+func (c *Client) dialOnce() error {
+	if err := c.opts.Faults.Inject(FaultClientDial); err != nil {
+		return err
+	}
+	d := net.Dialer{Timeout: c.opts.Timeout}
+	conn, err := d.DialContext(c.ctx, "tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if c.conn != nil {
+		c.conn.Close()
+		c.reconnects++
+	}
+	c.bind(conn)
+	return nil
+}
+
+// connect establishes the connection, retrying with backoff up to
+// opts.Retries times.
+func (c *Client) connect() error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		if err = c.dialOnce(); err == nil {
+			return nil
+		}
+		if attempt >= c.opts.Retries {
+			return err
+		}
+		if serr := c.backoffSleep(attempt); serr != nil {
+			return serr
+		}
+	}
+}
+
+// backoffSleep waits out the attempt's backoff delay, honouring ctx.
+func (c *Client) backoffSleep(attempt int) error {
+	t := time.NewTimer(backoffDelay(c.opts.Backoff, attempt, c.addr))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-c.ctx.Done():
+		return c.ctx.Err()
+	}
+}
+
+// backoffDelay is base·2^attempt capped at 5 s, scaled by a deterministic
+// jitter factor in [0.75, 1.25) derived from the address and attempt —
+// the same schedule on every run, but different across clients of
+// different addresses and across attempts.
+func backoffDelay(base time.Duration, attempt int, addr string) time.Duration {
+	if attempt > 16 {
+		attempt = 16
+	}
+	d := base << uint(attempt)
+	if d > 5*time.Second || d <= 0 {
+		d = 5 * time.Second
+	}
+	h := faults.Mix64(faults.HashString(addr) ^ uint64(attempt))
+	frac := 0.75 + 0.5*float64(h>>11)/(1<<53)
+	return time.Duration(float64(d) * frac)
+}
+
+// Decide sends one batch and waits for its decisions, reconnecting and
+// re-sending on connection failures when retries are configured. The
+// returned slice is reused by the next Decide call.
 func (c *Client) Decide(rows []Request) ([]Decision, error) {
 	req, err := AppendRequestFrame(c.req[:0], rows)
 	if err != nil {
+		// Encoding failures are caller bugs (bad batch shape), not
+		// transport faults — never retried.
 		return nil, err
 	}
 	c.req = req
+
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoffSleep(attempt - 1); err != nil {
+				return nil, err
+			}
+			if c.addr == "" {
+				return nil, lastErr // NewClient-wrapped conns cannot reconnect
+			}
+			if err := c.dialOnce(); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		decs, err := c.roundTrip(req)
+		if err == nil {
+			return decs, nil
+		}
+		lastErr = err
+		// The stream can no longer be trusted (half-written frame,
+		// truncated response): drop the connection before retrying.
+		c.conn.Close()
+	}
+	return nil, lastErr
+}
+
+func (c *Client) roundTrip(req []byte) ([]Decision, error) {
+	if err := c.opts.Faults.Inject(FaultClientIO); err != nil {
+		return nil, err
+	}
 	if err := writeFrame(c.bw, req); err != nil {
 		return nil, err
 	}

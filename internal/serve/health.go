@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"sync/atomic"
+)
+
+// HealthState is the server's degradation level. The state machine moves
+// healthy → degraded on the first model failure (recovered panic,
+// deadline miss, or injected model error), degraded → fallback-only after
+// FailThreshold consecutive failures, and back to healthy after
+// RestoreProbes consecutive clean model batches. In fallback-only every
+// request is answered by the analytical PCSTALL fallback except a probe
+// batch every ProbeEvery batches, which tries the model so recovery can
+// be detected without exposing ordinary traffic to it.
+type HealthState int32
+
+const (
+	Healthy HealthState = iota
+	Degraded
+	FallbackOnly
+)
+
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case FallbackOnly:
+		return "fallback-only"
+	default:
+		return "unknown"
+	}
+}
+
+// HealthOptions tunes the degradation state machine; zero values take the
+// defaults.
+type HealthOptions struct {
+	// FailThreshold is how many consecutive model failures demote the
+	// server to fallback-only (default 5).
+	FailThreshold int
+	// RestoreProbes is how many consecutive clean model batches restore
+	// the server to healthy (default 3).
+	RestoreProbes int
+	// ProbeEvery is how often, in batches, the model is probed while in
+	// fallback-only (default 16).
+	ProbeEvery int64
+}
+
+func (o HealthOptions) withDefaults() HealthOptions {
+	if o.FailThreshold <= 0 {
+		o.FailThreshold = 5
+	}
+	if o.RestoreProbes <= 0 {
+		o.RestoreProbes = 3
+	}
+	if o.ProbeEvery <= 0 {
+		o.ProbeEvery = 16
+	}
+	return o
+}
+
+// health tracks the state machine with atomics only — it sits on the
+// per-batch hot path and must not lock or allocate.
+type health struct {
+	opts  HealthOptions
+	state atomic.Int32
+	fails atomic.Int64 // consecutive model failures
+	clean atomic.Int64 // consecutive clean model batches
+	ticks atomic.Int64 // batch counter scheduling fallback-only probes
+}
+
+func newHealth(opts HealthOptions) *health {
+	return &health{opts: opts.withDefaults()}
+}
+
+// State returns the current degradation level.
+func (h *health) State() HealthState { return HealthState(h.state.Load()) }
+
+// Failures returns the consecutive-failure count.
+func (h *health) Failures() int64 { return h.fails.Load() }
+
+// useModel reports whether this batch should run the model: always,
+// except in fallback-only where only every ProbeEvery-th batch probes it.
+func (h *health) useModel() bool {
+	if HealthState(h.state.Load()) != FallbackOnly {
+		return true
+	}
+	return h.ticks.Add(1)%h.opts.ProbeEvery == 0
+}
+
+// recordFailure notes a model failure and demotes the state.
+func (h *health) recordFailure() {
+	h.clean.Store(0)
+	if f := h.fails.Add(1); f >= int64(h.opts.FailThreshold) {
+		h.state.Store(int32(FallbackOnly))
+	} else {
+		h.state.Store(int32(Degraded))
+	}
+}
+
+// recordSuccess notes a clean model batch and, after enough of them in a
+// row, restores the server to healthy.
+func (h *health) recordSuccess() {
+	h.fails.Store(0)
+	c := h.clean.Add(1)
+	if HealthState(h.state.Load()) != Healthy && c >= int64(h.opts.RestoreProbes) {
+		h.state.Store(int32(Healthy))
+	}
+}

@@ -28,6 +28,13 @@ type Metrics struct {
 	Reloads   *telemetry.Counter // successful model swaps
 	Conns     *telemetry.Counter // currently open binary-protocol connections
 
+	// Degradation counters: how often the serving path fell back to the
+	// analytical baseline and why.
+	Fallbacks       *telemetry.Counter // decisions answered by the PCSTALL fallback
+	RecoveredPanics *telemetry.Counter // model panics caught mid-batch
+	RejectedRows    *telemetry.Counter // NaN/Inf/out-of-range rows rejected at the boundary
+	DeadlineMisses  *telemetry.Counter // batches that blew the per-decision budget
+
 	levels [maxLevels]*telemetry.Counter
 	lat    *telemetry.Histogram
 
@@ -37,13 +44,17 @@ type Metrics struct {
 // newMetrics resolves every handle the serving hot path needs up front.
 func newMetrics(reg *telemetry.Registry) *Metrics {
 	m := &Metrics{
-		Decisions: reg.Counter("serve_decisions_total"),
-		Batches:   reg.Counter("serve_batches_total"),
-		Errors:    reg.Counter("serve_errors_total"),
-		Reloads:   reg.Counter("serve_reloads_total"),
-		Conns:     reg.Counter("serve_open_conns"),
-		lat:       reg.HistogramBuckets("serve_batch_latency_us", histBuckets),
-		reg:       reg,
+		Decisions:       reg.Counter("serve_decisions_total"),
+		Batches:         reg.Counter("serve_batches_total"),
+		Errors:          reg.Counter("serve_errors_total"),
+		Reloads:         reg.Counter("serve_reloads_total"),
+		Conns:           reg.Counter("serve_open_conns"),
+		Fallbacks:       reg.Counter("serve_fallback_decisions_total"),
+		RecoveredPanics: reg.Counter("serve_recovered_panics_total"),
+		RejectedRows:    reg.Counter("serve_rejected_rows_total"),
+		DeadlineMisses:  reg.Counter("serve_deadline_misses_total"),
+		lat:             reg.HistogramBuckets("serve_batch_latency_us", histBuckets),
+		reg:             reg,
 	}
 	for l := range m.levels {
 		m.levels[l] = reg.Counter("serve_level_decisions_total", "level", itoa(l))
@@ -92,6 +103,14 @@ type Snapshot struct {
 	Reloads   int64 `json:"reloads"`
 	Conns     int64 `json:"open_conns"`
 
+	// Degradation counters. They carry omitempty so a server that never
+	// degrades (injector nil, clean traffic) emits the exact pre-fault
+	// /metrics JSON, byte for byte.
+	Fallbacks       int64 `json:"fallback_decisions,omitempty"`
+	RecoveredPanics int64 `json:"recovered_panics,omitempty"`
+	RejectedRows    int64 `json:"rejected_rows,omitempty"`
+	DeadlineMisses  int64 `json:"deadline_misses,omitempty"`
+
 	// LatencyBucketsUs[i] counts batches in [2^(i-1), 2^i) µs (index 0 is
 	// < 1 µs); LatencyP50Us etc. are estimated from the histogram.
 	LatencyBucketsUs []int64 `json:"latency_buckets_us"`
@@ -115,6 +134,10 @@ func (m *Metrics) Snapshot(levels int) Snapshot {
 		Errors:           m.Errors.Load(),
 		Reloads:          m.Reloads.Load(),
 		Conns:            m.Conns.Load(),
+		Fallbacks:        m.Fallbacks.Load(),
+		RecoveredPanics:  m.RecoveredPanics.Load(),
+		RejectedRows:     m.RejectedRows.Load(),
+		DeadlineMisses:   m.DeadlineMisses.Load(),
 		LatencyBucketsUs: m.lat.Buckets(),
 		LevelCounts:      make([]int64, levels),
 	}

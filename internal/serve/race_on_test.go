@@ -1,0 +1,7 @@
+//go:build race
+
+package serve
+
+// raceEnabled lets allocation-count guards skip under the race detector,
+// which makes sync.Pool deliberately drop and bypass its caches.
+const raceEnabled = true

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
@@ -13,10 +14,33 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/clockdomain"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/quant"
 	"ssmdvfs/internal/telemetry"
+)
+
+// Canonical fault-injection site names the serving path evaluates. All
+// sites are nil-safe no-ops unless Options.Faults arms them.
+const (
+	// FaultDecide fires once per batch before the model runs — arm a
+	// latency kind here to blow the decision budget.
+	FaultDecide = "serve.decide"
+	// FaultInfer fires once per row inside the model loop — arm panic or
+	// error kinds to take down individual inferences.
+	FaultInfer = "serve.infer"
+	// FaultReload fires on model reload: error kinds fail the load,
+	// corrupt kinds poison the freshly loaded model so validation must
+	// catch it (the old model keeps serving either way).
+	FaultReload = "serve.reload"
+	// FaultSwap fires on model swap (error kinds reject the swap).
+	FaultSwap = "serve.swap"
+	// FaultConn fires once per binary-protocol frame; an error kind drops
+	// the connection, exercising client reconnect.
+	FaultConn = "serve.conn"
 )
 
 // Options configures a Server.
@@ -32,6 +56,18 @@ type Options struct {
 	Workers int
 	// Logf receives progress messages; nil silences them.
 	Logf func(format string, args ...any)
+	// Table is the operating-point table the analytical fallback decides
+	// over; nil means the TitanX table used throughout the project.
+	Table *clockdomain.Table
+	// Budget, when positive, bounds how long one batch may spend in the
+	// model before the remaining rows degrade to the analytical fallback
+	// (a deadline miss). Zero disables the budget.
+	Budget time.Duration
+	// Faults optionally injects deterministic faults at the Fault* sites.
+	// Nil (the default) keeps the hot path allocation-free and fault-free.
+	Faults *faults.Injector
+	// Health tunes the degradation state machine.
+	Health HealthOptions
 }
 
 // Server serves DVFS decisions from a hot-swappable model. One Server
@@ -43,6 +79,9 @@ type Server struct {
 	model   atomic.Pointer[core.Model]
 	metrics *Metrics
 	sem     chan struct{}
+	table   *clockdomain.Table
+	health  *health
+	faults  *faults.Injector
 
 	infPool sync.Pool // *core.Inference
 	bufPool sync.Pool // *connBuffers
@@ -72,10 +111,16 @@ func NewServer(m *core.Model, opts Options) (*Server, error) {
 	if opts.Logf == nil {
 		opts.Logf = func(string, ...any) {}
 	}
+	if opts.Table == nil {
+		opts.Table = clockdomain.TitanX()
+	}
 	s := &Server{
 		opts:    opts,
 		metrics: newMetrics(telemetry.NewRegistry()),
 		sem:     make(chan struct{}, opts.Workers),
+		table:   opts.Table,
+		health:  newHealth(opts.Health),
+		faults:  opts.Faults,
 	}
 	s.model.Store(m)
 	s.infPool.New = func() any { return core.NewInference(m) }
@@ -86,6 +131,9 @@ func NewServer(m *core.Model, opts Options) (*Server, error) {
 // LoadModel reads a model file and, if quantBits > 0, fake-quantizes it —
 // the loader behind both daemon startup and hot reload, accepting the
 // plain and compressed artifacts interchangeably (they share one format).
+// It validates the result (shapes and finite weights), so a corrupt or
+// truncated artifact is rejected here instead of poisoning the serving
+// path.
 func LoadModel(path string, quantBits int) (*core.Model, error) {
 	m, err := core.LoadFile(path)
 	if err != nil {
@@ -96,8 +144,30 @@ func LoadModel(path string, quantBits int) (*core.Model, error) {
 			return nil, err
 		}
 	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: model %s failed validation: %w", path, err)
+	}
 	return m, nil
 }
+
+// ReloadError is the structured error Reload returns when a new model
+// cannot be swapped in; Stage says how far the reload got ("config",
+// "load", "validate", "swap"). The previously served model always stays
+// active.
+type ReloadError struct {
+	Path  string
+	Stage string
+	Err   error
+}
+
+func (e *ReloadError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("serve: reload failed at %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("serve: reload of %s failed at %s: %v", e.Path, e.Stage, e.Err)
+}
+
+func (e *ReloadError) Unwrap() error { return e.Err }
 
 // Model returns the currently served model.
 func (s *Server) Model() *core.Model { return s.model.Load() }
@@ -109,14 +179,22 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 // Prometheus exposition and for daemons that add their own series.
 func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.Registry() }
 
-// Swap atomically replaces the served model. In-flight batches finish on
-// the model they started with; new batches see the new one immediately.
+// Swap atomically replaces the served model after validating it. A model
+// that fails validation is rejected and the current model keeps serving.
+// In-flight batches finish on the model they started with; new batches
+// see the new one immediately.
 func (s *Server) Swap(m *core.Model) error {
 	if m == nil {
 		return fmt.Errorf("serve: nil model")
 	}
 	if m.Levels > maxLevels {
 		return fmt.Errorf("serve: model has %d levels, metrics support %d", m.Levels, maxLevels)
+	}
+	if err := s.faults.Inject(FaultSwap); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
 	}
 	s.model.Store(m)
 	s.metrics.Reloads.Add(1)
@@ -125,6 +203,9 @@ func (s *Server) Swap(m *core.Model) error {
 
 // Reload loads path (or the configured ModelPath when path is empty) and
 // swaps it in. Concurrent reloads are serialized; decisions never block.
+// Any failure — unreadable file, corrupt or truncated artifact, bad
+// shapes, non-finite weights — returns a *ReloadError and keeps the old
+// model serving.
 func (s *Server) Reload(path string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -132,37 +213,141 @@ func (s *Server) Reload(path string) error {
 		path = s.opts.ModelPath
 	}
 	if path == "" {
-		return fmt.Errorf("serve: no model path configured for reload")
+		return &ReloadError{Stage: "config", Err: errors.New("no model path configured")}
+	}
+	if err := s.faults.Inject(FaultReload); err != nil {
+		s.metrics.Errors.Add(1)
+		return &ReloadError{Path: path, Stage: "load", Err: err}
 	}
 	m, err := LoadModel(path, s.opts.QuantBits)
 	if err != nil {
 		s.metrics.Errors.Add(1)
-		return err
+		return &ReloadError{Path: path, Stage: "load", Err: err}
+	}
+	if s.faults.Corrupt(FaultReload) {
+		// Corruption fault: poison the candidate model so the swap-time
+		// validation must reject it — the served model is never touched.
+		m.Decision.Layers[0].W[0] = math.NaN()
 	}
 	if err := s.Swap(m); err != nil {
 		s.metrics.Errors.Add(1)
-		return err
+		return &ReloadError{Path: path, Stage: "swap", Err: err}
 	}
 	s.opts.Logf("serve: reloaded model from %s (%d params, %d FLOPs)", path, m.Params(), m.FLOPs())
 	return nil
 }
 
-// decideBatch runs the model over rows, appending one Decision per row
-// to decs. It acquires a worker-pool slot, so at most Options.Workers
-// batches run the model at once regardless of connection count.
+// maxFeature and maxPreset bound what the row validators accept: counter
+// values are per-10µs-epoch counts and watt-scale powers, presets are
+// performance-loss fractions — anything beyond these magnitudes (or
+// non-finite) is garbage that must not reach the model.
+const (
+	maxFeature = 1e15
+	maxPreset  = 1e3
+)
+
+// finiteInRange rejects NaN (v != v) and values outside ±limit (which
+// also catches ±Inf) with plain comparisons — no allocation, no math
+// calls, cheap enough for the per-row hot path.
+func finiteInRange(v, limit float64) bool {
+	return v == v && v >= -limit && v <= limit
+}
+
+// validRow reports whether every feature and the preset are finite and
+// within range. Invalid rows are rejected at the transport boundary and
+// answered by the analytical fallback instead of the model.
+func validRow(row Request) bool {
+	if !finiteInRange(row.Preset, maxPreset) {
+		return false
+	}
+	for _, f := range row.Features {
+		if !finiteInRange(f, maxFeature) {
+			return false
+		}
+	}
+	return true
+}
+
+// fallbackRow answers one row from the PCSTALL analytical baseline — the
+// guaranteed decision when the model cannot or must not be trusted.
+func (s *Server) fallbackRow(row Request) Decision {
+	level, pred := baselines.FallbackDecision(s.table, row.Features, row.Preset)
+	s.metrics.Fallbacks.Add(1)
+	s.metrics.ObserveLevel(level)
+	return Decision{Level: level, PredInstr: pred}
+}
+
+// decideBatch answers every row, appending one Decision per row to decs.
+// It acquires a worker-pool slot, so at most Options.Workers batches run
+// at once regardless of connection count. The contract is the degradation
+// guarantee: decideBatch never returns fewer decisions than rows and
+// never panics — rows the model cannot answer (invalid features,
+// recovered panic, blown deadline budget, fallback-only health state)
+// degrade to the analytical fallback instead.
 func (s *Server) decideBatch(rows []Request, decs []Decision) []Decision {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
+	start := time.Now()
+	done := 0
+	if s.health.useModel() {
+		var failed bool
+		decs, done, failed = s.modelRows(rows, decs, start)
+		if failed {
+			s.health.recordFailure()
+		} else {
+			s.health.recordSuccess()
+		}
+	}
+	for _, row := range rows[done:] {
+		decs = append(decs, s.fallbackRow(row))
+	}
+	return decs
+}
+
+// modelRows runs the model over rows until it finishes, fails, or blows
+// the budget, returning how many rows were answered (model or per-row
+// fallback) and whether the model path failed. A panic anywhere in the
+// model is recovered and reported as a failure; the rows it did not reach
+// are the caller's to degrade.
+func (s *Server) modelRows(rows []Request, decs []Decision, start time.Time) (out []Decision, done int, failed bool) {
+	out = decs
+	// On panic the named returns already hold the last consistent state:
+	// out has exactly the decisions of the done rows, because append and
+	// the done update are adjacent non-panicking statements.
+	defer func() {
+		if r := recover(); r != nil {
+			s.metrics.RecoveredPanics.Add(1)
+			failed = true
+		}
+	}()
+	if err := s.faults.Inject(FaultDecide); err != nil {
+		return out, 0, true
+	}
 	inf := s.infPool.Get().(*core.Inference)
+	defer s.infPool.Put(inf)
 	inf.Bind(s.model.Load())
-	for _, row := range rows {
+	budget := s.opts.Budget
+	for i, row := range rows {
+		if budget > 0 && time.Since(start) > budget {
+			s.metrics.DeadlineMisses.Add(1)
+			return out, i, true
+		}
+		if !validRow(row) {
+			s.metrics.RejectedRows.Add(1)
+			out = append(out, s.fallbackRow(row))
+			done = i + 1
+			continue
+		}
+		if err := s.faults.Inject(FaultInfer); err != nil {
+			return out, i, true
+		}
 		level, pred := inf.Decide(row.Features, row.Preset)
 		s.metrics.ObserveLevel(level)
-		decs = append(decs, Decision{Level: level, PredInstr: pred})
+		out = append(out, Decision{Level: level, PredInstr: pred})
+		done = i + 1
 	}
-	s.infPool.Put(inf)
-	return decs
+	return out, done, false
 }
 
 // ServeConn handles one binary-protocol connection until EOF or error.
@@ -181,6 +366,12 @@ func (s *Server) ServeConn(conn net.Conn) {
 	defer s.bufPool.Put(bufs)
 
 	for {
+		// An armed error fault here simulates an infrastructure-level
+		// connection drop: the conn closes and the client's reconnect
+		// logic takes over. Not counted as a protocol error.
+		if err := s.faults.Inject(FaultConn); err != nil {
+			return
+		}
 		frame, err := readFrame(br, bufs.frame)
 		if err != nil {
 			// EOF and closed/truncated connections are normal client
@@ -271,17 +462,42 @@ type httpDecision struct {
 //	GET  /metrics  counters + latency histogram + level distribution
 //	POST /reload   {"path":"..."} (path optional; defaults to ModelPath)
 //	GET  /model    served model info
-//	GET  /healthz  liveness
+//	GET  /healthz  degradation state (healthy/degraded → 200,
+//	               fallback-only → 503; decisions are still served)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decide", s.handleDecide)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/model", s.handleModel)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// Health returns the server's current degradation state.
+func (s *Server) Health() HealthState { return s.health.State() }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	st := s.health.State()
+	w.Header().Set("Content-Type", "application/json")
+	if st == FallbackOnly {
+		// Still serving (every request gets a fallback decision), but
+		// signal orchestrators that the model path is down.
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(struct {
+		State               string `json:"state"`
+		ConsecutiveFailures int64  `json:"consecutive_failures,omitempty"`
+		FallbackDecisions   int64  `json:"fallback_decisions,omitempty"`
+		RecoveredPanics     int64  `json:"recovered_panics,omitempty"`
+		DeadlineMisses      int64  `json:"deadline_misses,omitempty"`
+	}{
+		State:               st.String(),
+		ConsecutiveFailures: s.health.Failures(),
+		FallbackDecisions:   s.metrics.Fallbacks.Load(),
+		RecoveredPanics:     s.metrics.RecoveredPanics.Load(),
+		DeadlineMisses:      s.metrics.DeadlineMisses.Load(),
+	})
 }
 
 func (s *Server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
