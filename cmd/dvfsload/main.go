@@ -28,9 +28,11 @@ import (
 	"sync"
 	"time"
 
+	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/epochtrace"
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
 )
@@ -53,8 +55,13 @@ func main() {
 		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run here")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit here")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dvfsload", buildinfo.String())
+		return
+	}
 
 	inj, err := faults.Parse(*faultSpec, *faultSeed)
 	if err != nil {
@@ -110,6 +117,7 @@ type workerStats struct {
 	decisions  int64
 	reconnects int64
 	levels     [64]int64
+	reasons    [provenance.NumReasons]int64
 	err        error
 }
 
@@ -184,6 +192,9 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 					if d.Level >= 0 && d.Level < len(st.levels) {
 						st.levels[d.Level]++
 					}
+					if int(d.Reason) < len(st.reasons) {
+						st.reasons[d.Reason]++
+					}
 				}
 				if tick != nil {
 					<-tick.C
@@ -198,6 +209,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 	var all []time.Duration
 	var decisions, batches, reconnects int64
 	var levels [64]int64
+	var reasons [provenance.NumReasons]int64
 	for c := range stats {
 		if stats[c].err != nil {
 			return fmt.Errorf("conn %d: %w", c, stats[c].err)
@@ -208,6 +220,9 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		reconnects += stats[c].reconnects
 		for l, n := range stats[c].levels {
 			levels[l] += n
+		}
+		for r, n := range stats[c].reasons {
+			reasons[r] += n
 		}
 	}
 	if decisions == 0 {
@@ -238,6 +253,17 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		frac := float64(levels[l]) / float64(decisions)
 		bar := strings.Repeat("#", int(frac*40+0.5))
 		fmt.Printf("  level %d %8.1f%%  %s\n", l, frac*100, bar)
+	}
+
+	// Per-reason response counts (the v2 wire protocol labels every
+	// decision): anything beyond "model" means the daemon degraded.
+	fmt.Printf("\nresponse reasons:\n")
+	for r, n := range reasons {
+		if n == 0 {
+			continue
+		}
+		fmt.Printf("  %-13s %12d  (%.1f%%)\n", provenance.Reason(r).String(), n,
+			100*float64(n)/float64(decisions))
 	}
 	return nil
 }

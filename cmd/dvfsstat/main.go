@@ -10,47 +10,61 @@
 //	                                          # dvfstrace -telemetry, ssmdvfsd /telemetry)
 //	dvfsstat -spans spans.jsonl [-chrome out.json]
 //	dvfsstat -trace run.csv -against oracle.csv
+//	dvfsstat -decisions dump.jsonl            # flight-recorder dump (ssmdvfsd
+//	                                          # /debug/decisions, dvfstrace -flightrec)
 //
 // Any combination of inputs may be given; each produces its section.
 // -chrome converts the span capture to the Chrome trace-event format
-// viewable in chrome://tracing or Perfetto.
+// viewable in chrome://tracing or Perfetto. -decisions summarizes a
+// provenance flight-recorder dump: the per-reason breakdown, the level
+// distribution, prediction-error statistics, and per-feature drift
+// against the training statistics embedded in the dump header.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
 
 	"ssmdvfs/internal/atomicfile"
+	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
 	var (
-		metrics = flag.String("metrics", "", "telemetry registry snapshot (JSON)")
-		spans   = flag.String("spans", "", "span capture (JSONL)")
-		chrome  = flag.String("chrome", "", "with -spans: write Chrome trace-event JSON here")
-		trace   = flag.String("trace", "", "per-epoch trace (CSV or JSON from dvfstrace)")
-		against = flag.String("against", "", "with -trace: reference trace to diff decisions against")
+		metrics   = flag.String("metrics", "", "telemetry registry snapshot (JSON)")
+		spans     = flag.String("spans", "", "span capture (JSONL)")
+		chrome    = flag.String("chrome", "", "with -spans: write Chrome trace-event JSON here")
+		trace     = flag.String("trace", "", "per-epoch trace (CSV or JSON from dvfstrace)")
+		against   = flag.String("against", "", "with -trace: reference trace to diff decisions against")
+		decisions = flag.String("decisions", "", "flight-recorder dump (JSONL from /debug/decisions or -flightrec)")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dvfsstat", buildinfo.String())
+		return
+	}
 
-	if *metrics == "" && *spans == "" && *trace == "" {
+	if *metrics == "" && *spans == "" && *trace == "" && *decisions == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against); err != nil {
+	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against, *decisions); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath string) error {
+func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath, decisionsPath string) error {
 	if metricsPath != "" {
 		snap, err := telemetry.ReadSnapshotFile(metricsPath)
 		if err != nil {
@@ -93,6 +107,13 @@ func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath
 		if err := summarizeDivergence(w, tracePath, againstPath, a, b); err != nil {
 			return err
 		}
+	}
+	if decisionsPath != "" {
+		hdr, recs, err := provenance.ReadFile(decisionsPath)
+		if err != nil {
+			return err
+		}
+		summarizeDecisions(w, decisionsPath, hdr, recs)
 	}
 	return nil
 }
@@ -138,8 +159,16 @@ func sortedLabelKeys(m map[string]int64) []string {
 }
 
 // summarizeMetrics prints the sections a registry snapshot supports:
-// residency, stall breakdown, divergence, histograms, and counters.
+// build attribution, residency, stall breakdown, divergence, histograms,
+// and counters.
 func summarizeMetrics(w io.Writer, snap telemetry.Snapshot) {
+	if len(snap.Build) > 0 {
+		fmt.Fprintln(w, "== build ==")
+		for _, k := range sortedKeys(snap.Build) {
+			fmt.Fprintf(w, "%-12s %s\n", k, snap.Build[k])
+		}
+		fmt.Fprintln(w)
+	}
 	residency := byLabel(snap.Counters, "sim_level_residency_ps", "level")
 	epochs := byLabel(snap.Counters, "sim_level_epochs_total", "level")
 	if len(residency) > 0 {
@@ -297,6 +326,120 @@ func summarizeDivergence(w io.Writer, nameA, nameB string, a, b *epochtrace.Trac
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// summarizeDecisions renders a flight-recorder dump (the JSONL format
+// written by ssmdvfsd's /debug/decisions and dvfstrace -flightrec):
+// attribution, the per-reason breakdown, the level distribution,
+// prediction-error statistics, and per-feature drift of the recorded
+// window against the training statistics carried in the dump header.
+// Output ordering is fixed (enum order for reasons, numeric order for
+// levels, header order for features) so two runs over the same dump are
+// byte-identical.
+func summarizeDecisions(w io.Writer, path string, hdr provenance.Header, recs []provenance.Record) {
+	fmt.Fprintf(w, "== decision provenance: %s ==\n", path)
+	if len(hdr.Build) > 0 {
+		var parts []string
+		for _, k := range sortedKeys(hdr.Build) {
+			parts = append(parts, k+"="+hdr.Build[k])
+		}
+		fmt.Fprintf(w, "build             %s\n", strings.Join(parts, " "))
+	}
+	if hdr.Levels > 0 || hdr.ModelParams > 0 {
+		fmt.Fprintf(w, "model             %d levels, %d params\n", hdr.Levels, hdr.ModelParams)
+	}
+	if hdr.Head > uint64(len(recs)) {
+		fmt.Fprintf(w, "records           %d of %d ever recorded (ring capacity %d)\n",
+			len(recs), hdr.Head, hdr.Capacity)
+	} else {
+		fmt.Fprintf(w, "records           %d\n", len(recs))
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(w)
+		return
+	}
+
+	var reasons [provenance.NumReasons]int64
+	levels := map[string]int64{}
+	var latSum, latMax int64
+	var errSum, errAbsSum float64
+	var errN int64
+	nFeat := len(hdr.Features)
+	if len(hdr.TrainMean) < nFeat {
+		nFeat = len(hdr.TrainMean)
+	}
+	if len(hdr.TrainStd) < nFeat {
+		nFeat = len(hdr.TrainStd)
+	}
+	fSum := make([]float64, nFeat)
+	fSumSq := make([]float64, nFeat)
+	var fN int64
+	for i := range recs {
+		r := &recs[i]
+		if int(r.Reason) < provenance.NumReasons {
+			reasons[r.Reason]++
+		}
+		levels[strconv.Itoa(int(r.Level))]++
+		latSum += r.LatencyNs
+		if r.LatencyNs > latMax {
+			latMax = r.LatencyNs
+		}
+		if r.HasPredErr {
+			errSum += r.PredErr
+			errAbsSum += math.Abs(r.PredErr)
+			errN++
+		}
+		if r.Reason == provenance.ReasonModel && int(r.NumDerived) >= nFeat {
+			for j := 0; j < nFeat; j++ {
+				fSum[j] += r.Derived[j]
+				fSumSq[j] += r.Derived[j] * r.Derived[j]
+			}
+			fN++
+		}
+	}
+	total := float64(len(recs))
+
+	fmt.Fprintf(w, "\n%-14s %10s %8s\n", "reason", "count", "share")
+	for i, n := range reasons {
+		if n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-14s %10d %7.1f%%\n", provenance.Reason(i).String(), n, float64(n)/total*100)
+	}
+	degraded := int64(len(recs)) - reasons[provenance.ReasonModel]
+	fmt.Fprintf(w, "%-14s %10d %7.1f%%\n", "degraded", degraded, float64(degraded)/total*100)
+
+	fmt.Fprintf(w, "\n%-14s %10s %8s\n", "level", "count", "share")
+	for _, lvl := range sortedLabelKeys(levels) {
+		fmt.Fprintf(w, "%-14s %10d %7.1f%%\n", lvl, levels[lvl], float64(levels[lvl])/total*100)
+	}
+
+	fmt.Fprintf(w, "\ndecision latency  mean %.1fus  max %.1fus\n",
+		float64(latSum)/total/1e3, float64(latMax)/1e3)
+	if errN > 0 {
+		fmt.Fprintf(w, "prediction error  MAPE %.3f  bias %+.3f  (%d samples)\n",
+			errAbsSum/float64(errN), errSum/float64(errN), errN)
+	}
+
+	if nFeat > 0 && fN > 0 {
+		fmt.Fprintf(w, "\n== feature drift vs training (%d model decisions) ==\n", fN)
+		fmt.Fprintf(w, "%-18s %12s %12s %8s %10s\n", "feature", "train_mean", "dump_mean", "mean_z", "var_ratio")
+		for j := 0; j < nFeat; j++ {
+			mean := fSum[j] / float64(fN)
+			z, vr := 0.0, 0.0
+			if sd := hdr.TrainStd[j]; sd > 0 {
+				z = (mean - hdr.TrainMean[j]) / sd
+				variance := fSumSq[j]/float64(fN) - mean*mean
+				if variance < 0 {
+					variance = 0
+				}
+				vr = variance / (sd * sd)
+			}
+			fmt.Fprintf(w, "%-18s %12.4g %12.4g %8.2f %10.3f\n",
+				hdr.Features[j], hdr.TrainMean[j], mean, z, vr)
+		}
+	}
+	fmt.Fprintln(w)
 }
 
 func printDivergence(w io.Writer, title string, agree, diverge int64, absDist float64) {

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/telemetry"
 )
 
@@ -45,7 +46,7 @@ func TestSummarizeMetricsDump(t *testing.T) {
 	writeFixtureMetrics(t, path)
 
 	var out bytes.Buffer
-	if err := run(&out, path, "", "", "", ""); err != nil {
+	if err := run(&out, path, "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -84,7 +85,7 @@ func TestSummarizeSpansAndChromeExport(t *testing.T) {
 	f.Close()
 
 	var out bytes.Buffer
-	if err := run(&out, "", spansPath, chromePath, "", ""); err != nil {
+	if err := run(&out, "", spansPath, chromePath, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -128,7 +129,7 @@ func TestTraceDivergence(t *testing.T) {
 	oracle := mk("oracle.csv", []int{5, 5, 4, 4, 2})
 
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", run1, oracle); err != nil {
+	if err := run(&out, "", "", "", run1, oracle, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -141,7 +142,91 @@ func TestTraceDivergence(t *testing.T) {
 
 func TestTraceRequiresReference(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "whatever.csv", ""); err == nil {
+	if err := run(&out, "", "", "", "whatever.csv", "", ""); err == nil {
 		t.Fatal("-trace without -against must fail")
+	}
+}
+
+// writeFixtureDecisions dumps a small flight-recorder capture: eight
+// model decisions with drifted features, one fallback, one rejected row.
+func writeFixtureDecisions(t *testing.T, path string) {
+	t.Helper()
+	hdr := provenance.Header{
+		Build:       map[string]string{"go": "go1.x", "revision": "abc"},
+		Features:    []string{"ipc", "mem_hits"},
+		TrainMean:   []float64{1.0, 100.0},
+		TrainStd:    []float64{0.5, 10.0},
+		Levels:      6,
+		ModelParams: 1234,
+		Capacity:    16,
+		Head:        12,
+	}
+	var recs []provenance.Record
+	for i := 0; i < 8; i++ {
+		r := provenance.Record{
+			Seq: uint64(i + 1), Cluster: 0, Epoch: int32(i),
+			Level: int32(2 + i%2), Reason: provenance.ReasonModel,
+			Preset: 0.1, EffPreset: 0.1, PredInstr: 1000,
+			LatencyNs: int64(1500 + 100*i),
+		}
+		// Window mean 2.35 vs training mean 1.0 at σ=0.5 → z = 2.7.
+		r.SetDerived([]float64{2.0 + 0.1*float64(i), 100})
+		if i > 0 {
+			r.PredErr = 0.10
+			r.HasPredErr = true
+		}
+		recs = append(recs, r)
+	}
+	recs = append(recs,
+		provenance.Record{Seq: 9, Cluster: 1, Epoch: 8, Level: 1,
+			Reason: provenance.ReasonFallback, LatencyNs: 900},
+		provenance.Record{Seq: 10, Cluster: -1, Epoch: -1, Level: 0,
+			Reason: provenance.ReasonRejected, LatencyNs: 400},
+	)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := provenance.WriteRecords(f, hdr, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarizeDecisionsDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "decisions.jsonl")
+	writeFixtureDecisions(t, path)
+
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"decision provenance",
+		"go=go1.x revision=abc",
+		"6 levels, 1234 params",
+		"10 of 12 ever recorded (ring capacity 16)",
+		"model", "fallback", "rejected",
+		"degraded                2    20.0%", // 2 of 10 non-model
+		"MAPE 0.100",
+		"bias +0.100",
+		"feature drift vs training (8 model decisions)",
+		"ipc",
+		"2.70", // mean_z of the drifted ipc window
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("decisions output missing %q:\n%s", want, got)
+		}
+	}
+
+	// The view must be byte-deterministic over the same dump.
+	var again bytes.Buffer
+	if err := run(&again, "", "", "", "", "", path); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("decisions view is not byte-deterministic")
 	}
 }

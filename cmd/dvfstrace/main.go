@@ -16,6 +16,13 @@
 // With -telemetry a gpusim.TelemetryCollector rides along with the trace
 // observer and the per-level residency, stall breakdown, and IPC
 // histogram land in FILE — summarize with "dvfsstat -metrics FILE".
+//
+// With -flightrec (ssmdvfs mechanisms only) every controller decision is
+// captured in a provenance flight recorder — raw counters, derived
+// features, logits, calibration state, reason — and dumped to FILE as
+// JSONL at exit; summarize with "dvfsstat -decisions FILE". In the
+// simulator the trace itself is ground truth, so the dump supports
+// offline audits of exactly what the model saw and answered.
 package main
 
 import (
@@ -28,10 +35,13 @@ import (
 
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/buildinfo"
+	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/epochtrace"
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/telemetry"
 	"ssmdvfs/internal/viz"
 )
@@ -47,17 +57,27 @@ func main() {
 		asJSON     = flag.Bool("json", false, "write JSON instead of CSV")
 		seed       = flag.Int64("seed", 1, "seed for stochastic mechanisms")
 		telemOut   = flag.String("telemetry", "", "write a telemetry snapshot (sim residency/stalls) here")
+		flightrec  = flag.String("flightrec", "", "write a decision-provenance flight-recorder dump (JSONL) here (ssmdvfs mechanisms)")
 		verbose    = flag.Bool("v", false, "log pipeline progress to stderr")
+		version    = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("dvfstrace", buildinfo.String())
+		return
+	}
 
-	if err := run(*kernelName, *mech, *preset, *cache, *quick, *out, *asJSON, *seed, *telemOut, *verbose); err != nil {
+	if err := run(*kernelName, *mech, *preset, *cache, *quick, *out, *asJSON, *seed, *telemOut, *flightrec, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfstrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(kernelName, mech string, preset float64, cache string, quick bool, out string, asJSON bool, seed int64, telemOut string, verbose bool) error {
+// flightrecCap bounds the in-memory flight recorder: the last 64Ki
+// decisions, plenty for a quick-config run while keeping the ring flat.
+const flightrecCap = 1 << 16
+
+func run(kernelName, mech string, preset float64, cache string, quick bool, out string, asJSON bool, seed int64, telemOut, flightrec string, verbose bool) error {
 	opts := experiments.DefaultPipelineOptions()
 	if quick {
 		opts = experiments.QuickPipelineOptions()
@@ -79,9 +99,25 @@ func run(kernelName, mech string, preset float64, cache string, quick bool, out 
 	}
 	kernel := spec.Build(opts.Scale)
 
-	ctrl, err := buildController(mech, preset, opts, seed)
+	ctrl, model, err := buildController(mech, preset, opts, seed)
 	if err != nil {
 		return err
+	}
+
+	var rec *provenance.Recorder
+	if flightrec != "" {
+		if model == nil {
+			return fmt.Errorf("-flightrec needs an ssmdvfs mechanism (%q keeps no decision provenance)", mech)
+		}
+		rec = provenance.NewRecorder(flightrecCap)
+		var mon *provenance.Monitor
+		if reg != nil {
+			mon = provenance.NewMonitor(reg, provenance.MonitorOptions{Logger: opts.Logger})
+			mon.SetTrainingStats(model.TrainingStats())
+		}
+		if !experiments.AttachProvenance(ctrl, rec, mon) {
+			return fmt.Errorf("controller for %q does not record provenance", mech)
+		}
 	}
 
 	sim, err := gpusim.New(opts.Sim, kernel)
@@ -119,29 +155,44 @@ func run(kernelName, mech string, preset float64, cache string, quick bool, out 
 		}
 		fmt.Fprintf(os.Stderr, "wrote telemetry snapshot to %s\n", telemOut)
 	}
+	if rec != nil {
+		if err := provenance.WriteFile(flightrec, experiments.ProvenanceHeader(model), rec); err != nil {
+			return err
+		}
+		kept := int(rec.Head())
+		if kept > rec.Cap() {
+			kept = rec.Cap()
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d decision records (of %d made) to %s\n", kept, rec.Head(), flightrec)
+	}
 
 	return summarize(os.Stdout, kernelName, mech, opts.Sim, trace, res)
 }
 
-func buildController(mech string, preset float64, opts experiments.PipelineOptions, seed int64) (gpusim.Controller, error) {
+// buildController returns the mechanism's controller plus, for ssmdvfs
+// mechanisms, the model behind it (the flight-recorder dump needs the
+// model's training statistics for its attribution header).
+func buildController(mech string, preset float64, opts experiments.PipelineOptions, seed int64) (gpusim.Controller, *core.Model, error) {
 	clusters := opts.Sim.Clusters
 	switch {
 	case mech == "baseline":
-		return nil, nil
+		return nil, nil, nil
 	case mech == "pcstall":
-		return baselines.NewPCSTALL(opts.Sim.OPs, preset, clusters)
+		ctrl, err := baselines.NewPCSTALL(opts.Sim.OPs, preset, clusters)
+		return ctrl, nil, err
 	case mech == "flemma":
-		return baselines.NewFLEMMA(opts.Sim.OPs, preset, clusters, seed)
+		ctrl, err := baselines.NewFLEMMA(opts.Sim.OPs, preset, clusters, seed)
+		return ctrl, nil, err
 	case strings.HasPrefix(mech, "static-"):
 		lvl, err := strconv.Atoi(strings.TrimPrefix(mech, "static-"))
 		if err != nil {
-			return nil, fmt.Errorf("bad static level in %q: %w", mech, err)
+			return nil, nil, fmt.Errorf("bad static level in %q: %w", mech, err)
 		}
-		return &baselines.Static{Level: lvl}, nil
+		return &baselines.Static{Level: lvl}, nil, nil
 	case strings.HasPrefix(mech, "ssmdvfs"):
 		pipeline, err := experiments.RunPipeline(opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		model := pipeline.Model
 		calibrate := true
@@ -152,11 +203,12 @@ func buildController(mech string, preset float64, opts experiments.PipelineOptio
 		case "ssmdvfs-compressed":
 			model = pipeline.Compressed
 		default:
-			return nil, fmt.Errorf("unknown mechanism %q", mech)
+			return nil, nil, fmt.Errorf("unknown mechanism %q", mech)
 		}
-		return experiments.NewSSMDVFS(model, preset, opts.Sim, calibrate)
+		ctrl, err := experiments.NewSSMDVFS(model, preset, opts.Sim, calibrate)
+		return ctrl, model, err
 	default:
-		return nil, fmt.Errorf("unknown mechanism %q", mech)
+		return nil, nil, fmt.Errorf("unknown mechanism %q", mech)
 	}
 }
 

@@ -15,9 +15,12 @@ func TestBuildControllerStaticAndAnalytical(t *testing.T) {
 		"static-2": "static-2",
 	}
 	for mech, wantName := range cases {
-		ctrl, err := buildController(mech, 0.10, opts, 1)
+		ctrl, model, err := buildController(mech, 0.10, opts, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", mech, err)
+		}
+		if model != nil {
+			t.Fatalf("%s: analytical mechanism returned a model", mech)
 		}
 		if mech == "baseline" {
 			if ctrl != nil {
@@ -33,7 +36,7 @@ func TestBuildControllerStaticAndAnalytical(t *testing.T) {
 
 func TestBuildControllerRejectsUnknown(t *testing.T) {
 	opts := experiments.QuickPipelineOptions()
-	if _, err := buildController("magic", 0.10, opts, 1); err != nil {
+	if _, _, err := buildController("magic", 0.10, opts, 1); err != nil {
 		return
 	}
 	t.Fatal("unknown mechanism accepted")
@@ -41,7 +44,7 @@ func TestBuildControllerRejectsUnknown(t *testing.T) {
 
 func TestBuildControllerRejectsBadStaticLevel(t *testing.T) {
 	opts := experiments.QuickPipelineOptions()
-	if _, err := buildController("static-x", 0.10, opts, 1); err == nil {
+	if _, _, err := buildController("static-x", 0.10, opts, 1); err == nil {
 		t.Fatal("bad static level accepted")
 	}
 }

@@ -1,14 +1,22 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
+	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/gpusim"
 	"ssmdvfs/internal/kernels"
 )
 
 func main() {
+	version := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println("phasetmp", buildinfo.String())
+		return
+	}
 	cfg := gpusim.SmallConfig()
 	cfg.Clusters = 1
 	spec, _ := kernels.ByName("rodinia.backprop")

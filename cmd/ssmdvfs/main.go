@@ -48,6 +48,7 @@ import (
 
 	"ssmdvfs/internal/asic"
 	"ssmdvfs/internal/atomicfile"
+	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/experiments"
 	"ssmdvfs/internal/features"
 	"ssmdvfs/internal/kernels"
@@ -62,6 +63,10 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	if cmd == "version" || cmd == "-version" || cmd == "--version" {
+		fmt.Println("ssmdvfs", buildinfo.String())
+		return
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	cache := fs.String("cache", "ssmdvfs-cache", "artifact cache directory")
 	quick := fs.Bool("quick", false, "small GPU / short kernels (seconds instead of minutes)")
@@ -150,7 +155,7 @@ func (o *observability) close() error {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: ssmdvfs <pipeline|fig4|table1|table2|fig3|asic|sweep|headroom|quant|all> [flags]
+	fmt.Fprintln(os.Stderr, `usage: ssmdvfs <pipeline|fig4|table1|table2|fig3|asic|sweep|headroom|quant|all|version> [flags]
 run "ssmdvfs <cmd> -h" for flags`)
 }
 

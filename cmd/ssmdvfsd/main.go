@@ -8,7 +8,7 @@
 // Usage:
 //
 //	ssmdvfsd -model ssmdvfs-cache/compressed.json [-http :8090] [-tcp :8091]
-//	         [-quant 8] [-workers N] [-budget 200us]
+//	         [-quant 8] [-workers N] [-budget 200us] [-flightrec 4096]
 //	         [-faults 'serve.infer:panic:every=100'] [-faults-seed 1]
 //
 // The daemon degrades instead of failing: model panics, deadline misses
@@ -24,11 +24,15 @@
 //	GET  /metrics       request/decision counts, latency percentiles, per-level
 //	                    decision distribution, reload and error counters (JSON)
 //	GET  /metrics.prom  the same counters in Prometheus text exposition format
+//	                    (with -flightrec, also the prov_* model-quality series)
 //	GET  /telemetry     raw telemetry-registry snapshot (cmd/dvfsstat input)
 //	GET  /debug/pprof/  live CPU/heap/goroutine profiling
+//	GET  /debug/decisions  flight-recorder dump of the last -flightrec
+//	                    decisions as JSONL (cmd/dvfsstat -decisions input;
+//	                    ?n=, ?cluster=, ?reason= filter)
 //	POST /reload        swap in a new model ({"path":"..."}; path optional)
 //	GET  /model         served model info
-//	GET  /healthz       liveness
+//	GET  /healthz       liveness + build attribution
 //
 // Pair it with cmd/dvfsload to measure serving throughput and latency,
 // and cmd/dvfsstat to summarize a scraped /telemetry dump.
@@ -45,8 +49,11 @@ import (
 	"syscall"
 	"time"
 
+	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
@@ -57,17 +64,23 @@ func main() {
 		quantBits = flag.Int("quant", 0, "fake-quantize the model to this bit width (0 = off)")
 		workers   = flag.Int("workers", 0, "max concurrent inference batches (0 = GOMAXPROCS)")
 		budget    = flag.Duration("budget", 0, "per-decision deadline; rows past it get the analytical fallback (0 = off)")
+		flightrec = flag.Int("flightrec", 0, "keep the last N decisions in a provenance flight recorder with online drift monitoring (0 = off)")
 		faultSpec = flag.String("faults", "", "arm fault injection, e.g. 'serve.infer:panic:every=100;serve.conn:error:rate=0.01' (chaos testing)")
 		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
 		verbose   = flag.Bool("v", true, "log progress")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println("ssmdvfsd", buildinfo.String())
+		return
+	}
 
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
-	if err := run(*modelPath, *httpAddr, *tcpAddr, *quantBits, *workers, *budget, *faultSpec, *faultSeed, logf); err != nil {
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
@@ -94,7 +107,7 @@ func buildMux(srv *serve.Server) http.Handler {
 	return mux
 }
 
-func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget time.Duration, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
+func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -126,6 +139,13 @@ func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget tim
 	})
 	if err != nil {
 		return err
+	}
+	srv.Telemetry().SetBuild(buildinfo.Info())
+	if flightrec > 0 {
+		srv.EnableProvenance(flightrec, provenance.MonitorOptions{
+			Logger: telemetry.NewLoggerFunc(logf, srv.Telemetry()),
+		})
+		logf("ssmdvfsd: flight recorder armed: last %d decisions at /debug/decisions, drift gauges on /telemetry", flightrec)
 	}
 
 	errc := make(chan error, 2)

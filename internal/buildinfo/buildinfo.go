@@ -1,0 +1,76 @@
+// Package buildinfo exposes the running binary's build attribution —
+// Go toolchain, module version, and VCS state — read once from
+// runtime/debug.ReadBuildInfo. Every observability surface (healthz,
+// telemetry snapshots, provenance dump headers, -version flags) reports
+// the same map, so a metrics scrape or a flight-recorder dump can always
+// be traced back to the binary that produced it.
+package buildinfo
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+)
+
+// Info returns the binary's build attribution as a flat string map:
+//
+//	go        Go toolchain version
+//	module    main module path
+//	version   main module version (omitted for (devel) builds)
+//	revision  VCS commit hash, when built from a checkout
+//	time      VCS commit time
+//	modified  "true" when the checkout was dirty at build time
+//
+// The map is freshly allocated per call so callers may annotate it.
+func Info() map[string]string {
+	m := map[string]string{"go": runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return m
+	}
+	if bi.Main.Path != "" {
+		m["module"] = bi.Main.Path
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		m["version"] = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			if s.Value != "" {
+				m["revision"] = s.Value
+			}
+		case "vcs.time":
+			if s.Value != "" {
+				m["time"] = s.Value
+			}
+		case "vcs.modified":
+			if s.Value == "true" {
+				m["modified"] = "true"
+			}
+		}
+	}
+	return m
+}
+
+// String renders Info as space-separated key=value pairs in sorted key
+// order — the one-line form the cmds' -version flags print.
+func String() string {
+	m := Info()
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(m[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,36 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInfoAlwaysHasGoVersion(t *testing.T) {
+	m := Info()
+	if !strings.HasPrefix(m["go"], "go") {
+		t.Fatalf("go version = %q", m["go"])
+	}
+	// Callers may annotate the map; a second call must not see the edit.
+	m["extra"] = "x"
+	if _, ok := Info()["extra"]; ok {
+		t.Fatal("Info returned a shared map")
+	}
+}
+
+func TestStringIsSortedPairs(t *testing.T) {
+	s := String()
+	if s == "" {
+		t.Fatal("empty build string")
+	}
+	var prev string
+	for _, pair := range strings.Split(s, " ") {
+		k, _, ok := strings.Cut(pair, "=")
+		if !ok {
+			t.Fatalf("pair %q is not key=value", pair)
+		}
+		if k < prev {
+			t.Fatalf("keys out of order: %q after %q", k, prev)
+		}
+		prev = k
+	}
+}

@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/provenance"
 )
 
 // FaultDecide is the controller's fault-injection site, fired once per
@@ -54,6 +56,20 @@ type Controller struct {
 	fallback  gpusim.Controller
 	injector  *faults.Injector
 	fallbacks int64
+
+	// inf is the controller's reusable inference context; Decide is
+	// called from a single simulation goroutine, so one context serves
+	// every cluster and exposes the last decision's logits for
+	// provenance capture.
+	inf *Inference
+
+	// prov/mon, when set, receive a provenance record per decision and
+	// fold it into the online model-quality statistics. Both are
+	// nil-safe; rec is the per-controller scratch so recording does not
+	// allocate.
+	prov *provenance.Recorder
+	mon  *provenance.Monitor
+	rec  provenance.Record
 }
 
 type clusterCalib struct {
@@ -87,6 +103,7 @@ func NewController(model *Model, preset float64, clusters int, calibrate bool) (
 		floor:     0,
 		deadband:  0.05,
 		state:     make([]clusterCalib, clusters),
+		inf:       NewInference(model),
 	}
 	for i := range c.state {
 		c.state[i].effPreset = preset
@@ -126,12 +143,31 @@ func (c *Controller) SetFaults(inj *faults.Injector) { c.injector = inj }
 // holding the current operating point when no fallback is set).
 func (c *Controller) Fallbacks() int64 { return c.fallbacks }
 
+// SetProvenance installs a flight recorder and/or model-quality monitor
+// that receive one record per Decide call. Either may be nil; both nil
+// (the default) keeps the decision path free of provenance work. Must be
+// set before the first Decide call.
+func (c *Controller) SetProvenance(rec *provenance.Recorder, mon *provenance.Monitor) {
+	c.prov = rec
+	c.mon = mon
+}
+
 // Decide implements gpusim.Controller.
 func (c *Controller) Decide(stats gpusim.EpochStats) int {
+	tracing := c.prov != nil || c.mon != nil
+	var start time.Time
+	if tracing {
+		start = time.Now()
+	}
 	cs := &c.state[stats.Cluster]
 
-	// Step 1: self-calibration against last epoch's prediction.
-	if c.calibrate && cs.hasPred && cs.predicted > 0 && stats.WarpsActive > 0 {
+	// Step 1: self-calibration against last epoch's prediction. The
+	// prediction error is computed whenever a usable prediction exists —
+	// it is the provenance ground truth even when calibration is off —
+	// but only calibration acts on it.
+	var relErr float64
+	haveErr := false
+	if cs.hasPred && cs.predicted > 0 && stats.WarpsActive > 0 {
 		pred := cs.predicted
 		// Scale the expectation down when warps retired since the
 		// prediction: less work in flight means fewer instructions, not
@@ -140,7 +176,10 @@ func (c *Controller) Decide(stats gpusim.EpochStats) int {
 			pred *= float64(stats.WarpsActive) / float64(cs.predWarps)
 		}
 		actual := float64(stats.Instructions)
-		relErr := (pred - actual) / pred
+		relErr = (pred - actual) / pred
+		haveErr = true
+	}
+	if c.calibrate && haveErr {
 		if relErr > c.deadband {
 			// Running slower than the Calibrator expected: tighten the
 			// preset so the Decision-maker chooses a faster point.
@@ -169,12 +208,52 @@ func (c *Controller) Decide(stats gpusim.EpochStats) int {
 	if !ok {
 		cs.hasPred = false
 		c.fallbacks++
+		reason := provenance.ReasonHold
 		if c.fallback != nil {
-			return c.fallback.Decide(stats)
+			level = c.fallback.Decide(stats)
+			reason = provenance.ReasonFallback
+		} else {
+			level = stats.Level
 		}
-		return stats.Level
+		if tracing {
+			c.record(stats, feats, level, reason, cs, relErr, haveErr, false, start)
+		}
+		return level
+	}
+	if tracing {
+		c.record(stats, feats, level, provenance.ReasonModel, cs, relErr, haveErr, true, start)
 	}
 	return level
+}
+
+// record fills the controller's scratch provenance record for the epoch
+// just decided and hands it to the recorder and monitor. modelOK reports
+// whether the model path produced the decision (its inference scratch
+// then holds this epoch's derived row and logits).
+func (c *Controller) record(stats gpusim.EpochStats, feats []float64, level int,
+	reason provenance.Reason, cs *clusterCalib, relErr float64, haveErr, modelOK bool, start time.Time) {
+	rec := &c.rec
+	rec.Cluster = int32(stats.Cluster)
+	rec.Epoch = int32(stats.Epoch)
+	rec.Level = int32(level)
+	rec.Reason = reason
+	rec.Preset = c.preset
+	rec.EffPreset = cs.effPreset
+	rec.PredErr, rec.HasPredErr = relErr, haveErr
+	rec.SetRaw(feats)
+	if modelOK {
+		rec.PredInstr = cs.predicted
+		n := len(c.model.FeatureIdx)
+		rec.SetDerived(c.inf.DecisionRow()[:n])
+		rec.SetLogits(c.inf.Logits())
+	} else {
+		rec.PredInstr = 0
+		rec.SetDerived(nil)
+		rec.SetLogits(nil)
+	}
+	rec.LatencyNs = int64(time.Since(start))
+	c.prov.Record(rec)
+	c.mon.ObserveRecord(rec)
 }
 
 // modelDecide runs the model's decision and calibration inferences,
@@ -195,11 +274,11 @@ func (c *Controller) modelDecide(cs *clusterCalib, feats []float64, warps int) (
 	}
 
 	// Step 2: decision for the next epoch.
-	level = c.model.DecideLevel(feats, cs.effPreset)
+	level = c.inf.DecideLevel(feats, cs.effPreset)
 
 	// Step 3: prediction for the next epoch, always under the original
 	// preset.
-	cs.predicted = c.model.PredictInstructions(feats, c.preset, level)
+	cs.predicted = c.inf.PredictInstructions(feats, c.preset, level)
 	cs.predWarps = warps
 	cs.hasPred = true
 	c.inferences++

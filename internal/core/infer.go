@@ -18,6 +18,7 @@ type Inference struct {
 	dStd, cStd []float64 // standardized copies
 	dScratch   nn.Scratch
 	cScratch   nn.Scratch
+	lastLogits []float64 // decision-head output of the last DecideLevel
 }
 
 // NewInference builds an inference context bound to m.
@@ -56,8 +57,20 @@ func (inf *Inference) DecideLevel(fullFeatures []float64, preset float64) int {
 	inf.dRow[n] = preset
 	m.DecisionScaler.TransformInto(inf.dRow, inf.dStd)
 	logits := m.Decision.ForwardScratch(inf.dStd, &inf.dScratch)
+	inf.lastLogits = logits
 	return nn.Argmax(logits)
 }
+
+// Logits returns the Decision head's raw output from the most recent
+// DecideLevel/Decide call (one score per level), for provenance capture.
+// The slice aliases the inference scratch: read it before the next call
+// and do not retain it.
+func (inf *Inference) Logits() []float64 { return inf.lastLogits }
+
+// DecisionRow returns the raw (unscaled) input row of the most recent
+// DecideLevel/Decide call: the selected features followed by the preset.
+// Like Logits, it aliases scratch and must not be retained.
+func (inf *Inference) DecisionRow() []float64 { return inf.dRow }
 
 // PredictInstructions is Model.PredictInstructions without allocations.
 func (inf *Inference) PredictInstructions(fullFeatures []float64, preset float64, level int) float64 {

@@ -48,6 +48,20 @@ type Model struct {
 // NumFeatures returns the number of counter features the model consumes.
 func (m *Model) NumFeatures() int { return len(m.FeatureIdx) }
 
+// TrainingStats returns the names and training-set mean/σ of the model's
+// selected features, read from the Decision scaler stored in the
+// artifact — the reference distribution online drift monitoring compares
+// live traffic against. The preset column the scaler also carries is
+// excluded (it is an operator input, not a workload feature).
+func (m *Model) TrainingStats() (names []string, mean, std []float64) {
+	n := len(m.FeatureIdx)
+	names = make([]string, n)
+	for i, idx := range m.FeatureIdx {
+		names[i] = counters.Def(idx).Name
+	}
+	return names, m.DecisionScaler.Mean[:n:n], m.DecisionScaler.Std[:n:n]
+}
+
 // DecideLevel returns the operating-point level for the next epoch given
 // the full 47-counter vector of the just-finished epoch and the (possibly
 // calibrated) performance-loss preset.

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/telemetry"
+)
+
+// TestControllerProvenanceRecords drives the controller through model,
+// fallback, and hold epochs and checks that every decision left a full
+// provenance record behind.
+func TestControllerProvenanceRecords(t *testing.T) {
+	m := trainedModel(t, 61)
+	ctrl, err := NewController(m, 0.10, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFallback(pcstallFallback(t, 0.10, 1))
+	inj := faults.New(9)
+	if err := inj.Arm(FaultDecide, faults.Spec{Kind: faults.KindError, Every: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ctrl.SetFaults(inj)
+
+	reg := telemetry.NewRegistry()
+	rec := provenance.NewRecorder(64)
+	mon := provenance.NewMonitor(reg, provenance.MonitorOptions{Window: 16})
+	names, mean, std := m.TrainingStats()
+	mon.SetTrainingStats(names, mean, std)
+	ctrl.SetProvenance(rec, mon)
+
+	const epochs = 12
+	for epoch := 0; epoch < epochs; epoch++ {
+		s := statsWith(0, 20000, epoch%2 == 0)
+		s.Epoch = epoch
+		ctrl.Decide(s)
+	}
+
+	recs := rec.Snapshot(nil)
+	if len(recs) != epochs {
+		t.Fatalf("recorded %d decisions, want %d", len(recs), epochs)
+	}
+	var modelN, fallbackN int
+	n := m.NumFeatures()
+	for i, r := range recs {
+		if r.Epoch != int32(i) || r.Cluster != 0 {
+			t.Fatalf("record %d has epoch/cluster %d/%d", i, r.Epoch, r.Cluster)
+		}
+		if r.Preset != 0.10 {
+			t.Fatalf("record %d preset = %g", i, r.Preset)
+		}
+		if int(r.NumRaw) == 0 {
+			t.Fatalf("record %d has no raw counters", i)
+		}
+		switch r.Reason {
+		case provenance.ReasonModel:
+			modelN++
+			if int(r.NumDerived) != n || int(r.NumLogits) != m.Levels {
+				t.Fatalf("record %d: derived/logits %d/%d, want %d/%d",
+					i, r.NumDerived, r.NumLogits, n, m.Levels)
+			}
+			if !(r.PredInstr > 0) {
+				t.Fatalf("record %d: model decision with PredInstr %g", i, r.PredInstr)
+			}
+		case provenance.ReasonFallback:
+			fallbackN++
+			if r.NumDerived != 0 || r.NumLogits != 0 {
+				t.Fatalf("record %d: fallback decision carries model internals", i)
+			}
+		default:
+			t.Fatalf("record %d: unexpected reason %v", i, r.Reason)
+		}
+	}
+	if fallbackN != 3 || modelN != epochs-3 {
+		t.Fatalf("model/fallback = %d/%d, want %d/3", modelN, fallbackN, epochs-3)
+	}
+
+	// Epoch 1 follows a clean model epoch, so its record must carry the
+	// realized prediction error of epoch 0's forecast.
+	if !recs[1].HasPredErr {
+		t.Fatal("record 1 is missing the realized prediction error")
+	}
+	if math.IsNaN(recs[1].PredErr) || math.IsInf(recs[1].PredErr, 0) {
+		t.Fatalf("record 1 PredErr = %g", recs[1].PredErr)
+	}
+
+	snap := reg.Snapshot()
+	id := telemetry.MetricID("prov_decisions_total", "reason", provenance.ReasonFallback.String())
+	if got := snap.Counters[id]; got != 3 {
+		t.Fatalf("%s = %d, want 3", id, got)
+	}
+	if s := mon.Stats(); s.ErrSamples == 0 {
+		t.Fatal("monitor folded no prediction-error samples")
+	}
+}
+
+// TestControllerProvenanceDisabledMatches pins that installing no
+// provenance hooks leaves decisions identical to a provenance-enabled
+// twin — recording observes, never perturbs.
+func TestControllerProvenanceDisabledMatches(t *testing.T) {
+	m := trainedModel(t, 62)
+	mk := func(withProv bool) *Controller {
+		ctrl, err := NewController(m, 0.10, 1, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withProv {
+			ctrl.SetProvenance(provenance.NewRecorder(32),
+				provenance.NewMonitor(telemetry.NewRegistry(), provenance.MonitorOptions{}))
+		}
+		return ctrl
+	}
+	plain, traced := mk(false), mk(true)
+	for epoch := 0; epoch < 20; epoch++ {
+		s := statsWith(0, 15000+int64(epoch)*500, epoch%3 != 0)
+		s.Epoch = epoch
+		if a, b := plain.Decide(s), traced.Decide(s); a != b {
+			t.Fatalf("epoch %d: plain=%d traced=%d", epoch, a, b)
+		}
+	}
+	if a, b := plain.EffectivePreset(0), traced.EffectivePreset(0); a != b {
+		t.Fatalf("effective presets diverged: %g vs %g", a, b)
+	}
+}

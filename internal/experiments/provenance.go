@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"ssmdvfs/internal/buildinfo"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/provenance"
+)
+
+// provenanceSink is the optional capability a controller implements to
+// accept a decision flight recorder and quality monitor.
+type provenanceSink interface {
+	SetProvenance(*provenance.Recorder, *provenance.Monitor)
+}
+
+// AttachProvenance installs rec and/or mon on ctrl if it records decision
+// provenance (core.Controller does; the analytical baselines do not) and
+// reports whether the attachment took. Call it before the controller's
+// first decision.
+func AttachProvenance(ctrl gpusim.Controller, rec *provenance.Recorder, mon *provenance.Monitor) bool {
+	s, ok := ctrl.(provenanceSink)
+	if !ok {
+		return false
+	}
+	s.SetProvenance(rec, mon)
+	return true
+}
+
+// ProvenanceHeader builds the dump header attributing a recorder's
+// contents to this binary and model — the same shape the daemon's
+// /debug/decisions endpoint emits, so cmd/dvfsstat's -decisions view
+// treats simulator and serving captures alike.
+func ProvenanceHeader(model *core.Model) provenance.Header {
+	names, mean, std := model.TrainingStats()
+	return provenance.Header{
+		Build:       buildinfo.Info(),
+		Features:    names,
+		TrainMean:   mean,
+		TrainStd:    std,
+		Levels:      model.Levels,
+		ModelParams: model.Params(),
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/datagen"
+	"ssmdvfs/internal/gpusim"
+	"ssmdvfs/internal/provenance"
+)
+
+// tinyModel trains the cheapest model that passes validation, enough to
+// exercise the provenance plumbing without the full pipeline.
+func tinyModel(t *testing.T) *core.Model {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	tbl := clockdomain.TitanX()
+	ds := &datagen.Dataset{CounterNames: counters.Names(), Levels: tbl.Len()}
+	fDef := tbl.Point(tbl.Default()).FrequencyHz
+	for i := 0; i < 120; i++ {
+		m := rng.Float64()
+		feats := make([]float64, counters.Num)
+		feats[counters.IdxIPC] = 2.0 * (1 - m)
+		feats[counters.IdxPPC] = 3 + 4*(1-m)
+		feats[counters.IdxMH] = 60000 * m
+		feats[counters.IdxMHNL] = 5000 * m
+		feats[counters.IdxL1CRM] = 2000 * m
+		for level := 0; level < tbl.Len(); level++ {
+			f := tbl.Point(level).FrequencyHz
+			loss := (1 - m) * (fDef/f - 1)
+			ds.Samples = append(ds.Samples, datagen.Sample{
+				Kernel: "synthetic", Level: level, Features: feats,
+				PerfLoss:     loss,
+				ScalingInstr: 20000 * (1 - loss/2),
+			})
+		}
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Epochs = 5
+	model, _, err := core.Train(ds, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestAttachProvenance(t *testing.T) {
+	model := tinyModel(t)
+	cfg := gpusim.Config{OPs: clockdomain.TitanX(), Clusters: 1}
+	ctrl, err := NewSSMDVFS(model, 0.10, cfg, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := provenance.NewRecorder(16)
+	if !AttachProvenance(ctrl, rec, nil) {
+		t.Fatal("SSMDVFS controller must accept provenance")
+	}
+	if AttachProvenance(&baselines.Static{Level: 2}, rec, nil) {
+		t.Fatal("static baseline must not claim provenance support")
+	}
+
+	for epoch := 0; epoch < 3; epoch++ {
+		ctrl.Decide(gpusim.EpochStats{
+			Cluster: 0, Epoch: epoch, Instructions: 20000, Cycles: 11000,
+			OP: cfg.OPs.Point(5), Level: 5, WarpsActive: 8,
+			DynPowerW: 4, StaticPowerW: 2,
+		})
+	}
+	if got := len(rec.Snapshot(nil)); got != 3 {
+		t.Fatalf("recorded %d decisions, want 3", got)
+	}
+}
+
+func TestProvenanceHeader(t *testing.T) {
+	model := tinyModel(t)
+	hdr := ProvenanceHeader(model)
+	names, mean, std := model.TrainingStats()
+	if len(hdr.Features) == 0 || len(hdr.Features) != len(names) {
+		t.Fatalf("header features = %v", hdr.Features)
+	}
+	if len(hdr.TrainMean) != len(mean) || len(hdr.TrainStd) != len(std) {
+		t.Fatal("header training stats misaligned")
+	}
+	if hdr.Levels != model.Levels || hdr.ModelParams != model.Params() {
+		t.Fatalf("header model attribution = %d levels %d params", hdr.Levels, hdr.ModelParams)
+	}
+	if hdr.Build["go"] == "" {
+		t.Fatal("header missing build info")
+	}
+}

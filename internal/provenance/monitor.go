@@ -1,0 +1,316 @@
+package provenance
+
+import (
+	"math"
+	"sync"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+// MonitorOptions tunes the online model-quality monitor; zero values
+// take the defaults.
+type MonitorOptions struct {
+	// Window is the rolling-window length, in observations, shared by the
+	// prediction-error, flip-rate, and feature-drift statistics
+	// (default 256).
+	Window int
+	// MAPEThreshold is the rolling MAPE (as a fraction, e.g. 0.25) above
+	// which a threshold-crossing event is logged; 0 takes the default
+	// 0.25, negative disables the event.
+	MAPEThreshold float64
+	// DriftZThreshold is the per-feature |z| (window mean shift in
+	// training-σ units) above which a drift event is logged; 0 takes the
+	// default 3, negative disables.
+	DriftZThreshold float64
+	// Logger receives threshold-crossing events; nil is silent.
+	Logger *telemetry.Logger
+}
+
+func (o MonitorOptions) withDefaults() MonitorOptions {
+	if o.Window <= 0 {
+		o.Window = 256
+	}
+	if o.MAPEThreshold == 0 {
+		o.MAPEThreshold = 0.25
+	}
+	if o.DriftZThreshold == 0 {
+		o.DriftZThreshold = 3
+	}
+	return o
+}
+
+// Monitor folds decision records into rolling-window model-quality
+// statistics and exports them as gauges on a telemetry registry:
+//
+//	prov_pred_mape                   rolling MAPE of PredErr samples
+//	prov_pred_bias                   rolling signed mean of PredErr
+//	prov_level_flip_rate             fraction of decisions that changed a
+//	                                 cluster's level vs its previous one
+//	prov_feature_mean_z{feature=F}   window-mean shift of feature F in
+//	                                 training-σ units
+//	prov_feature_var_ratio{feature=F} window variance / training variance
+//	prov_decisions_total{reason=R}   decisions answered per reason
+//	prov_quality_events_total{kind=K} threshold crossings logged
+//
+// All methods are safe for concurrent use and allocation-free in steady
+// state (a short mutex guards the window rings); a nil *Monitor is a
+// valid no-op, so instrumented paths never nil-check.
+type Monitor struct {
+	opts MonitorOptions
+
+	reasons [NumReasons]*telemetry.Counter
+
+	mu sync.Mutex
+
+	// Prediction-error window (signed relative errors).
+	errs   []float64
+	errPos int
+	errN   int
+	sumAbs float64
+	sumErr float64
+
+	// Flip window (1 = decision changed the cluster's level).
+	flips     []int8
+	flipPos   int
+	flipN     int
+	flipSum   int
+	lastLevel map[int32]int32
+
+	// Feature windows: a flat window × feature ring plus running sums.
+	nFeat     int
+	names     []string
+	trainMean []float64
+	trainStd  []float64
+	fwin      []float64 // opts.Window rows of nFeat values
+	fPos      int
+	fN        int
+	fSum      []float64
+	fSumSq    []float64
+
+	gMAPE, gBias, gFlip *telemetry.Gauge
+	gZ, gVar            []*telemetry.Gauge
+
+	evMAPE, evDrift *telemetry.Counter
+	mapeHigh        bool
+	driftHigh       []bool
+
+	reg    *telemetry.Registry
+	logger *telemetry.Logger
+}
+
+// NewMonitor builds a monitor exporting into reg. Training statistics
+// (per-feature mean/σ and names) start empty; install them with
+// SetTrainingStats before feature-drift gauges mean anything.
+func NewMonitor(reg *telemetry.Registry, opts MonitorOptions) *Monitor {
+	opts = opts.withDefaults()
+	m := &Monitor{
+		opts:      opts,
+		errs:      make([]float64, opts.Window),
+		flips:     make([]int8, opts.Window),
+		lastLevel: make(map[int32]int32, 64),
+		gMAPE:     reg.Gauge("prov_pred_mape"),
+		gBias:     reg.Gauge("prov_pred_bias"),
+		gFlip:     reg.Gauge("prov_level_flip_rate"),
+		evMAPE:    reg.Counter("prov_quality_events_total", "kind", "mape"),
+		evDrift:   reg.Counter("prov_quality_events_total", "kind", "drift"),
+		reg:       reg,
+		logger:    opts.Logger,
+	}
+	for i := range m.reasons {
+		m.reasons[i] = reg.Counter("prov_decisions_total", "reason", Reason(i).String())
+	}
+	return m
+}
+
+// SetTrainingStats installs (or replaces, e.g. after a model hot-swap)
+// the training-set per-feature statistics drift is measured against.
+// names, mean and std must be the same length; the feature windows are
+// reset since the reference changed.
+func (m *Monitor) SetTrainingStats(names []string, mean, std []float64) {
+	if m == nil {
+		return
+	}
+	n := len(names)
+	if len(mean) < n {
+		n = len(mean)
+	}
+	if len(std) < n {
+		n = len(std)
+	}
+	if n > MaxAux {
+		n = MaxAux
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nFeat = n
+	m.names = append(m.names[:0], names[:n]...)
+	m.trainMean = append(m.trainMean[:0], mean[:n]...)
+	m.trainStd = append(m.trainStd[:0], std[:n]...)
+	m.fwin = make([]float64, m.opts.Window*n)
+	m.fSum = make([]float64, n)
+	m.fSumSq = make([]float64, n)
+	m.fPos, m.fN = 0, 0
+	m.gZ = m.gZ[:0]
+	m.gVar = m.gVar[:0]
+	m.driftHigh = make([]bool, n)
+	for i := 0; i < n; i++ {
+		m.gZ = append(m.gZ, m.reg.Gauge("prov_feature_mean_z", "feature", m.names[i]))
+		m.gVar = append(m.gVar, m.reg.Gauge("prov_feature_var_ratio", "feature", m.names[i]))
+	}
+}
+
+// ObserveRecord folds one decision into every statistic it informs: the
+// per-reason counters always; the flip-rate and feature-drift windows
+// when the record carries a level and derived features; the
+// prediction-error window when the record carries the previous epoch's
+// realized error. Nil-safe and allocation-free in steady state.
+func (m *Monitor) ObserveRecord(rec *Record) {
+	if m == nil {
+		return
+	}
+	if int(rec.Reason) < NumReasons {
+		m.reasons[rec.Reason].Add(1)
+	}
+	m.mu.Lock()
+
+	// Flip rate: did this decision change the cluster's level?
+	last, seen := m.lastLevel[rec.Cluster]
+	m.lastLevel[rec.Cluster] = rec.Level
+	if seen {
+		var flip int8
+		if last != rec.Level {
+			flip = 1
+		}
+		m.flipSum += int(flip) - int(m.flips[m.flipPos])
+		m.flips[m.flipPos] = flip
+		m.flipPos = (m.flipPos + 1) % len(m.flips)
+		if m.flipN < len(m.flips) {
+			m.flipN++
+		}
+	}
+	flipRate := 0.0
+	if m.flipN > 0 {
+		flipRate = float64(m.flipSum) / float64(m.flipN)
+	}
+
+	// Feature drift: fold the derived (selected, unscaled) features.
+	if m.nFeat > 0 && int(rec.NumDerived) >= m.nFeat && rec.Reason == ReasonModel {
+		base := m.fPos * m.nFeat
+		for j := 0; j < m.nFeat; j++ {
+			v := rec.Derived[j]
+			old := m.fwin[base+j]
+			m.fwin[base+j] = v
+			m.fSum[j] += v - old
+			m.fSumSq[j] += v*v - old*old
+		}
+		m.fPos = (m.fPos + 1) % m.opts.Window
+		if m.fN < m.opts.Window {
+			m.fN++
+		}
+	}
+
+	// Prediction error.
+	if rec.HasPredErr {
+		e := rec.PredErr
+		old := m.errs[m.errPos]
+		m.errs[m.errPos] = e
+		m.errPos = (m.errPos + 1) % len(m.errs)
+		if m.errN < len(m.errs) {
+			m.errN++
+		} else {
+			m.sumAbs -= math.Abs(old)
+			m.sumErr -= old
+		}
+		m.sumAbs += math.Abs(e)
+		m.sumErr += e
+	}
+	m.publishLocked(flipRate)
+	m.mu.Unlock()
+}
+
+// publishLocked refreshes the gauges and fires threshold events; the
+// caller holds m.mu.
+func (m *Monitor) publishLocked(flipRate float64) {
+	m.gFlip.Set(flipRate)
+	var mape float64
+	if m.errN > 0 {
+		mape = m.sumAbs / float64(m.errN)
+		m.gMAPE.Set(mape)
+		m.gBias.Set(m.sumErr / float64(m.errN))
+	}
+	// Events only fire on full windows so a couple of noisy first
+	// samples cannot trip them, and only on the crossing itself.
+	if th := m.opts.MAPEThreshold; th > 0 && m.errN == len(m.errs) {
+		if high := mape > th; high != m.mapeHigh {
+			m.mapeHigh = high
+			if high {
+				m.evMAPE.Add(1)
+				m.logger.Logf("provenance: rolling MAPE %.3f crossed threshold %.3f (window %d)", mape, th, m.errN)
+			} else {
+				m.logger.Logf("provenance: rolling MAPE %.3f back under threshold %.3f", mape, th)
+			}
+		}
+	}
+	if m.nFeat > 0 && m.fN > 0 {
+		// Gauges publish unconditionally; only the crossing events are
+		// gated by the (possibly disabled) threshold.
+		th := m.opts.DriftZThreshold
+		full := m.fN == m.opts.Window
+		n := float64(m.fN)
+		for j := 0; j < m.nFeat; j++ {
+			mean := m.fSum[j] / n
+			vr := 0.0
+			if sd := m.trainStd[j]; sd > 0 {
+				variance := m.fSumSq[j]/n - mean*mean
+				if variance < 0 {
+					variance = 0
+				}
+				vr = variance / (sd * sd)
+			}
+			z := 0.0
+			if sd := m.trainStd[j]; sd > 0 {
+				z = (mean - m.trainMean[j]) / sd
+			}
+			m.gZ[j].Set(z)
+			m.gVar[j].Set(vr)
+			if full && th > 0 {
+				if high := math.Abs(z) > th; high != m.driftHigh[j] {
+					m.driftHigh[j] = high
+					if high {
+						m.evDrift.Add(1)
+						m.logger.Logf("provenance: feature %s drifted: window mean z=%.2f (threshold %.2f)", m.names[j], z, th)
+					} else {
+						m.logger.Logf("provenance: feature %s back in range (z=%.2f)", m.names[j], z)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Stats is a point-in-time view of the monitor's rolling statistics,
+// for tests and end-of-run summaries.
+type Stats struct {
+	MAPE       float64
+	Bias       float64
+	ErrSamples int
+	FlipRate   float64
+}
+
+// Stats returns the current rolling statistics.
+func (m *Monitor) Stats() Stats {
+	if m == nil {
+		return Stats{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{ErrSamples: m.errN}
+	if m.errN > 0 {
+		s.MAPE = m.sumAbs / float64(m.errN)
+		s.Bias = m.sumErr / float64(m.errN)
+	}
+	if m.flipN > 0 {
+		s.FlipRate = float64(m.flipSum) / float64(m.flipN)
+	}
+	return s
+}

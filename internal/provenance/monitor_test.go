@@ -1,0 +1,184 @@
+package provenance
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+func modelRecord(cluster, level int, derived []float64) Record {
+	rec := Record{Cluster: int32(cluster), Level: int32(level), Reason: ReasonModel}
+	rec.SetDerived(derived)
+	return rec
+}
+
+func TestMonitorPredictionError(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMonitor(reg, MonitorOptions{Window: 4, MAPEThreshold: -1, DriftZThreshold: -1})
+	errs := []float64{0.1, -0.2, 0.3, -0.4}
+	for _, e := range errs {
+		rec := Record{Reason: ReasonModel, PredErr: e, HasPredErr: true}
+		m.ObserveRecord(&rec)
+	}
+	s := m.Stats()
+	if s.ErrSamples != 4 {
+		t.Fatalf("err samples = %d, want 4", s.ErrSamples)
+	}
+	if want := (0.1 + 0.2 + 0.3 + 0.4) / 4; math.Abs(s.MAPE-want) > 1e-12 {
+		t.Fatalf("MAPE = %g, want %g", s.MAPE, want)
+	}
+	if want := (0.1 - 0.2 + 0.3 - 0.4) / 4; math.Abs(s.Bias-want) > 1e-12 {
+		t.Fatalf("bias = %g, want %g", s.Bias, want)
+	}
+	// Window rolls: four more samples of 0.5 evict everything.
+	for i := 0; i < 4; i++ {
+		rec := Record{Reason: ReasonModel, PredErr: 0.5, HasPredErr: true}
+		m.ObserveRecord(&rec)
+	}
+	s = m.Stats()
+	if math.Abs(s.MAPE-0.5) > 1e-12 || math.Abs(s.Bias-0.5) > 1e-12 {
+		t.Fatalf("rolled window MAPE/bias = %g/%g, want 0.5/0.5", s.MAPE, s.Bias)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Gauges["prov_pred_mape"]; math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("prov_pred_mape gauge = %g, want 0.5", got)
+	}
+}
+
+func TestMonitorFlipRate(t *testing.T) {
+	m := NewMonitor(telemetry.NewRegistry(), MonitorOptions{Window: 8})
+	levels := []int{2, 2, 3, 3, 3, 1} // flips at 3 and 1 → 2 flips in 5 transitions
+	for _, l := range levels {
+		rec := modelRecord(0, l, nil)
+		m.ObserveRecord(&rec)
+	}
+	if got, want := m.Stats().FlipRate, 2.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("flip rate = %g, want %g", got, want)
+	}
+	// A second cluster has its own last-level state: its first decision
+	// is not a flip.
+	rec := modelRecord(1, 5, nil)
+	m.ObserveRecord(&rec)
+	if got, want := m.Stats().FlipRate, 2.0/5.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("flip rate after new cluster = %g, want %g", got, want)
+	}
+}
+
+func TestMonitorDriftGaugesAndEvents(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var logLines []string
+	logger := telemetry.NewLoggerFunc(func(format string, args ...any) {
+		logLines = append(logLines, format)
+	}, nil)
+	m := NewMonitor(reg, MonitorOptions{Window: 8, DriftZThreshold: 2, MAPEThreshold: -1, Logger: logger})
+	m.SetTrainingStats([]string{"ipc", "ppc_total_w"}, []float64{2.0, 5.0}, []float64{0.5, 1.0})
+
+	// Feed on-distribution rows: z stays near 0.
+	for i := 0; i < 8; i++ {
+		rec := modelRecord(0, 1, []float64{2.0, 5.0})
+		m.ObserveRecord(&rec)
+	}
+	snap := reg.Snapshot()
+	id := telemetry.MetricID("prov_feature_mean_z", "feature", "ipc")
+	if z := snap.Gauges[id]; math.Abs(z) > 1e-9 {
+		t.Fatalf("on-distribution z = %g, want 0", z)
+	}
+	if n := len(logLines); n != 0 {
+		t.Fatalf("on-distribution traffic logged %d drift events", n)
+	}
+
+	// Shift feature 0 by 4σ: z crosses the threshold once the window
+	// fills with shifted rows, and the crossing is logged exactly once.
+	for i := 0; i < 8; i++ {
+		rec := modelRecord(0, 1, []float64{4.0, 5.0})
+		m.ObserveRecord(&rec)
+	}
+	snap = reg.Snapshot()
+	if z := snap.Gauges[id]; math.Abs(z-4.0) > 1e-9 {
+		t.Fatalf("shifted z = %g, want 4", z)
+	}
+	evID := telemetry.MetricID("prov_quality_events_total", "kind", "drift")
+	if n := snap.Counters[evID]; n != 1 {
+		t.Fatalf("drift events = %d, want 1", n)
+	}
+	found := false
+	for _, l := range logLines {
+		if strings.Contains(l, "drifted") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("drift crossing was not logged: %q", logLines)
+	}
+}
+
+func TestMonitorMAPEThresholdEvent(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	var lines int
+	logger := telemetry.NewLoggerFunc(func(string, ...any) { lines++ }, nil)
+	m := NewMonitor(reg, MonitorOptions{Window: 4, MAPEThreshold: 0.2, DriftZThreshold: -1, Logger: logger})
+	for i := 0; i < 4; i++ {
+		rec := Record{Reason: ReasonModel, PredErr: 0.5, HasPredErr: true}
+		m.ObserveRecord(&rec)
+	}
+	evID := telemetry.MetricID("prov_quality_events_total", "kind", "mape")
+	if n := reg.Snapshot().Counters[evID]; n != 1 {
+		t.Fatalf("mape events = %d, want 1", n)
+	}
+	if lines != 1 {
+		t.Fatalf("logged %d lines, want 1 (the crossing only)", lines)
+	}
+	// Staying above the threshold must not re-fire the event.
+	for i := 0; i < 4; i++ {
+		rec := Record{Reason: ReasonModel, PredErr: 0.6, HasPredErr: true}
+		m.ObserveRecord(&rec)
+	}
+	if n := reg.Snapshot().Counters[evID]; n != 1 {
+		t.Fatalf("mape events after staying high = %d, want 1", n)
+	}
+}
+
+func TestMonitorReasonCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMonitor(reg, MonitorOptions{})
+	for _, reason := range []Reason{ReasonModel, ReasonModel, ReasonFallback, ReasonRejected} {
+		rec := Record{Reason: reason}
+		m.ObserveRecord(&rec)
+	}
+	snap := reg.Snapshot()
+	for reason, want := range map[Reason]int64{ReasonModel: 2, ReasonFallback: 1, ReasonRejected: 1} {
+		id := telemetry.MetricID("prov_decisions_total", "reason", reason.String())
+		if got := snap.Counters[id]; got != want {
+			t.Fatalf("%s = %d, want %d", id, got, want)
+		}
+	}
+}
+
+func TestMonitorNilSafe(t *testing.T) {
+	var m *Monitor
+	rec := Record{Reason: ReasonModel, HasPredErr: true, PredErr: 0.1}
+	m.ObserveRecord(&rec) // must not panic
+	m.SetTrainingStats([]string{"x"}, []float64{0}, []float64{1})
+	if s := m.Stats(); s != (Stats{}) {
+		t.Fatalf("nil monitor stats = %+v, want zero", s)
+	}
+}
+
+// TestMonitorObserveNoAllocsSteadyState guards the hot-path contract:
+// once every cluster has been seen, folding a record allocates nothing.
+func TestMonitorObserveNoAllocsSteadyState(t *testing.T) {
+	m := NewMonitor(telemetry.NewRegistry(), MonitorOptions{Window: 64})
+	m.SetTrainingStats([]string{"a", "b"}, []float64{0, 0}, []float64{1, 1})
+	rec := modelRecord(0, 1, []float64{0.5, 0.5})
+	rec.HasPredErr = true
+	rec.PredErr = 0.05
+	m.ObserveRecord(&rec) // warm the cluster map
+	allocs := testing.AllocsPerRun(500, func() {
+		m.ObserveRecord(&rec)
+	})
+	if allocs != 0 {
+		t.Fatalf("ObserveRecord allocates %.1f objects/op, want 0", allocs)
+	}
+}

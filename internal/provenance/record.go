@@ -1,0 +1,383 @@
+// Package provenance is the decision-provenance layer: a lock-free
+// flight recorder that keeps the last N DVFS decisions — raw counters,
+// derived features, classifier logits, chosen level, Calibrator output,
+// calibration state, and the degradation reason — and an online
+// model-quality monitor that folds every decision (plus the next epoch's
+// observed slowdown, where the caller can see it) into rolling-window
+// drift statistics exported through the telemetry registry.
+//
+// The paper's self-calibration loop already compares the Calibrator's
+// prediction against each epoch's observed instruction count; this
+// package surfaces that comparison so an operator can answer "why did
+// cluster 7 drop to level 2?" and "is the deployed model still accurate
+// on this workload?" without re-running the experiment.
+package provenance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+
+	"ssmdvfs/internal/atomicfile"
+	"ssmdvfs/internal/counters"
+)
+
+// Reason says which path answered a decision. The values double as the
+// wire-protocol reason byte (serve) and the JSONL dump encoding, so they
+// must stay stable.
+type Reason uint8
+
+const (
+	// ReasonModel is the healthy path: the Decision-maker answered.
+	ReasonModel Reason = iota
+	// ReasonFallback is a model failure answered by the analytical
+	// fallback (injected model error or an unspecified failure).
+	ReasonFallback
+	// ReasonRejected is a NaN/Inf/out-of-range row rejected at the
+	// boundary and answered by the fallback.
+	ReasonRejected
+	// ReasonPanic is a recovered model panic; the unreached rows of the
+	// batch degrade to the fallback.
+	ReasonPanic
+	// ReasonDeadline is a blown per-decision budget.
+	ReasonDeadline
+	// ReasonFallbackOnly is the health state machine bypassing the model
+	// entirely (fallback-only state, non-probe batch).
+	ReasonFallbackOnly
+	// ReasonHold is a controller that held the cluster's current
+	// operating point because the model failed and no fallback is set.
+	ReasonHold
+
+	// NumReasons bounds the enum for fixed-size per-reason tables.
+	NumReasons = int(ReasonHold) + 1
+)
+
+var reasonNames = [NumReasons]string{
+	"model", "fallback", "rejected", "panic", "deadline", "fallback-only", "hold",
+}
+
+func (r Reason) String() string {
+	if int(r) < NumReasons {
+		return reasonNames[r]
+	}
+	return "reason(" + strconv.Itoa(int(r)) + ")"
+}
+
+// ParseReason is the inverse of Reason.String.
+func ParseReason(s string) (Reason, error) {
+	for i, n := range reasonNames {
+		if n == s {
+			return Reason(i), nil
+		}
+	}
+	return 0, fmt.Errorf("provenance: unknown reason %q", s)
+}
+
+// MaxAux bounds the derived-feature and logit arrays in a Record: the
+// paper's selected feature set is five counters and its V/f tables have
+// six levels, so eight leaves headroom without bloating the ring.
+const MaxAux = 8
+
+// Record is one decision's full provenance. Fixed-size arrays keep the
+// ring-buffer slots flat so recording never allocates; NumRaw, NumDerived
+// and NumLogits say how much of each array is meaningful.
+type Record struct {
+	// Seq is the recorder-assigned monotonic sequence number (1-based);
+	// it doubles as the trace ID for one decision.
+	Seq uint64
+	// Cluster and Epoch locate the decision; serving-path records carry
+	// Cluster -1 and Epoch -1 (the wire protocol has no cluster notion).
+	Cluster int32
+	Epoch   int32
+	// Level is the operating level answered; Reason says by which path.
+	Level  int32
+	Reason Reason
+	// Preset is the user's performance-loss preset, EffPreset the
+	// self-calibrated preset actually fed to the Decision-maker (equal to
+	// Preset on paths without calibration).
+	Preset    float64
+	EffPreset float64
+	// PredInstr is the Calibrator's next-epoch instruction estimate.
+	PredInstr float64
+	// PredErr is the relative error of the *previous* epoch's prediction
+	// against this epoch's observed instruction count, (pred-actual)/pred
+	// — the quantity the self-calibration loop acts on. Valid only when
+	// HasPredErr is set (the first epoch of a cluster has no prediction).
+	PredErr    float64
+	HasPredErr bool
+	// LatencyNs is how long the decision took end to end.
+	LatencyNs int64
+
+	// Raw is the full per-epoch counter row (counters.Num wide).
+	NumRaw int32
+	Raw    [counters.Num]float64
+	// Derived is the model's selected feature subset, unscaled.
+	NumDerived int32
+	Derived    [MaxAux]float64
+	// Logits is the Decision head's output (one score per level).
+	NumLogits int32
+	Logits    [MaxAux]float64
+}
+
+// SetRaw copies row into the fixed raw-counter array (truncating past
+// counters.Num) without allocating.
+func (r *Record) SetRaw(row []float64) {
+	n := copy(r.Raw[:], row)
+	r.NumRaw = int32(n)
+}
+
+// SetDerived copies the selected feature subset (truncating past MaxAux).
+func (r *Record) SetDerived(row []float64) {
+	n := copy(r.Derived[:], row)
+	r.NumDerived = int32(n)
+}
+
+// SetLogits copies the decision logits (truncating past MaxAux).
+func (r *Record) SetLogits(row []float64) {
+	n := copy(r.Logits[:], row)
+	r.NumLogits = int32(n)
+}
+
+// recWords is the fixed ring-slot size in 8-byte words: the scalar block
+// plus the three arrays. Layout (word offsets):
+//
+//	0      Seq
+//	1      Cluster (high 32) | Epoch (low 32)
+//	2      Level (high 32) | Reason | HasPredErr | NumRaw | NumDerived | NumLogits (packed bytes)
+//	3..6   Preset, EffPreset, PredInstr, PredErr
+//	7      LatencyNs
+//	8..    Raw, Derived, Logits
+const (
+	recScalarWords = 8
+	recWords       = recScalarWords + counters.Num + 2*MaxAux
+)
+
+// jsonRecord mirrors Record for the JSONL dump, with trimmed arrays and
+// the reason rendered as its stable string.
+type jsonRecord struct {
+	Seq       uint64  `json:"seq"`
+	Cluster   int32   `json:"cluster"`
+	Epoch     int32   `json:"epoch"`
+	Level     int32   `json:"level"`
+	Reason    string  `json:"reason"`
+	Preset    float64 `json:"preset"`
+	EffPreset float64 `json:"eff_preset"`
+	PredInstr float64 `json:"pred_instr"`
+	// PredErr is a pointer so records without a previous prediction omit
+	// the field instead of emitting a meaningless zero.
+	PredErr   *float64 `json:"pred_err,omitempty"`
+	LatencyNs int64    `json:"latency_ns"`
+	Raw       floats   `json:"raw,omitempty"`
+	Derived   floats   `json:"derived,omitempty"`
+	Logits    floats   `json:"logits,omitempty"`
+}
+
+// floats marshals a float slice with non-finite values encoded as the
+// strings "NaN", "+Inf", "-Inf" — rejected rows legitimately carry NaN
+// features, and a provenance dump must not choke on exactly the records
+// it exists to explain.
+type floats []float64
+
+func (f floats) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteByte('[')
+	for i, v := range f {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		switch {
+		case math.IsNaN(v):
+			b.WriteString(`"NaN"`)
+		case math.IsInf(v, 1):
+			b.WriteString(`"+Inf"`)
+		case math.IsInf(v, -1):
+			b.WriteString(`"-Inf"`)
+		default:
+			b.Write(strconv.AppendFloat(nil, v, 'g', -1, 64))
+		}
+	}
+	b.WriteByte(']')
+	return b.Bytes(), nil
+}
+
+func (f *floats) UnmarshalJSON(data []byte) error {
+	var raw []json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make([]float64, len(raw))
+	for i, r := range raw {
+		var s string
+		if err := json.Unmarshal(r, &s); err == nil {
+			switch s {
+			case "NaN":
+				out[i] = math.NaN()
+			case "+Inf":
+				out[i] = math.Inf(1)
+			case "-Inf":
+				out[i] = math.Inf(-1)
+			default:
+				return fmt.Errorf("provenance: bad float string %q", s)
+			}
+			continue
+		}
+		if err := json.Unmarshal(r, &out[i]); err != nil {
+			return err
+		}
+	}
+	*f = out
+	return nil
+}
+
+func (r *Record) toJSON() jsonRecord {
+	j := jsonRecord{
+		Seq:       r.Seq,
+		Cluster:   r.Cluster,
+		Epoch:     r.Epoch,
+		Level:     r.Level,
+		Reason:    r.Reason.String(),
+		Preset:    r.Preset,
+		EffPreset: r.EffPreset,
+		PredInstr: r.PredInstr,
+		LatencyNs: r.LatencyNs,
+		Raw:       floats(r.Raw[:r.NumRaw]),
+		Derived:   floats(r.Derived[:r.NumDerived]),
+		Logits:    floats(r.Logits[:r.NumLogits]),
+	}
+	if r.HasPredErr {
+		e := r.PredErr
+		j.PredErr = &e
+	}
+	return j
+}
+
+func (j *jsonRecord) toRecord() (Record, error) {
+	reason, err := ParseReason(j.Reason)
+	if err != nil {
+		return Record{}, err
+	}
+	r := Record{
+		Seq:       j.Seq,
+		Cluster:   j.Cluster,
+		Epoch:     j.Epoch,
+		Level:     j.Level,
+		Reason:    reason,
+		Preset:    j.Preset,
+		EffPreset: j.EffPreset,
+		PredInstr: j.PredInstr,
+		LatencyNs: j.LatencyNs,
+	}
+	if j.PredErr != nil {
+		r.PredErr = *j.PredErr
+		r.HasPredErr = true
+	}
+	r.SetRaw(j.Raw)
+	r.SetDerived(j.Derived)
+	r.SetLogits(j.Logits)
+	return r, nil
+}
+
+// Header is the first line of a recorder dump: it attributes the records
+// to a binary + model pair and carries the training-set feature
+// statistics offline drift analysis needs.
+type Header struct {
+	Schema int `json:"schema"`
+	// Build identifies the producing binary (see internal/buildinfo).
+	Build map[string]string `json:"build,omitempty"`
+	// Features names the model's selected counters, aligned with each
+	// record's Derived array; TrainMean/TrainStd are the training-set
+	// statistics of those features (from the model artifact's scaler).
+	Features  []string  `json:"features,omitempty"`
+	TrainMean []float64 `json:"train_mean,omitempty"`
+	TrainStd  []float64 `json:"train_std,omitempty"`
+	// Levels and ModelParams describe the model the decisions came from.
+	Levels      int `json:"levels,omitempty"`
+	ModelParams int `json:"model_params,omitempty"`
+	// Capacity and Head snapshot the ring's state at dump time (Head is
+	// the total number of records ever written; Head - len(records) were
+	// overwritten).
+	Capacity int    `json:"capacity,omitempty"`
+	Head     uint64 `json:"head,omitempty"`
+}
+
+// headerSchema is the current dump schema version.
+const headerSchema = 1
+
+// WriteRecords writes a header line followed by one JSON record per line
+// (the JSONL dump format cmd/dvfsstat's -decisions view consumes).
+func WriteRecords(w io.Writer, hdr Header, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	hdr.Schema = headerSchema
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for i := range recs {
+		j := recs[i].toJSON()
+		if err := enc.Encode(&j); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRecords parses a dump written by WriteRecords.
+func ReadRecords(r io.Reader) (Header, []Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	var hdr Header
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return hdr, nil, err
+		}
+		return hdr, nil, fmt.Errorf("provenance: empty dump")
+	}
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("provenance: bad header: %w", err)
+	}
+	if hdr.Schema != headerSchema {
+		return hdr, nil, fmt.Errorf("provenance: unsupported dump schema %d", hdr.Schema)
+	}
+	var recs []Record
+	for sc.Scan() {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var j jsonRecord
+		if err := json.Unmarshal(sc.Bytes(), &j); err != nil {
+			return hdr, recs, fmt.Errorf("provenance: record %d: %w", len(recs)+1, err)
+		}
+		rec, err := j.toRecord()
+		if err != nil {
+			return hdr, recs, fmt.Errorf("provenance: record %d: %w", len(recs)+1, err)
+		}
+		recs = append(recs, rec)
+	}
+	return hdr, recs, sc.Err()
+}
+
+// ReadFile reads a dump from disk.
+func ReadFile(path string) (Header, []Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}
+
+// WriteFile atomically writes a recorder's current contents (plus the
+// attribution header) to path.
+func WriteFile(path string, hdr Header, r *Recorder) error {
+	recs := r.Snapshot(nil)
+	hdr.Capacity = r.Cap()
+	hdr.Head = r.Head()
+	return atomicfile.Write(path, func(w io.Writer) error {
+		return WriteRecords(w, hdr, recs)
+	})
+}

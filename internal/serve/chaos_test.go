@@ -7,12 +7,35 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/provenance"
 )
+
+// dumpChaosArtifact writes the flight recorder's contents to
+// $CHAOS_ARTIFACT_DIR so CI can attach the last decisions before a chaos
+// failure to the run. A no-op when the variable is unset or provenance
+// was not enabled.
+func dumpChaosArtifact(t *testing.T, srv *Server) {
+	dir := os.Getenv("CHAOS_ARTIFACT_DIR")
+	if dir == "" || srv.FlightRecorder() == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("chaos artifact: %v", err)
+		return
+	}
+	path := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_")+"-decisions.jsonl")
+	if err := provenance.WriteFile(path, srv.provHeader(), srv.FlightRecorder()); err != nil {
+		t.Logf("chaos artifact: %v", err)
+		return
+	}
+	t.Logf("chaos artifact: recorder dump at %s", path)
+}
 
 // TestChaosServingUnderFaults is the chaos harness: a live TCP server with
 // panics, slow inferences (blowing the deadline budget), dropped
@@ -40,6 +63,12 @@ func TestChaosServingUnderFaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	srv.EnableProvenance(4096, provenance.MonitorOptions{})
+	defer func() {
+		if t.Failed() {
+			dumpChaosArtifact(t, srv)
+		}
+	}()
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -143,6 +172,29 @@ func TestChaosServingUnderFaults(t *testing.T) {
 	}
 	if inj.Fired(FaultConn) == 0 {
 		t.Fatal("no connections dropped — reconnect path never exercised")
+	}
+
+	// The flight recorder saw every decision and kept the reasons: a
+	// post-mortem can tell which rows the model answered, which were
+	// rejected at the boundary, and which degraded under faults.
+	recs := srv.FlightRecorder().Snapshot(nil)
+	if int64(len(recs)) != wantDecisions {
+		t.Fatalf("flight recorder holds %d records, want %d", len(recs), wantDecisions)
+	}
+	var byReason [provenance.NumReasons]int
+	for _, rec := range recs {
+		byReason[rec.Reason]++
+	}
+	if byReason[provenance.ReasonModel] == 0 {
+		t.Fatal("no model-answered decisions recorded")
+	}
+	if byReason[provenance.ReasonRejected] == 0 {
+		t.Fatal("no rejected rows recorded despite hostile inputs")
+	}
+	degraded := byReason[provenance.ReasonPanic] + byReason[provenance.ReasonDeadline] +
+		byReason[provenance.ReasonFallback] + byReason[provenance.ReasonFallbackOnly]
+	if degraded == 0 {
+		t.Fatal("no degraded decisions recorded despite injected faults")
 	}
 
 	// The daemon is still alive and serving after the storm.

@@ -10,15 +10,18 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/clockdomain"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/quant"
 	"ssmdvfs/internal/telemetry"
 )
@@ -83,6 +86,14 @@ type Server struct {
 	health  *health
 	faults  *faults.Injector
 
+	// prov/mon, when EnableProvenance installed them, receive one record
+	// per decision; both are nil-safe and nil by default, keeping the hot
+	// path free of provenance work. recPool holds *provenance.Record
+	// scratch so recording does not allocate per batch.
+	prov    *provenance.Recorder
+	mon     *provenance.Monitor
+	recPool sync.Pool // *provenance.Record
+
 	infPool sync.Pool // *core.Inference
 	bufPool sync.Pool // *connBuffers
 
@@ -125,8 +136,32 @@ func NewServer(m *core.Model, opts Options) (*Server, error) {
 	s.model.Store(m)
 	s.infPool.New = func() any { return core.NewInference(m) }
 	s.bufPool.New = func() any { return &connBuffers{} }
+	s.recPool.New = func() any { return new(provenance.Record) }
 	return s, nil
 }
+
+// EnableProvenance installs a decision flight recorder of the given
+// capacity (<= 0 means provenance.DefaultCapacity) and an online
+// model-quality monitor registered on the server's telemetry registry,
+// seeded with the served model's training statistics. Must be called
+// before the server starts answering decisions.
+func (s *Server) EnableProvenance(capacity int, opts provenance.MonitorOptions) {
+	if capacity <= 0 {
+		capacity = provenance.DefaultCapacity
+	}
+	s.prov = provenance.NewRecorder(capacity)
+	s.mon = provenance.NewMonitor(s.Telemetry(), opts)
+	names, mean, std := s.Model().TrainingStats()
+	s.mon.SetTrainingStats(names, mean, std)
+}
+
+// FlightRecorder returns the decision flight recorder, or nil when
+// provenance is not enabled.
+func (s *Server) FlightRecorder() *provenance.Recorder { return s.prov }
+
+// QualityMonitor returns the model-quality monitor, or nil when
+// provenance is not enabled.
+func (s *Server) QualityMonitor() *provenance.Monitor { return s.mon }
 
 // LoadModel reads a model file and, if quantBits > 0, fake-quantizes it —
 // the loader behind both daemon startup and hot reload, accepting the
@@ -198,6 +233,13 @@ func (s *Server) Swap(m *core.Model) error {
 	}
 	s.model.Store(m)
 	s.metrics.Reloads.Add(1)
+	if s.mon != nil {
+		// The drift reference follows the served model: the monitor's
+		// windows reset so the new model is not judged against the old
+		// model's training distribution.
+		names, mean, std := m.TrainingStats()
+		s.mon.SetTrainingStats(names, mean, std)
+	}
 	return nil
 }
 
@@ -270,11 +312,38 @@ func validRow(row Request) bool {
 
 // fallbackRow answers one row from the PCSTALL analytical baseline — the
 // guaranteed decision when the model cannot or must not be trusted.
-func (s *Server) fallbackRow(row Request) Decision {
+// reason records why the model did not answer.
+func (s *Server) fallbackRow(row Request, reason provenance.Reason) Decision {
 	level, pred := baselines.FallbackDecision(s.table, row.Features, row.Preset)
 	s.metrics.Fallbacks.Add(1)
 	s.metrics.ObserveLevel(level)
-	return Decision{Level: level, PredInstr: pred}
+	return Decision{Level: level, Reason: reason, PredInstr: pred}
+}
+
+// observe fills the scratch provenance record for one answered row and
+// hands it to the recorder and monitor. rec is nil when provenance is
+// disabled; derived and logits are non-nil only on the model path (they
+// alias inference scratch and are copied into the record here).
+func (s *Server) observe(rec *provenance.Record, row Request, d Decision, derived, logits []float64, start time.Time) {
+	if rec == nil {
+		return
+	}
+	// The serving transports carry no cluster or epoch identity; -1 marks
+	// the fields as not applicable.
+	rec.Cluster = -1
+	rec.Epoch = -1
+	rec.Level = int32(d.Level)
+	rec.Reason = d.Reason
+	rec.Preset = row.Preset
+	rec.EffPreset = row.Preset
+	rec.PredInstr = d.PredInstr
+	rec.PredErr, rec.HasPredErr = 0, false
+	rec.LatencyNs = int64(time.Since(start))
+	rec.SetRaw(row.Features)
+	rec.SetDerived(derived)
+	rec.SetLogits(logits)
+	s.prov.Record(rec)
+	s.mon.ObserveRecord(rec)
 }
 
 // decideBatch answers every row, appending one Decision per row to decs.
@@ -288,11 +357,20 @@ func (s *Server) decideBatch(rows []Request, decs []Decision) []Decision {
 	s.sem <- struct{}{}
 	defer func() { <-s.sem }()
 
+	var rec *provenance.Record
+	if s.prov != nil || s.mon != nil {
+		rec = s.recPool.Get().(*provenance.Record)
+		defer s.recPool.Put(rec)
+	}
+
 	start := time.Now()
 	done := 0
+	// tailReason labels the rows the model never reached: the health state
+	// machine bypassing it entirely, or the failure modelRows reports.
+	tailReason := provenance.ReasonFallbackOnly
 	if s.health.useModel() {
 		var failed bool
-		decs, done, failed = s.modelRows(rows, decs, start)
+		decs, done, tailReason, failed = s.modelRows(rows, decs, start, rec)
 		if failed {
 			s.health.recordFailure()
 		} else {
@@ -300,54 +378,64 @@ func (s *Server) decideBatch(rows []Request, decs []Decision) []Decision {
 		}
 	}
 	for _, row := range rows[done:] {
-		decs = append(decs, s.fallbackRow(row))
+		d := s.fallbackRow(row, tailReason)
+		decs = append(decs, d)
+		s.observe(rec, row, d, nil, nil, start)
 	}
 	return decs
 }
 
 // modelRows runs the model over rows until it finishes, fails, or blows
 // the budget, returning how many rows were answered (model or per-row
-// fallback) and whether the model path failed. A panic anywhere in the
-// model is recovered and reported as a failure; the rows it did not reach
-// are the caller's to degrade.
-func (s *Server) modelRows(rows []Request, decs []Decision, start time.Time) (out []Decision, done int, failed bool) {
+// fallback), the reason the unreached rows should carry, and whether the
+// model path failed. A panic anywhere in the model is recovered and
+// reported as a failure; the rows it did not reach are the caller's to
+// degrade.
+func (s *Server) modelRows(rows []Request, decs []Decision, start time.Time, rec *provenance.Record) (out []Decision, done int, failReason provenance.Reason, failed bool) {
 	out = decs
+	failReason = provenance.ReasonFallback
 	// On panic the named returns already hold the last consistent state:
 	// out has exactly the decisions of the done rows, because append and
 	// the done update are adjacent non-panicking statements.
 	defer func() {
 		if r := recover(); r != nil {
 			s.metrics.RecoveredPanics.Add(1)
+			failReason = provenance.ReasonPanic
 			failed = true
 		}
 	}()
 	if err := s.faults.Inject(FaultDecide); err != nil {
-		return out, 0, true
+		return out, 0, provenance.ReasonFallback, true
 	}
 	inf := s.infPool.Get().(*core.Inference)
 	defer s.infPool.Put(inf)
 	inf.Bind(s.model.Load())
+	nFeat := inf.Model().NumFeatures()
 	budget := s.opts.Budget
 	for i, row := range rows {
 		if budget > 0 && time.Since(start) > budget {
 			s.metrics.DeadlineMisses.Add(1)
-			return out, i, true
+			return out, i, provenance.ReasonDeadline, true
 		}
 		if !validRow(row) {
 			s.metrics.RejectedRows.Add(1)
-			out = append(out, s.fallbackRow(row))
+			d := s.fallbackRow(row, provenance.ReasonRejected)
+			out = append(out, d)
 			done = i + 1
+			s.observe(rec, row, d, nil, nil, start)
 			continue
 		}
 		if err := s.faults.Inject(FaultInfer); err != nil {
-			return out, i, true
+			return out, i, provenance.ReasonFallback, true
 		}
 		level, pred := inf.Decide(row.Features, row.Preset)
 		s.metrics.ObserveLevel(level)
-		out = append(out, Decision{Level: level, PredInstr: pred})
+		d := Decision{Level: level, Reason: provenance.ReasonModel, PredInstr: pred}
+		out = append(out, d)
 		done = i + 1
+		s.observe(rec, row, d, inf.DecisionRow()[:nFeat], inf.Logits(), start)
 	}
-	return out, done, false
+	return out, done, provenance.ReasonModel, false
 }
 
 // ServeConn handles one binary-protocol connection until EOF or error.
@@ -453,6 +541,7 @@ type httpRow struct {
 // httpDecision mirrors Decision in JSON.
 type httpDecision struct {
 	Level     int     `json:"level"`
+	Reason    string  `json:"reason"`
 	PredInstr float64 `json:"predicted_instructions"`
 }
 
@@ -464,6 +553,9 @@ type httpDecision struct {
 //	GET  /model    served model info
 //	GET  /healthz  degradation state (healthy/degraded → 200,
 //	               fallback-only → 503; decisions are still served)
+//	GET  /debug/decisions  flight-recorder ring dump (404 unless
+//	               provenance is enabled); ?n= caps the rows returned,
+//	               ?cluster= and ?reason= filter them
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decide", s.handleDecide)
@@ -471,6 +563,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/reload", s.handleReload)
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/decisions", s.handleDecisions)
 	return mux
 }
 
@@ -486,17 +579,19 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	json.NewEncoder(w).Encode(struct {
-		State               string `json:"state"`
-		ConsecutiveFailures int64  `json:"consecutive_failures,omitempty"`
-		FallbackDecisions   int64  `json:"fallback_decisions,omitempty"`
-		RecoveredPanics     int64  `json:"recovered_panics,omitempty"`
-		DeadlineMisses      int64  `json:"deadline_misses,omitempty"`
+		State               string            `json:"state"`
+		ConsecutiveFailures int64             `json:"consecutive_failures,omitempty"`
+		FallbackDecisions   int64             `json:"fallback_decisions,omitempty"`
+		RecoveredPanics     int64             `json:"recovered_panics,omitempty"`
+		DeadlineMisses      int64             `json:"deadline_misses,omitempty"`
+		Build               map[string]string `json:"build,omitempty"`
 	}{
 		State:               st.String(),
 		ConsecutiveFailures: s.health.Failures(),
 		FallbackDecisions:   s.metrics.Fallbacks.Load(),
 		RecoveredPanics:     s.metrics.RecoveredPanics.Load(),
 		DeadlineMisses:      s.metrics.DeadlineMisses.Load(),
+		Build:               buildinfo.Info(),
 	})
 }
 
@@ -541,7 +636,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 
 	out := make([]httpDecision, len(decs))
 	for i, d := range decs {
-		out[i] = httpDecision{Level: d.Level, PredInstr: d.PredInstr}
+		out[i] = httpDecision{Level: d.Level, Reason: d.Reason.String(), PredInstr: d.PredInstr}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if single {
@@ -583,6 +678,86 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Params   int   `json:"params"`
 		Reloads  int64 `json:"reloads"`
 	}{true, m.Params(), s.metrics.Reloads.Load()})
+}
+
+// provHeader builds the dump header attributing recorder contents to
+// this binary and the currently served model.
+func (s *Server) provHeader() provenance.Header {
+	m := s.Model()
+	names, mean, std := m.TrainingStats()
+	return provenance.Header{
+		Build:       buildinfo.Info(),
+		Features:    names,
+		TrainMean:   mean,
+		TrainStd:    std,
+		Levels:      m.Levels,
+		ModelParams: m.Params(),
+		Capacity:    s.prov.Cap(),
+		Head:        s.prov.Head(),
+	}
+}
+
+// DumpDecisions writes the flight recorder's current contents as a JSONL
+// dump (header + one record per line) — the format cmd/dvfsstat's
+// -decisions view reads. It returns false when provenance is disabled.
+func (s *Server) DumpDecisions(w io.Writer) (bool, error) {
+	if s.prov == nil {
+		return false, nil
+	}
+	return true, provenance.WriteRecords(w, s.provHeader(), s.prov.Snapshot(nil))
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if s.prov == nil {
+		http.Error(w, "flight recorder not enabled (start with -flightrec)", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	n := 0
+	if v := q.Get("n"); v != "" {
+		var err error
+		if n, err = strconv.Atoi(v); err != nil || n < 0 {
+			s.httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+	}
+	var cluster int64
+	hasCluster := false
+	if v := q.Get("cluster"); v != "" {
+		var err error
+		if cluster, err = strconv.ParseInt(v, 10, 32); err != nil {
+			s.httpError(w, http.StatusBadRequest, "bad cluster %q", v)
+			return
+		}
+		hasCluster = true
+	}
+	var reason provenance.Reason
+	hasReason := false
+	if v := q.Get("reason"); v != "" {
+		var err error
+		if reason, err = provenance.ParseReason(v); err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		hasReason = true
+	}
+
+	recs := s.prov.Snapshot(nil)
+	kept := recs[:0]
+	for _, rec := range recs {
+		if hasCluster && rec.Cluster != int32(cluster) {
+			continue
+		}
+		if hasReason && rec.Reason != reason {
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	if n > 0 && len(kept) > n {
+		kept = kept[len(kept)-n:] // newest n, still oldest-first
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	provenance.WriteRecords(w, s.provHeader(), kept)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {

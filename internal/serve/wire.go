@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/provenance"
 )
 
 // Wire protocol: every message is one length-prefixed frame,
@@ -25,7 +26,7 @@ import (
 // and every payload starts with a fixed header,
 //
 //	uint32  magic   "SDVF"
-//	uint8   version (1)
+//	uint8   version (2)
 //	uint8   message type
 //
 // A decide request carries a batch of rows, each a performance-loss
@@ -37,14 +38,18 @@ import (
 //	rows    count × (1+dim) float64, preset first
 //
 // A decide response carries one status byte, then per row the chosen
-// level and predicted next-epoch instruction count:
+// level, the provenance reason that produced it, and the predicted
+// next-epoch instruction count:
 //
 //	uint8   status (0 = OK; otherwise count is 0)
 //	uint16  row count
-//	rows    count × (uint8 level, float64 predicted instructions)
+//	rows    count × (uint8 level, uint8 reason, float64 predicted instructions)
+//
+// Version history: v1 response rows had no reason byte; v2 (current)
+// added it so clients can tell a model answer from a degraded one.
 const (
 	Magic   = 0x53445646 // "SDVF"
-	Version = 1
+	Version = 2
 
 	// MsgDecide and MsgDecisions are the request/response message types.
 	MsgDecide    = 1
@@ -76,6 +81,9 @@ type Request struct {
 type Decision struct {
 	// Level is the operating-point class the Decision-maker chose.
 	Level int
+	// Reason says which path produced the decision (model, or one of the
+	// degradation paths).
+	Reason provenance.Reason
 	// PredInstr is the Calibrator's next-epoch instruction estimate.
 	PredInstr float64
 }
@@ -214,7 +222,7 @@ func AppendResponseFrame(dst []byte, status byte, decs []Decision) ([]byte, erro
 	if len(decs) > MaxBatch {
 		return nil, fmt.Errorf("serve: batch of %d rows exceeds %d", len(decs), MaxBatch)
 	}
-	need := headerLen + 3 + len(decs)*9
+	need := headerLen + 3 + len(decs)*10
 	off := len(dst)
 	dst = append(dst, make([]byte, need)...)
 	b := dst[off:]
@@ -227,8 +235,9 @@ func AppendResponseFrame(dst []byte, status byte, decs []Decision) ([]byte, erro
 			return nil, fmt.Errorf("serve: level %d does not fit the wire format", d.Level)
 		}
 		b[p] = byte(d.Level)
-		binary.BigEndian.PutUint64(b[p+1:], math.Float64bits(d.PredInstr))
-		p += 9
+		b[p+1] = byte(d.Reason)
+		binary.BigEndian.PutUint64(b[p+2:], math.Float64bits(d.PredInstr))
+		p += 10
 	}
 	return dst, nil
 }
@@ -245,7 +254,7 @@ func DecodeResponseFrame(payload []byte, scratch []Decision) ([]Decision, error)
 		return nil, fmt.Errorf("serve: server reported error status %d", payload[6])
 	}
 	count := int(binary.BigEndian.Uint16(payload[7:]))
-	want := headerLen + 3 + count*9
+	want := headerLen + 3 + count*10
 	if len(payload) != want {
 		return nil, fmt.Errorf("serve: response frame is %d bytes, want %d for %d rows", len(payload), want, count)
 	}
@@ -256,8 +265,9 @@ func DecodeResponseFrame(payload []byte, scratch []Decision) ([]Decision, error)
 	p := headerLen + 3
 	for i := range scratch {
 		scratch[i].Level = int(payload[p])
-		scratch[i].PredInstr = math.Float64frombits(binary.BigEndian.Uint64(payload[p+1:]))
-		p += 9
+		scratch[i].Reason = provenance.Reason(payload[p+1])
+		scratch[i].PredInstr = math.Float64frombits(binary.BigEndian.Uint64(payload[p+2:]))
+		p += 10
 	}
 	return scratch, nil
 }

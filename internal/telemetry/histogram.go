@@ -92,10 +92,21 @@ func BucketBounds(i int) (lo, hi float64) {
 }
 
 // Quantile estimates a quantile from log-2 bucket counts by linear
-// interpolation within the winning bucket. An empty histogram yields 0;
-// estimates for observations past the last bucket saturate at that
-// bucket's range (log-2 histograms cannot resolve the overflow tail).
+// interpolation within the winning bucket. The defined edge semantics —
+// pinned by TestQuantileEdgeSemantics so JSON and Prometheus output can
+// never carry NaN:
+//
+//   - an empty histogram yields 0 for every q (no observations, no
+//     estimate);
+//   - q is clamped to [0, 1], and a NaN q reads as 0;
+//   - estimates past the last bucket saturate at that bucket's upper
+//     bound (log-2 histograms cannot resolve the overflow tail).
 func Quantile(buckets []int64, q float64) float64 {
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
 	var total int64
 	for _, c := range buckets {
 		total += c

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -65,6 +66,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	build    map[string]string
 }
 
 // NewRegistry returns an empty registry.
@@ -74,6 +76,19 @@ func NewRegistry() *Registry {
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
+}
+
+// SetBuild attaches build attribution (e.g. buildinfo.Info()) to the
+// registry; snapshots carry it so a scraped dump can be traced back to
+// the binary that produced it. The map is copied.
+func (r *Registry) SetBuild(info map[string]string) {
+	cp := make(map[string]string, len(info))
+	for k, v := range info {
+		cp[k] = v
+	}
+	r.mu.Lock()
+	r.build = cp
+	r.mu.Unlock()
 }
 
 // MetricID renders a metric identifier: the bare name, or
@@ -125,20 +140,33 @@ func ParseID(id string) (name string, labels map[string]string) {
 		}
 		k := part[:eq]
 		v := part[eq+1:]
-		v = strings.TrimPrefix(v, `"`)
-		v = strings.TrimSuffix(v, `"`)
+		// MetricID rendered the value with %q, so strconv.Unquote is the
+		// exact inverse — it restores escaped quotes, backslashes, and
+		// newlines. Fall back to bare trimming for hand-written ids.
+		if uq, err := strconv.Unquote(v); err == nil {
+			v = uq
+		} else {
+			v = strings.TrimPrefix(v, `"`)
+			v = strings.TrimSuffix(v, `"`)
+		}
 		labels[k] = v
 	}
 	return name, labels
 }
 
-// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes. A
+// backslash inside quotes escapes the next byte, so values containing
+// `\"` or `\\` do not derail the quote tracking.
 func splitLabels(s string) []string {
 	var out []string
 	inQuote := false
 	start := 0
 	for i := 0; i < len(s); i++ {
 		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
 		case '"':
 			inQuote = !inQuote
 		case ',':
@@ -228,6 +256,8 @@ type HistogramSnapshot struct {
 // values are read individually (consistent enough for monitoring, as in
 // serve.Metrics).
 type Snapshot struct {
+	// Build attributes the snapshot to the producing binary (SetBuild).
+	Build      map[string]string            `json:"build,omitempty"`
 	Counters   map[string]int64             `json:"counters,omitempty"`
 	Gauges     map[string]float64           `json:"gauges,omitempty"`
 	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
@@ -238,6 +268,7 @@ func (r *Registry) Snapshot() Snapshot {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	s := Snapshot{
+		Build:      r.build,
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
@@ -295,6 +326,16 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 		return err
 	}
 
+	if len(s.Build) > 0 {
+		// The Prometheus build-attribution idiom: a constant-1 gauge whose
+		// labels carry the binary identity.
+		if err := emitType("build_info", "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s 1\n", MetricID("build_info", flatten(s.Build)...)); err != nil {
+			return err
+		}
+	}
 	for _, id := range sortedKeys(s.Counters) {
 		base, _ := ParseID(id)
 		if err := emitType(base, "counter"); err != nil {
