@@ -1,0 +1,156 @@
+// Command dvfsfleet is the fleet router in front of a set of ssmdvfsd
+// replicas: it shards (gpu, cluster) decision keys across the replicas
+// on a deterministic consistent-hash ring, coalesces concurrent rows
+// bound for the same replica into multi-row v3 frames, sheds overload
+// into the analytical PCSTALL fallback under admission control, and
+// reroutes around replicas that die (re-admitting them when a health
+// probe succeeds).
+//
+// Usage:
+//
+//	dvfsfleet -replicas host1:8091,host2:8091,host3:8091
+//	          [-tcp :8092] [-http :8093] [-vnodes 128] [-seed 1]
+//	          [-coalesce-wait 200us] [-coalesce-rows 64] [-inflight 2]
+//	          [-queue 1024] [-queue-deadline 2ms] [-max-hops 1]
+//	          [-probe 250ms]
+//
+// Clients speak the same binary protocol as to a single daemon — v2
+// clients work unchanged (the router synthesizes a per-connection
+// identity), v3 clients shard per row and learn which shard answered.
+//
+// Endpoints:
+//
+//	GET /metrics       fleet counters (JSON telemetry snapshot)
+//	GET /metrics.prom  the same in Prometheus text exposition 0.0.4
+//	GET /healthz       per-replica health; 503 when no replica is healthy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ssmdvfs/internal/buildinfo"
+	"ssmdvfs/internal/fleet"
+	"ssmdvfs/internal/serve"
+)
+
+func main() {
+	var (
+		replicas     = flag.String("replicas", "", "comma-separated replica binary-protocol addresses (required)")
+		tcpAddr      = flag.String("tcp", ":8092", "front-end binary-protocol listen address")
+		httpAddr     = flag.String("http", ":8093", "metrics/health HTTP listen address (empty disables)")
+		vnodes       = flag.Int("vnodes", 0, "virtual nodes per replica on the ring (0 = default)")
+		seed         = flag.Uint64("seed", 1, "ring hash seed (same seed + replica set = same sharding)")
+		wait         = flag.Duration("coalesce-wait", 0, "max linger before a non-full batch ships (0 = default 200us)")
+		rows         = flag.Int("coalesce-rows", 0, "max rows per coalesced frame (0 = default 64)")
+		inflight     = flag.Int("inflight", 0, "coalesced batches in flight per replica (0 = default 2)")
+		queueLen     = flag.Int("queue", 0, "per-replica admission queue length (0 = default 1024)")
+		deadline     = flag.Duration("queue-deadline", 2*time.Millisecond, "shed rows queued longer than this (0 = off)")
+		maxHops      = flag.Int("max-hops", 0, "reroute attempts per row after replica failure (0 = default 1)")
+		probe        = flag.Duration("probe", 0, "unhealthy replica re-dial interval (0 = default 250ms)")
+		dialTimeout  = flag.Duration("dial-timeout", time.Second, "router→replica connect timeout")
+		verbose      = flag.Bool("v", true, "log progress")
+		printVersion = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *printVersion {
+		fmt.Println("dvfsfleet", buildinfo.String())
+		return
+	}
+	logf := func(string, ...any) {}
+	if *verbose {
+		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	opts := fleet.Options{
+		Replicas:      splitAddrs(*replicas),
+		VNodes:        *vnodes,
+		Seed:          *seed,
+		CoalesceWait:  *wait,
+		CoalesceRows:  *rows,
+		MaxInFlight:   *inflight,
+		QueueLen:      *queueLen,
+		QueueDeadline: *deadline,
+		MaxHops:       *maxHops,
+		ProbeInterval: *probe,
+		Dial:          serve.DialOptions{Timeout: *dialTimeout},
+		Logf:          logf,
+	}
+	if err := run(opts, *tcpAddr, *httpAddr, logf); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsfleet:", err)
+		os.Exit(1)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func run(opts fleet.Options, tcpAddr, httpAddr string, logf func(string, ...any)) error {
+	if len(opts.Replicas) == 0 {
+		return fmt.Errorf("-replicas is required")
+	}
+	if tcpAddr == "" {
+		return fmt.Errorf("-tcp is required")
+	}
+	rt, err := fleet.NewRouter(opts)
+	if err != nil {
+		return err
+	}
+	rt.Telemetry().SetBuild(buildinfo.Info())
+	logf("dvfsfleet: %d replicas on the ring (seed %d): %s",
+		rt.NumShards(), opts.Seed, strings.Join(rt.Ring().Replicas(), ", "))
+
+	errc := make(chan error, 2)
+	l, err := net.Listen("tcp", tcpAddr)
+	if err != nil {
+		return err
+	}
+	logf("dvfsfleet: binary protocol on %s", l.Addr())
+	go func() { errc <- rt.ServeTCP(l) }()
+
+	var hs *http.Server
+	if httpAddr != "" {
+		hl, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			rt.Close()
+			return err
+		}
+		hs = &http.Server{Addr: httpAddr, Handler: rt.Handler()}
+		logf("dvfsfleet: HTTP on %s", hl.Addr())
+		go func() { errc <- hs.Serve(hl) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case err := <-errc:
+			if err != nil && err != http.ErrServerClosed {
+				return err
+			}
+		case sig := <-sigc:
+			logf("dvfsfleet: %s, shutting down", sig)
+			if hs != nil {
+				hs.Close()
+			}
+			rt.Close()
+			m := rt.Metrics()
+			logf("dvfsfleet: routed %d rows in %d requests (%d shed, %d rerouted, %d replica failures)",
+				m.Rows.Load(), m.Requests.Load(), m.ShedTotal(), m.Rerouted.Load(), m.Down.Load())
+			return nil
+		}
+	}
+}

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dvfsload -addr localhost:8091 [-conns 8] [-batch 24] [-duration 10s]
-//	         [-qps 0] [-preset 0.10] [-trace trace.csv] [-seed 1]
+//	         [-qps 0] [-preset 0.10] [-trace trace.csv] [-seed 1] [-fleet]
 //	         [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
 //
 // With -trace the feature stream is a cycled replay of the trace file
@@ -15,6 +15,11 @@
 // drawn from the memory-boundedness family used across the project's
 // tests. -qps caps total decisions/second (0 = unlimited: measure peak
 // throughput).
+//
+// With -fleet the target is a dvfsfleet router (or any v3 server): every
+// frame carries a (gpu, cluster) identity so the router shards it, and
+// the exit summary adds a per-shard latency table (p50/p99/p999) plus
+// shed and reroute counts from the keyed responses.
 package main
 
 import (
@@ -46,6 +51,7 @@ func main() {
 		qps       = flag.Float64("qps", 0, "target total decisions/second (0 = unlimited)")
 		preset    = flag.Float64("preset", 0.10, "performance-loss preset sent with every row")
 		trace     = flag.String("trace", "", "replay this dvfstrace file (CSV or JSON) instead of synthetic epochs")
+		fleetMode = flag.Bool("fleet", false, "drive a dvfsfleet router with keyed v3 frames and report per-shard latency")
 		rows      = flag.Int("rows", 4096, "synthetic feature rows to generate (without -trace)")
 		seed      = flag.Int64("seed", 1, "synthetic feature seed")
 		timeout   = flag.Duration("timeout", 5*time.Second, "per-attempt connection timeout")
@@ -80,7 +86,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
 		os.Exit(1)
 	}
-	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed, dialOpts)
+	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed, *fleetMode, dialOpts)
 	stopCPU()
 	if err := telemetry.WriteHeapProfile(*memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
@@ -116,12 +122,22 @@ type workerStats struct {
 	latencies  []time.Duration // one per batch
 	decisions  int64
 	reconnects int64
+	rerouted   int64
 	levels     [64]int64
 	reasons    [provenance.NumReasons]int64
 	err        error
 }
 
-func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64, dialOpts serve.DialOptions) error {
+// shardLabel renders a shard index for metric labels; -1 (no shard:
+// local shed, or a plain daemon answering keyed frames) becomes "none".
+func shardLabel(shard int) string {
+	if shard < 0 {
+		return "none"
+	}
+	return fmt.Sprintf("%d", shard)
+}
+
+func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64, fleetMode bool, dialOpts serve.DialOptions) error {
 	if conns <= 0 || batch <= 0 || batch > serve.MaxBatch {
 		return fmt.Errorf("need conns > 0 and batch in [1,%d]", serve.MaxBatch)
 	}
@@ -152,6 +168,26 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		conns, batch, duration, preset*100,
 		map[bool]string{true: fmt.Sprintf("%.0f", qps), false: "unlimited"}[qps > 0])
 
+	// reg hosts the fleet-mode per-shard latency histograms; batch
+	// latency attributes to the shard that answered the frame's key.
+	reg := telemetry.NewRegistry()
+	if fleetMode {
+		probe, err := serve.DialContext(context.Background(), addr, dialOpts)
+		if err != nil {
+			return err
+		}
+		hello, err := probe.Negotiate()
+		probe.Close()
+		if err != nil {
+			return fmt.Errorf("fleet negotiation: %w", err)
+		}
+		role := "daemon"
+		if hello.Router {
+			role = fmt.Sprintf("router, %d shards", hello.Shards)
+		}
+		fmt.Printf("dvfsload: fleet mode: negotiated v%d (%s)\n", hello.Version, role)
+	}
+
 	stats := make([]workerStats, conns)
 	deadline := time.Now().Add(duration)
 	start := time.Now()
@@ -175,25 +211,46 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 				tick = time.NewTicker(interval)
 				defer tick.Stop()
 			}
-			for time.Now().Before(deadline) {
+			for iter := 0; time.Now().Before(deadline); iter++ {
 				for i := range reqs {
-					reqs[i] = serve.Request{Preset: preset, Features: feed(next)}
+					reqs[i] = serve.Request{Preset: preset, Features: feed(next), GPU: -1, Cluster: -1}
+					if fleetMode {
+						// One (gpu, cluster) key per frame: the whole batch
+						// routes to one shard, so the frame's latency cleanly
+						// attributes to the shard that answered it.
+						reqs[i].GPU = int32(c)
+						reqs[i].Cluster = int32(iter % 24)
+					}
 					next += conns
 				}
 				t0 := time.Now()
-				decs, err := cl.Decide(reqs)
+				var decs []serve.Decision
+				var err error
+				if fleetMode {
+					decs, err = cl.DecideKeyed(reqs)
+				} else {
+					decs, err = cl.Decide(reqs)
+				}
 				if err != nil {
 					st.err = err
 					return
 				}
-				st.latencies = append(st.latencies, time.Since(t0))
+				lat := time.Since(t0)
+				st.latencies = append(st.latencies, lat)
 				st.decisions += int64(len(decs))
+				if fleetMode && len(decs) > 0 {
+					reg.Histogram("load_shard_latency_us", "shard", shardLabel(decs[0].Shard)).
+						Observe(lat.Microseconds())
+				}
 				for _, d := range decs {
 					if d.Level >= 0 && d.Level < len(st.levels) {
 						st.levels[d.Level]++
 					}
 					if int(d.Reason) < len(st.reasons) {
 						st.reasons[d.Reason]++
+					}
+					if d.Rerouted {
+						st.rerouted++
 					}
 				}
 				if tick != nil {
@@ -207,7 +264,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 
 	// Merge.
 	var all []time.Duration
-	var decisions, batches, reconnects int64
+	var decisions, batches, reconnects, rerouted int64
 	var levels [64]int64
 	var reasons [provenance.NumReasons]int64
 	for c := range stats {
@@ -218,6 +275,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		decisions += stats[c].decisions
 		batches += int64(len(stats[c].latencies))
 		reconnects += stats[c].reconnects
+		rerouted += stats[c].rerouted
 		for l, n := range stats[c].levels {
 			levels[l] += n
 		}
@@ -255,7 +313,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		fmt.Printf("  level %d %8.1f%%  %s\n", l, frac*100, bar)
 	}
 
-	// Per-reason response counts (the v2 wire protocol labels every
+	// Per-reason response counts (the wire protocol labels every
 	// decision): anything beyond "model" means the daemon degraded.
 	fmt.Printf("\nresponse reasons:\n")
 	for r, n := range reasons {
@@ -265,5 +323,39 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		fmt.Printf("  %-13s %12d  (%.1f%%)\n", provenance.Reason(r).String(), n,
 			100*float64(n)/float64(decisions))
 	}
+
+	if fleetMode {
+		printFleetSummary(reg, reasons[provenance.ReasonShed], rerouted)
+	}
 	return nil
+}
+
+// printFleetSummary renders the fleet-mode tail of the report: one
+// latency row per shard (quantiles estimated from the telemetry log-2
+// histograms) plus the degradation counts the router reported on the
+// wire.
+func printFleetSummary(reg *telemetry.Registry, shed, rerouted int64) {
+	snap := reg.Snapshot()
+	ids := make([]string, 0, len(snap.Histograms))
+	for id := range snap.Histograms {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	fmt.Printf("\nper-shard batch latency:\n")
+	fmt.Printf("  %-8s %10s %12s %12s %12s\n", "shard", "batches", "p50 µs", "p99 µs", "p999 µs")
+	for _, id := range ids {
+		name, labels := telemetry.ParseID(id)
+		if name != "load_shard_latency_us" {
+			continue
+		}
+		h := snap.Histograms[id]
+		fmt.Printf("  %-8s %10d %12.0f %12.0f %12.0f\n",
+			labels["shard"], h.Count,
+			telemetry.Quantile(h.Buckets, 0.50),
+			telemetry.Quantile(h.Buckets, 0.99),
+			telemetry.Quantile(h.Buckets, 0.999))
+	}
+	fmt.Printf("\nshed rows     %12d\n", shed)
+	fmt.Printf("rerouted rows %12d\n", rerouted)
 }

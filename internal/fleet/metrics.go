@@ -1,0 +1,120 @@
+package fleet
+
+import (
+	"time"
+
+	"ssmdvfs/internal/telemetry"
+)
+
+// Shed causes, the `cause` label on fleet_shed_rows_total. Admission
+// control refuses work for exactly these reasons; anything else is a bug.
+const (
+	ShedQueueFull = "queue-full" // the shard's queue was full at submit
+	ShedDeadline  = "deadline"   // the row waited past QueueDeadline
+	ShedNoReplica = "no-replica" // no healthy replica on the ring
+	ShedShutdown  = "shutdown"   // the router was closing
+)
+
+// shedCauses enumerates the label values so all series exist from the
+// first scrape (a zero shed counter is a signal, not a missing metric).
+var shedCauses = []string{ShedQueueFull, ShedDeadline, ShedNoReplica, ShedShutdown}
+
+// batchHistBuckets sizes the coalesced-batch-size histogram: bucket i
+// counts batches of [2^(i-1), 2^i) rows, and MaxBatch is 1024 = 2^10.
+const batchHistBuckets = 12
+
+// Metrics aggregates the router's counters on a telemetry.Registry, so
+// the fleet tier exposes the same JSON snapshot + Prometheus exposition
+// surface as a single daemon. Handles are resolved up front; every hot
+// path update is one atomic.
+type Metrics struct {
+	Requests *telemetry.Counter // frames / Decide calls answered
+	Rows     *telemetry.Counter // rows admitted into shard queues
+	Rerouted *telemetry.Counter // rows re-submitted after a replica failure
+	Down     *telemetry.Counter // healthy→unhealthy replica transitions
+	Up       *telemetry.Counter // unhealthy→healthy replica transitions
+	Healthy  *telemetry.Gauge   // healthy replicas right now
+
+	shed      map[string]*telemetry.Counter // by cause
+	batchRows *telemetry.Histogram          // rows per dispatched batch
+
+	shards []shardMetrics
+	reg    *telemetry.Registry
+}
+
+// shardMetrics is the per-shard slice of the fleet counters — the
+// per-shard throughput and tail latency the load reports print.
+type shardMetrics struct {
+	Rows    *telemetry.Counter   // rows dispatched to this replica
+	Errors  *telemetry.Counter   // failed dispatches (dial or round-trip)
+	Latency *telemetry.Histogram // round-trip µs per dispatched batch
+}
+
+func newMetrics(reg *telemetry.Registry, nShards int) *Metrics {
+	m := &Metrics{
+		Requests: reg.Counter("fleet_requests_total"),
+		Rows:     reg.Counter("fleet_rows_total"),
+		Rerouted: reg.Counter("fleet_rerouted_rows_total"),
+		Down:     reg.Counter("fleet_replica_down_total"),
+		Up:       reg.Counter("fleet_replica_up_total"),
+		Healthy:  reg.Gauge("fleet_healthy_replicas"),
+		shed:     make(map[string]*telemetry.Counter, len(shedCauses)),
+		batchRows: reg.HistogramBuckets("fleet_batch_rows",
+			batchHistBuckets),
+		shards: make([]shardMetrics, nShards),
+		reg:    reg,
+	}
+	for _, cause := range shedCauses {
+		m.shed[cause] = reg.Counter("fleet_shed_rows_total", "cause", cause)
+	}
+	for i := range m.shards {
+		label := itoa(i)
+		m.shards[i] = shardMetrics{
+			Rows:    reg.Counter("fleet_shard_rows_total", "shard", label),
+			Errors:  reg.Counter("fleet_shard_errors_total", "shard", label),
+			Latency: reg.Histogram("fleet_shard_latency_us", "shard", label),
+		}
+	}
+	return m
+}
+
+// Registry exposes the registry hosting the fleet metrics.
+func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
+
+// Shed counts one refused row.
+func (m *Metrics) Shed(cause string) {
+	if c, ok := m.shed[cause]; ok {
+		c.Add(1)
+	}
+}
+
+// ShedTotal sums the shed counters across causes.
+func (m *Metrics) ShedTotal() int64 {
+	var n int64
+	for _, c := range m.shed {
+		n += c.Load()
+	}
+	return n
+}
+
+// ObserveDispatch records one batch sent to a shard: n rows, round-trip d.
+func (m *Metrics) ObserveDispatch(shard, n int, d time.Duration) {
+	m.batchRows.Observe(int64(n))
+	m.shards[shard].Rows.Add(int64(n))
+	m.shards[shard].Latency.Observe(d.Microseconds())
+}
+
+// itoa formats a small non-negative int without pulling in strconv.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [6]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,638 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/serve"
+	"ssmdvfs/internal/telemetry"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Replicas are the binary-protocol addresses of the ssmdvfsd replicas
+	// behind this router. Required.
+	Replicas []string
+	// VNodes and Seed configure the consistent-hash ring (see RingOptions).
+	VNodes int
+	Seed   uint64
+
+	// CoalesceWait bounds how long a non-full batch may linger absorbing
+	// more rows before it ships regardless (default 200 µs). Batching is
+	// adaptive below that bound: a batch dispatches the moment a slot is
+	// free and only grows while every slot is busy, so coalescing costs
+	// no latency under light load. CoalesceRows bounds the batch size
+	// (default 64, capped at serve.MaxBatch).
+	CoalesceWait time.Duration
+	CoalesceRows int
+
+	// MaxInFlight is how many coalesced batches one shard may have on the
+	// wire at once; each slot owns its own connection (default 2).
+	MaxInFlight int
+	// QueueLen is the per-shard admission queue capacity (default 1024).
+	// A full queue sheds at submit time.
+	QueueLen int
+	// QueueDeadline sheds rows that waited longer than this between
+	// submit and dispatch (default 2 ms); a row that stale is answered by
+	// the analytical fallback rather than a late model decision. Zero
+	// disables the deadline.
+	QueueDeadline time.Duration
+	// MaxHops bounds how many times one row may be rerouted to another
+	// replica after dispatch failures before it sheds (default 1).
+	MaxHops int
+
+	// Table is the operating-point table shed rows fall back to; nil
+	// means the TitanX table used throughout the project.
+	Table *clockdomain.Table
+	// Dial configures the router→replica connections. Zero values get a
+	// 1 s connect timeout and no retries (the router's reroute path is
+	// its retry policy).
+	Dial serve.DialOptions
+	// ProbeInterval is how often unhealthy replicas are re-dialed for
+	// recovery (default 250 ms).
+	ProbeInterval time.Duration
+	// Logf receives progress messages; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoalesceWait <= 0 {
+		o.CoalesceWait = 200 * time.Microsecond
+	}
+	if o.CoalesceRows <= 0 {
+		o.CoalesceRows = 64
+	}
+	if o.CoalesceRows > serve.MaxBatch {
+		o.CoalesceRows = serve.MaxBatch
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 2
+	}
+	if o.QueueLen <= 0 {
+		o.QueueLen = 1024
+	}
+	if o.QueueDeadline < 0 {
+		o.QueueDeadline = 0
+	}
+	if o.MaxHops <= 0 {
+		o.MaxHops = 1
+	}
+	if o.Table == nil {
+		o.Table = clockdomain.TitanX()
+	}
+	if o.Dial.Timeout <= 0 {
+		o.Dial.Timeout = time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// call is one row in flight through the router: submitted to a shard
+// queue, coalesced into a batch, dispatched, and answered (by a replica,
+// a reroute, or the shed fallback). done closes exactly once, after dec
+// is final.
+type call struct {
+	req  serve.Request
+	enq  time.Time
+	hops int
+	dec  serve.Decision
+	done chan struct{}
+}
+
+// shard is one replica's routing state: the admission queue, the
+// coalescer feeding batches, and the dispatchers draining them.
+type shard struct {
+	idx     int
+	addr    string
+	queue   chan *call
+	batches chan []*call
+}
+
+// Router is the fleet serving tier: it owns the consistent-hash ring,
+// one coalescer+dispatcher pipeline per replica, admission control, and
+// the v2/v3 front-end transport. Rows enter via Decide (in-process) or
+// ServeConn (wire), are routed by their (gpu, cluster) key, coalesced
+// into multi-row v3 frames per replica, and always come back with a
+// decision — model, rerouted, or shed-to-fallback — never an error.
+type Router struct {
+	opts    Options
+	ring    *Ring
+	metrics *Metrics
+	shards  []*shard
+
+	stop    chan struct{}
+	stopMu  sync.RWMutex // guards stopped against racing submits
+	stopped bool
+	wg      sync.WaitGroup
+
+	synthSeq atomic.Int64 // synthetic identity for unkeyed rows
+	connSeq  atomic.Int64
+
+	conns sync.Map // net.Conn → struct{}, for Close
+	ls    sync.Map // net.Listener → struct{}, for Close
+}
+
+// NewRouter builds and starts a router over the replica set: the ring,
+// one coalescer and MaxInFlight dispatchers per shard, and the health
+// prober all start immediately.
+func NewRouter(opts Options) (*Router, error) {
+	opts = opts.withDefaults()
+	ring, err := NewRing(RingOptions{Replicas: opts.Replicas, VNodes: opts.VNodes, Seed: opts.Seed})
+	if err != nil {
+		return nil, err
+	}
+	names := ring.Replicas()
+	rt := &Router{
+		opts:    opts,
+		ring:    ring,
+		metrics: newMetrics(telemetry.NewRegistry(), len(names)),
+		shards:  make([]*shard, len(names)),
+		stop:    make(chan struct{}),
+	}
+	rt.metrics.Healthy.Set(float64(ring.Healthy()))
+	for i, addr := range names {
+		s := &shard{
+			idx:     i,
+			addr:    addr,
+			queue:   make(chan *call, opts.QueueLen),
+			batches: make(chan []*call, opts.MaxInFlight),
+		}
+		rt.shards[i] = s
+		rt.wg.Add(1 + opts.MaxInFlight)
+		go rt.coalesce(s)
+		for d := 0; d < opts.MaxInFlight; d++ {
+			go rt.dispatch(s)
+		}
+	}
+	rt.wg.Add(1)
+	go rt.probe()
+	return rt, nil
+}
+
+// Ring exposes the router's consistent-hash ring.
+func (rt *Router) Ring() *Ring { return rt.ring }
+
+// Metrics exposes the router's counters.
+func (rt *Router) Metrics() *Metrics { return rt.metrics }
+
+// Telemetry exposes the registry hosting the fleet metrics.
+func (rt *Router) Telemetry() *telemetry.Registry { return rt.metrics.Registry() }
+
+// NumShards returns the replica count.
+func (rt *Router) NumShards() int { return len(rt.shards) }
+
+// Decide routes every row through the fleet and appends one Decision per
+// row to decs, in row order. It blocks until all rows are answered; rows
+// the fleet cannot serve in time come back shed to the analytical
+// fallback (Reason == ReasonShed), never as an error. Rows without a
+// (gpu, cluster) identity get a synthetic one so they still shard.
+func (rt *Router) Decide(rows []serve.Request, decs []serve.Decision) []serve.Decision {
+	rt.metrics.Requests.Add(1)
+	calls := make([]*call, len(rows))
+	for i := range rows {
+		c := &call{req: rows[i], enq: time.Now(), done: make(chan struct{})}
+		if c.req.GPU < 0 || c.req.Cluster < 0 {
+			seq := rt.synthSeq.Add(1)
+			c.req.GPU = int32(seq % (1 << 30))
+			c.req.Cluster = int32(i)
+		}
+		calls[i] = c
+		rt.submit(c)
+	}
+	for _, c := range calls {
+		<-c.done
+		decs = append(decs, c.dec)
+	}
+	return decs
+}
+
+// submit routes one call to its shard's admission queue, shedding on a
+// full queue, an empty ring, or a closing router. After submit the call
+// is guaranteed to complete.
+func (rt *Router) submit(c *call) {
+	rt.stopMu.RLock()
+	defer rt.stopMu.RUnlock()
+	if rt.stopped {
+		rt.shedCall(c, ShedShutdown)
+		return
+	}
+	shardIdx, ok := rt.ring.Lookup(Key(rt.ring.Seed(), c.req.GPU, c.req.Cluster))
+	if !ok {
+		rt.shedCall(c, ShedNoReplica)
+		return
+	}
+	select {
+	case rt.shards[shardIdx].queue <- c:
+		rt.metrics.Rows.Add(1)
+	default:
+		rt.shedCall(c, ShedQueueFull)
+	}
+}
+
+// shedCall answers one call from the analytical fallback and counts why.
+// Shed rows carry ReasonShed and no shard, so clients and the flight
+// recorder can tell an admission-control answer from a model answer.
+func (rt *Router) shedCall(c *call, cause string) {
+	level, pred := baselines.FallbackDecision(rt.opts.Table, c.req.Features, c.req.Preset)
+	c.dec = serve.Decision{
+		Level: level, Reason: provenance.ReasonShed, PredInstr: pred,
+		Shard: -1, Rerouted: c.hops > 0,
+	}
+	rt.metrics.Shed(cause)
+	close(c.done)
+}
+
+// coalesce is one shard's batching loop. Batching is adaptive: a batch
+// is handed off the moment a dispatch slot is free (no added latency
+// under light load), keeps absorbing queued rows while all slots are
+// busy (frames grow exactly when the wire is the bottleneck), and ships
+// regardless once it is CoalesceRows full or has lingered CoalesceWait.
+// On shutdown it sheds whatever is still queued.
+func (rt *Router) coalesce(s *shard) {
+	defer rt.wg.Done()
+	defer close(s.batches)
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	defer timer.Stop()
+	for {
+		var first *call
+		select {
+		case first = <-s.queue:
+		case <-rt.stop:
+			rt.drainQueue(s)
+			return
+		}
+		batch := make([]*call, 1, rt.opts.CoalesceRows)
+		batch[0] = first
+		timer.Reset(rt.opts.CoalesceWait)
+		sent, expired := false, false
+		for !sent && !expired && len(batch) < rt.opts.CoalesceRows {
+			select {
+			case s.batches <- batch:
+				sent = true
+			case c := <-s.queue:
+				batch = append(batch, c)
+			case <-timer.C:
+				expired = true
+			case <-rt.stop:
+				for _, c := range batch {
+					rt.shedCall(c, ShedShutdown)
+				}
+				rt.drainQueue(s)
+				return
+			}
+		}
+		if !timer.Stop() && !expired {
+			<-timer.C
+		}
+		if !sent {
+			// Full or past the linger bound: block until a slot frees.
+			select {
+			case s.batches <- batch:
+			case <-rt.stop:
+				for _, c := range batch {
+					rt.shedCall(c, ShedShutdown)
+				}
+				rt.drainQueue(s)
+				return
+			}
+		}
+	}
+}
+
+// drainQueue sheds everything still queued on a closing shard. Safe to
+// run to empty: Close flips stopped before closing the stop channel, so
+// no new calls can enter the queue afterwards.
+func (rt *Router) drainQueue(s *shard) {
+	for {
+		select {
+		case c := <-s.queue:
+			rt.shedCall(c, ShedShutdown)
+		default:
+			return
+		}
+	}
+}
+
+// dispatch is one in-flight slot for a shard: it owns one connection and
+// drains coalesced batches onto it. A failed round-trip marks the
+// replica unhealthy and reroutes the batch through the ring; rows past
+// their queue deadline shed before any bytes move.
+func (rt *Router) dispatch(s *shard) {
+	defer rt.wg.Done()
+	var cl *serve.Client
+	defer func() {
+		if cl != nil {
+			cl.Close()
+		}
+	}()
+	var rows []serve.Request
+	for batch := range s.batches {
+		// Admission deadline: a row that waited past QueueDeadline is
+		// answered by the fallback now — a late DVFS decision is worse
+		// than a safe analytical one.
+		live := batch[:0]
+		if dl := rt.opts.QueueDeadline; dl > 0 {
+			now := time.Now()
+			for _, c := range batch {
+				if now.Sub(c.enq) > dl {
+					rt.shedCall(c, ShedDeadline)
+				} else {
+					live = append(live, c)
+				}
+			}
+		} else {
+			live = batch
+		}
+		if len(live) == 0 {
+			continue
+		}
+
+		if cl == nil {
+			c, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
+			if err != nil {
+				rt.replicaFailed(s, live, err)
+				continue
+			}
+			cl = c
+		}
+		rows = rows[:0]
+		for _, c := range live {
+			rows = append(rows, c.req)
+		}
+		start := time.Now()
+		decs, err := cl.DecideKeyed(rows)
+		if err != nil {
+			cl.Close()
+			cl = nil
+			rt.replicaFailed(s, live, err)
+			continue
+		}
+		rt.metrics.ObserveDispatch(s.idx, len(live), time.Since(start))
+		for i, c := range live {
+			c.dec = decs[i]
+			c.dec.Shard = s.idx
+			c.dec.Rerouted = c.hops > 0
+			close(c.done)
+		}
+	}
+}
+
+// replicaFailed marks a shard unhealthy and reroutes its in-flight calls
+// through the ring (which now skips it). Calls out of hops shed instead.
+func (rt *Router) replicaFailed(s *shard, calls []*call, err error) {
+	rt.metrics.shards[s.idx].Errors.Add(1)
+	if rt.ring.SetHealthy(s.idx, false) {
+		rt.metrics.Down.Add(1)
+		rt.metrics.Healthy.Set(float64(rt.ring.Healthy()))
+		rt.opts.Logf("fleet: replica %s (shard %d) down: %v", s.addr, s.idx, err)
+	}
+	for _, c := range calls {
+		if c.hops >= rt.opts.MaxHops {
+			rt.shedCall(c, ShedNoReplica)
+			continue
+		}
+		c.hops++
+		rt.metrics.Rerouted.Add(1)
+		rt.submit(c)
+	}
+}
+
+// probe periodically re-dials unhealthy replicas and restores them to
+// the ring on success, moving their keys back home.
+func (rt *Router) probe() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+		}
+		for _, s := range rt.shards {
+			if rt.ring.IsHealthy(s.idx) {
+				continue
+			}
+			cl, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
+			if err != nil {
+				continue
+			}
+			cl.Close()
+			if rt.ring.SetHealthy(s.idx, true) {
+				rt.metrics.Up.Add(1)
+				rt.metrics.Healthy.Set(float64(rt.ring.Healthy()))
+				rt.opts.Logf("fleet: replica %s (shard %d) recovered", s.addr, s.idx)
+			}
+		}
+	}
+}
+
+// Close shuts the router down: no new admissions, queued rows shed to
+// the fallback, listeners and front-end connections closed, and all
+// pipeline goroutines joined.
+func (rt *Router) Close() {
+	rt.stopMu.Lock()
+	if rt.stopped {
+		rt.stopMu.Unlock()
+		return
+	}
+	rt.stopped = true
+	rt.stopMu.Unlock()
+	close(rt.stop)
+	rt.ls.Range(func(k, _ any) bool {
+		k.(net.Listener).Close()
+		return true
+	})
+	rt.conns.Range(func(k, _ any) bool {
+		k.(net.Conn).Close()
+		return true
+	})
+	rt.wg.Wait()
+}
+
+// ServeTCP accepts front-end connections on l, one goroutine per
+// connection, until the listener closes.
+func (rt *Router) ServeTCP(l net.Listener) error {
+	rt.ls.Store(l, struct{}{})
+	defer rt.ls.Delete(l)
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		go rt.ServeConn(conn)
+	}
+}
+
+// connBuffers is per-connection front-end scratch.
+type connBuffers struct {
+	frame []byte
+	rows  []serve.Request
+	out   []byte
+	decs  []serve.Decision
+}
+
+// ServeConn speaks the binary protocol to one client: v3 keyed frames
+// route per row through the ring; v2 unkeyed frames get a synthetic
+// per-connection identity so they still shard; MsgHello answers with the
+// router flag and the shard count. Mismatched peers get a structured
+// MsgError, exactly like a single daemon.
+func (rt *Router) ServeConn(conn net.Conn) {
+	rt.conns.Store(conn, struct{}{})
+	defer func() {
+		rt.conns.Delete(conn)
+		conn.Close()
+	}()
+	connID := int32(rt.connSeq.Add(1) % (1 << 30))
+	br := bufio.NewReaderSize(conn, 64<<10)
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	bufs := &connBuffers{}
+	for {
+		frame, err := serve.ReadFrame(br, bufs.frame)
+		if err != nil {
+			return
+		}
+		bufs.frame = frame[:cap(frame)]
+		if !rt.serveFrame(bw, bufs, connID, frame) {
+			return
+		}
+	}
+}
+
+// serveFrame answers one front-end frame, reporting whether the
+// connection is still usable.
+func (rt *Router) serveFrame(bw *bufio.Writer, bufs *connBuffers, connID int32, frame []byte) bool {
+	_, msgType, err := serve.ParseHeader(frame)
+	if err != nil {
+		rt.writeError(bw, err)
+		return false
+	}
+	switch msgType {
+	case serve.MsgHello:
+		minVer, maxVer, err := serve.DecodeHelloFrame(frame)
+		if err != nil {
+			rt.writeError(bw, err)
+			return false
+		}
+		if int(minVer) > serve.VersionMax || int(maxVer) < serve.VersionMin {
+			rt.writeError(bw, &serve.ProtoError{Code: serve.ErrCodeVersion,
+				Msg: fmt.Sprintf("no common version: client %d..%d, router %d..%d",
+					minVer, maxVer, serve.VersionMin, serve.VersionMax)})
+			return false
+		}
+		ver := serve.VersionMax
+		if int(maxVer) < ver {
+			ver = int(maxVer)
+		}
+		bufs.out = serve.AppendHelloAckFrame(bufs.out[:0],
+			serve.Hello{Version: ver, Router: true, Shards: len(rt.shards)})
+		return serve.WriteFrame(bw, bufs.out) == nil && bw.Flush() == nil
+
+	case serve.MsgDecide, serve.MsgDecideKeyed:
+		keyed := msgType == serve.MsgDecideKeyed
+		var rows []serve.Request
+		if keyed {
+			rows, err = serve.DecodeKeyedRequestFrame(frame, bufs.rows)
+		} else {
+			rows, err = serve.DecodeRequestFrame(frame, bufs.rows)
+		}
+		if err != nil {
+			rt.writeError(bw, &serve.ProtoError{Code: serve.ErrCodeBadFrame, Msg: err.Error()})
+			return false
+		}
+		bufs.rows = rows
+		if !keyed {
+			// v2 rows carry no identity: synthesize a stable one from the
+			// connection and row index so they shard consistently.
+			for i := range rows {
+				rows[i].GPU = connID
+				rows[i].Cluster = int32(i)
+			}
+		}
+		bufs.decs = rt.Decide(rows, bufs.decs[:0])
+		var out []byte
+		if keyed {
+			out, err = serve.AppendKeyedResponseFrame(bufs.out[:0], serve.StatusOK, bufs.decs)
+		} else {
+			out, err = serve.AppendResponseFrame(bufs.out[:0], serve.StatusOK, bufs.decs)
+		}
+		if err != nil {
+			return false
+		}
+		bufs.out = out
+		return serve.WriteFrame(bw, out) == nil && bw.Flush() == nil
+
+	default:
+		rt.writeError(bw, &serve.ProtoError{Code: serve.ErrCodeBadFrame,
+			Msg: fmt.Sprintf("unexpected message type %d", msgType)})
+		return false
+	}
+}
+
+// writeError best-effort sends a structured protocol error frame.
+func (rt *Router) writeError(bw *bufio.Writer, err error) {
+	var pe *serve.ProtoError
+	if !errors.As(err, &pe) {
+		pe = &serve.ProtoError{Code: serve.ErrCodeBadFrame, Msg: err.Error()}
+	}
+	if werr := serve.WriteFrame(bw, serve.AppendErrorFrame(nil, pe.Code, pe.Msg)); werr == nil {
+		bw.Flush()
+	}
+}
+
+// Handler returns the router's HTTP surface:
+//
+//	GET /metrics       fleet counters as a telemetry JSON snapshot
+//	GET /metrics.prom  the same in Prometheus text exposition 0.0.4
+//	GET /healthz       per-replica health (503 when no replica is healthy)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		rt.Telemetry().WriteJSON(w)
+	})
+	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		rt.Telemetry().WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		type replica struct {
+			Shard   int    `json:"shard"`
+			Addr    string `json:"addr"`
+			Healthy bool   `json:"healthy"`
+		}
+		reps := make([]replica, len(rt.shards))
+		for i, s := range rt.shards {
+			reps[i] = replica{Shard: i, Addr: s.addr, Healthy: rt.ring.IsHealthy(i)}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if rt.ring.Healthy() == 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		json.NewEncoder(w).Encode(struct {
+			Healthy  int       `json:"healthy_replicas"`
+			Replicas []replica `json:"replicas"`
+		}{rt.ring.Healthy(), reps})
+	})
+	return mux
+}

@@ -1,0 +1,430 @@
+package fleet
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/nn"
+	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/serve"
+)
+
+// testModel builds a small untrained (but deterministic) model — routing
+// correctness is about sharding and transport, not accuracy.
+func testModel(tb testing.TB, seed int64) *core.Model {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dec, err := nn.NewMLP([]int{6, 16, 6}, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cal, err := nn.NewMLP([]int{7, 16, 1}, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	identity := func(n int) *counters.Scaler {
+		s := &counters.Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+		for i := range s.Std {
+			s.Std[i] = 1
+		}
+		return s
+	}
+	return &core.Model{
+		FeatureIdx:     counters.SelectedFive(),
+		Levels:         6,
+		Decision:       dec,
+		Calibrator:     cal,
+		DecisionScaler: identity(6),
+		CalibScaler:    identity(7),
+		TargetScale:    1000,
+		PresetSamples:  1,
+	}
+}
+
+func featureRow(rng *rand.Rand) []float64 {
+	row := make([]float64, counters.Num)
+	for j := range row {
+		row[j] = rng.Float64() * 2
+	}
+	return row
+}
+
+// startReplica runs one in-process ssmdvfsd-equivalent on loopback.
+func startReplica(tb testing.TB, seed int64, opts serve.Options) (addr string, srv *serve.Server) {
+	tb.Helper()
+	if opts.Workers == 0 {
+		opts.Workers = 2
+	}
+	srv, err := serve.NewServer(testModel(tb, seed), opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	go srv.ServeTCP(l)
+	tb.Cleanup(srv.Close)
+	return l.Addr().String(), srv
+}
+
+func startFleet(tb testing.TB, n int, opts Options) (*Router, []*serve.Server) {
+	tb.Helper()
+	srvs := make([]*serve.Server, n)
+	for i := range srvs {
+		var addr string
+		addr, srvs[i] = startReplica(tb, int64(100+i), serve.Options{})
+		opts.Replicas = append(opts.Replicas, addr)
+	}
+	rt, err := NewRouter(opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(rt.Close)
+	return rt, srvs
+}
+
+// TestRouterRoutesByKey checks the whole tier end to end over the wire:
+// negotiation reports a router, every keyed row is answered by the model
+// on the shard the ring owns its key to, and v2 clients work unchanged.
+func TestRouterRoutesByKey(t *testing.T) {
+	rt, _ := startFleet(t, 3, Options{Seed: 42})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rt.ServeTCP(l)
+
+	cl, err := serve.Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	hello, err := cl.Negotiate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hello.Router || hello.Shards != 3 || hello.Version != serve.VersionMax {
+		t.Fatalf("negotiation = %+v, want router with 3 shards at v%d", hello, serve.VersionMax)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]serve.Request, 32)
+	for i := range rows {
+		rows[i] = serve.Request{
+			Preset: 0.1, Features: featureRow(rng),
+			GPU: int32(i / 4), Cluster: int32(i % 24),
+		}
+	}
+	decs, err := cl.DecideKeyed(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decs) != len(rows) {
+		t.Fatalf("%d decisions for %d rows", len(decs), len(rows))
+	}
+	for i, d := range decs {
+		if d.Reason != provenance.ReasonModel {
+			t.Fatalf("row %d answered by %v, want model", i, d.Reason)
+		}
+		want, ok := rt.Ring().Lookup(Key(42, rows[i].GPU, rows[i].Cluster))
+		if !ok || d.Shard != want {
+			t.Fatalf("row %d answered by shard %d, ring owns it to %d", i, d.Shard, want)
+		}
+		if d.Rerouted {
+			t.Fatalf("row %d marked rerouted on a healthy fleet", i)
+		}
+	}
+
+	// The same connection still speaks v2; identity is synthesized
+	// router-side so the rows shard and the response drops shard info.
+	v2, err := cl.Decide(rows[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range v2 {
+		if d.Reason != provenance.ReasonModel || d.Shard != -1 {
+			t.Fatalf("v2 row %d = %+v", i, d)
+		}
+	}
+	if got := rt.Metrics().Rows.Load(); got != int64(len(rows)+4) {
+		t.Fatalf("fleet_rows_total = %d, want %d", got, len(rows)+4)
+	}
+}
+
+// TestRouterCoalesces floods the router from many goroutines and checks
+// rows actually share frames: far fewer dispatched batches than rows.
+func TestRouterCoalesces(t *testing.T) {
+	rt, _ := startFleet(t, 1, Options{
+		CoalesceWait: 2 * time.Millisecond,
+		CoalesceRows: 64,
+		// One slot in flight so batches queue up behind the wire and
+		// coalescing has time to fill frames.
+		MaxInFlight:   1,
+		QueueDeadline: time.Second,
+	})
+	const workers, perWorker = 8, 40
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			row := serve.Request{Preset: 0.1, Features: featureRow(rng), GPU: int32(w), Cluster: 0}
+			for i := 0; i < perWorker; i++ {
+				decs := rt.Decide([]serve.Request{row}, nil)
+				if len(decs) != 1 {
+					t.Errorf("worker %d: %d decisions", w, len(decs))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := rt.Telemetry().Snapshot()
+	h, ok := snap.Histograms["fleet_batch_rows"]
+	if !ok {
+		t.Fatal("fleet_batch_rows histogram missing")
+	}
+	rows := workers * perWorker
+	if h.Sum != int64(rows) {
+		t.Fatalf("dispatched %d rows, want %d", h.Sum, rows)
+	}
+	if h.Count >= int64(rows) {
+		t.Fatalf("%d batches for %d rows: nothing coalesced", h.Count, rows)
+	}
+}
+
+// TestRouterChaosReplicaDeath is the chaos drill: a replica dies mid-load
+// and every request must still complete with a decision — rerouted to a
+// surviving replica or shed to the fallback, never errored.
+func TestRouterChaosReplicaDeath(t *testing.T) {
+	rt, srvs := startFleet(t, 3, Options{
+		Seed:          9,
+		CoalesceWait:  100 * time.Microsecond,
+		QueueDeadline: time.Second,
+		ProbeInterval: time.Hour, // keep the dead replica dead
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rt.ServeTCP(l)
+
+	const workers, perWorker = 6, 60
+	var answered, degraded atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := serve.Dial(l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				rows := []serve.Request{{
+					Preset: 0.1, Features: featureRow(rng),
+					GPU: int32(w*perWorker + i), Cluster: int32(i % 24),
+				}}
+				decs, err := cl.DecideKeyed(rows)
+				if err != nil {
+					t.Errorf("worker %d request %d: %v", w, i, err)
+					return
+				}
+				answered.Add(1)
+				if decs[0].Rerouted || decs[0].Reason == provenance.ReasonShed {
+					degraded.Add(1)
+				}
+				if w == 0 && i == perWorker/3 {
+					srvs[1].Close() // kill a replica mid-load
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := answered.Load(); got != workers*perWorker {
+		t.Fatalf("answered %d of %d requests", got, workers*perWorker)
+	}
+	if rt.Metrics().Down.Load() == 0 {
+		t.Fatal("replica death never detected")
+	}
+	if rt.Ring().Healthy() != 2 {
+		t.Fatalf("healthy = %d after one death, want 2", rt.Ring().Healthy())
+	}
+	// Degradation is load-timing dependent, but the dead replica owned
+	// ~1/3 of keys: something must have been rerouted or shed.
+	if degraded.Load() == 0 && rt.Metrics().Rerouted.Load() == 0 && rt.Metrics().ShedTotal() == 0 {
+		t.Fatal("a replica died under load yet nothing rerouted or shed")
+	}
+}
+
+// TestRouterRecovery kills a replica, waits for the prober to mark it
+// down, restarts it on the same address, and checks keys move home.
+func TestRouterRecovery(t *testing.T) {
+	addr, srv := startReplica(t, 1, serve.Options{})
+	rt, err := NewRouter(Options{
+		Replicas:      []string{addr},
+		ProbeInterval: 5 * time.Millisecond,
+		QueueDeadline: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(2))
+	row := serve.Request{Preset: 0.1, Features: featureRow(rng), GPU: 1, Cluster: 1}
+	if decs := rt.Decide([]serve.Request{row}, nil); decs[0].Reason != provenance.ReasonModel {
+		t.Fatalf("healthy fleet answered %v", decs[0].Reason)
+	}
+
+	srv.Close()
+	// Drive until the death is noticed; these shed (no replica left).
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Ring().Healthy() != 0 {
+		rt.Decide([]serve.Request{row}, nil)
+		if time.Now().After(deadline) {
+			t.Fatal("replica death never detected")
+		}
+	}
+	if decs := rt.Decide([]serve.Request{row}, nil); decs[0].Reason != provenance.ReasonShed || decs[0].Shard != -1 {
+		t.Fatalf("decision with no replicas = %+v, want shed", decs[0])
+	}
+
+	// Resurrect on the same address; the prober must restore the shard.
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Skipf("cannot rebind %s: %v", addr, err)
+	}
+	srv2, err := serve.NewServer(testModel(t, 1), serve.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.ServeTCP(l)
+	defer srv2.Close()
+
+	for deadline := time.Now().Add(5 * time.Second); rt.Ring().Healthy() == 0; {
+		if time.Now().After(deadline) {
+			t.Fatal("replica recovery never detected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rt.Metrics().Up.Load() == 0 {
+		t.Fatal("fleet_replica_up_total not incremented")
+	}
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if decs := rt.Decide([]serve.Request{row}, nil); decs[0].Reason == provenance.ReasonModel {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("model path never came back after recovery")
+		}
+	}
+}
+
+// TestRouterShedsUnderOverload arms a latency fault on the only replica
+// and floods the router with a tiny queue: admission control must shed
+// (fallback answers) instead of queueing past the deadline.
+func TestRouterShedsUnderOverload(t *testing.T) {
+	inj := faults.New(1)
+	if err := inj.Arm(serve.FaultDecide, faults.Spec{Kind: faults.KindLatency, Latency: 20 * time.Millisecond, Every: 1}); err != nil {
+		t.Fatal(err)
+	}
+	addr, _ := startReplica(t, 5, serve.Options{Faults: inj})
+	rt, err := NewRouter(Options{
+		Replicas:      []string{addr},
+		CoalesceWait:  50 * time.Microsecond,
+		CoalesceRows:  4,
+		MaxInFlight:   1,
+		QueueLen:      4,
+		QueueDeadline: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const workers, perWorker = 8, 10
+	var wg sync.WaitGroup
+	var sheds atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perWorker; i++ {
+				row := serve.Request{Preset: 0.1, Features: featureRow(rng), GPU: int32(w), Cluster: int32(i)}
+				decs := rt.Decide([]serve.Request{row}, nil)
+				if len(decs) != 1 {
+					t.Errorf("worker %d: %d decisions", w, len(decs))
+					return
+				}
+				if decs[0].Reason == provenance.ReasonShed {
+					sheds.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if sheds.Load() == 0 || rt.Metrics().ShedTotal() == 0 {
+		t.Fatalf("no sheds under a 20 ms-per-batch replica with a 2 ms deadline (counter=%d)", rt.Metrics().ShedTotal())
+	}
+}
+
+// benchFleet measures router round-trip throughput with a given coalesce
+// ceiling; coalesceRows == 1 is the single-row-framing baseline.
+func benchFleet(b *testing.B, coalesceRows int) {
+	addr, _ := startReplica(b, 7, serve.Options{Workers: 4})
+	rt, err := NewRouter(Options{
+		Replicas:      []string{addr},
+		CoalesceWait:  200 * time.Microsecond,
+		CoalesceRows:  coalesceRows,
+		MaxInFlight:   2,
+		QueueLen:      4096,
+		QueueDeadline: time.Second,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+
+	rng := rand.New(rand.NewSource(7))
+	feats := featureRow(rng)
+	var seq atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := int32(seq.Add(1))
+		row := serve.Request{Preset: 0.1, Features: feats, GPU: id, Cluster: 0}
+		var decs []serve.Decision
+		for pb.Next() {
+			decs = rt.Decide([]serve.Request{row}, decs[:0])
+			if decs[0].Reason == provenance.ReasonShed {
+				b.Error("shed under benchmark load")
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkFleet_CoalescedThroughput vs _SingleRow quantifies the win of
+// multi-row v3 frames: same router, same replica, the only difference is
+// whether concurrent rows share frames.
+func BenchmarkFleet_CoalescedThroughput(b *testing.B) { benchFleet(b, 64) }
+
+func BenchmarkFleet_SingleRowThroughput(b *testing.B) { benchFleet(b, 1) }

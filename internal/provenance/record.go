@@ -52,13 +52,23 @@ const (
 	// ReasonHold is a controller that held the cluster's current
 	// operating point because the model failed and no fallback is set.
 	ReasonHold
+	// ReasonShed is a fleet router shedding the row under admission
+	// control (queue full, queue deadline passed, or no healthy replica)
+	// and answering it with the analytical fallback instead of queuing
+	// past the decision deadline.
+	ReasonShed
+	// ReasonRerouted marks a row the fleet router re-submitted to a
+	// different replica after its home shard failed mid-request; the row
+	// was still answered (by the new replica's path, or shed).
+	ReasonRerouted
 
 	// NumReasons bounds the enum for fixed-size per-reason tables.
-	NumReasons = int(ReasonHold) + 1
+	NumReasons = int(ReasonRerouted) + 1
 )
 
 var reasonNames = [NumReasons]string{
 	"model", "fallback", "rejected", "panic", "deadline", "fallback-only", "hold",
+	"shed", "rerouted",
 }
 
 func (r Reason) String() string {

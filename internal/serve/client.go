@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -193,7 +194,45 @@ func (c *Client) Decide(rows []Request) ([]Decision, error) {
 		return nil, err
 	}
 	c.req = req
+	return c.exchange(req, false)
+}
 
+// DecideKeyed sends one keyed batch over the v3 protocol — every row
+// carries its (gpu, cluster) identity, and every returned decision says
+// which fleet shard answered it and whether it was rerouted. Against a
+// plain daemon the decisions come back with Shard == -1.
+func (c *Client) DecideKeyed(rows []Request) ([]Decision, error) {
+	req, err := AppendKeyedRequestFrame(c.req[:0], rows)
+	if err != nil {
+		return nil, err
+	}
+	c.req = req
+	return c.exchange(req, true)
+}
+
+// Negotiate performs the v3 hello/ack exchange and returns the server's
+// answer: the agreed protocol version, whether the peer is a fleet
+// router, and its shard count. A server outside the client's version
+// range answers with a structured *ProtoError instead of dropping the
+// connection.
+func (c *Client) Negotiate() (Hello, error) {
+	if err := writeFrame(c.bw, AppendHelloFrame(nil, VersionMin, VersionMax)); err != nil {
+		return Hello{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return Hello{}, err
+	}
+	frame, err := readFrame(c.br, c.frame)
+	if err != nil {
+		return Hello{}, err
+	}
+	c.frame = frame[:cap(frame)]
+	return DecodeHelloAckFrame(frame)
+}
+
+// exchange runs the request/response retry loop shared by Decide and
+// DecideKeyed.
+func (c *Client) exchange(req []byte, keyed bool) ([]Decision, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -208,9 +247,15 @@ func (c *Client) Decide(rows []Request) ([]Decision, error) {
 				continue
 			}
 		}
-		decs, err := c.roundTrip(req)
+		decs, err := c.roundTrip(req, keyed)
 		if err == nil {
 			return decs, nil
+		}
+		var pe *ProtoError
+		if errors.As(err, &pe) {
+			// A structured refusal is authoritative — the server will say
+			// the same thing again; do not burn retries on it.
+			return nil, err
 		}
 		lastErr = err
 		// The stream can no longer be trusted (half-written frame,
@@ -220,7 +265,7 @@ func (c *Client) Decide(rows []Request) ([]Decision, error) {
 	return nil, lastErr
 }
 
-func (c *Client) roundTrip(req []byte) ([]Decision, error) {
+func (c *Client) roundTrip(req []byte, keyed bool) ([]Decision, error) {
 	if err := c.opts.Faults.Inject(FaultClientIO); err != nil {
 		return nil, err
 	}
@@ -235,7 +280,12 @@ func (c *Client) roundTrip(req []byte) ([]Decision, error) {
 		return nil, err
 	}
 	c.frame = frame[:cap(frame)]
-	decs, err := DecodeResponseFrame(frame, c.decs)
+	var decs []Decision
+	if keyed {
+		decs, err = DecodeKeyedResponseFrame(frame, c.decs)
+	} else {
+		decs, err = DecodeResponseFrame(frame, c.decs)
+	}
 	if err != nil {
 		return nil, err
 	}

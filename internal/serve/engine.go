@@ -1,0 +1,439 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssmdvfs/internal/baselines"
+	"ssmdvfs/internal/buildinfo"
+	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/quant"
+	"ssmdvfs/internal/telemetry"
+)
+
+// Options configures an Engine (and the Server wrapping it).
+type Options struct {
+	// ModelPath, when set, is the file Reload re-reads on SIGHUP or
+	// POST /reload without an explicit path.
+	ModelPath string
+	// QuantBits, when non-zero, fake-quantizes every loaded model to the
+	// given symmetric bit width (the INT-MAC deployment configuration).
+	QuantBits int
+	// Workers bounds concurrent inference batches across all transports;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// Logf receives progress messages; nil silences them.
+	Logf func(format string, args ...any)
+	// Table is the operating-point table the analytical fallback decides
+	// over; nil means the TitanX table used throughout the project.
+	Table *clockdomain.Table
+	// Budget, when positive, bounds how long one batch may spend in the
+	// model before the remaining rows degrade to the analytical fallback
+	// (a deadline miss). Zero disables the budget.
+	Budget time.Duration
+	// Faults optionally injects deterministic faults at the Fault* sites.
+	// Nil (the default) keeps the hot path allocation-free and fault-free.
+	Faults *faults.Injector
+	// Health tunes the degradation state machine.
+	Health HealthOptions
+}
+
+// Engine is the transport-agnostic decision core: a hot-swappable model,
+// the bounded worker pool, the degradation state machine, the analytical
+// fallback, metrics, and optional decision provenance. Every transport —
+// the v2 single-client frames, the v3 keyed batch frames a fleet router
+// coalesces, and HTTP — feeds the same Engine, so single-row and batched
+// traffic share one set of guarantees: DecideBatch never returns fewer
+// decisions than rows and never panics.
+type Engine struct {
+	opts    Options
+	model   atomic.Pointer[core.Model]
+	metrics *Metrics
+	sem     chan struct{}
+	table   *clockdomain.Table
+	health  *health
+	faults  *faults.Injector
+
+	// prov/mon, when EnableProvenance installed them, receive one record
+	// per decision; both are nil-safe and nil by default, keeping the hot
+	// path free of provenance work. recPool holds *provenance.Record
+	// scratch so recording does not allocate per batch.
+	prov    *provenance.Recorder
+	mon     *provenance.Monitor
+	recPool sync.Pool // *provenance.Record
+
+	infPool sync.Pool // *core.Inference
+
+	mu sync.Mutex // serializes Reload
+}
+
+// NewEngine builds a decision engine around an initial model.
+func NewEngine(m *core.Model, opts Options) (*Engine, error) {
+	if m == nil {
+		return nil, fmt.Errorf("serve: nil model")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.Table == nil {
+		opts.Table = clockdomain.TitanX()
+	}
+	e := &Engine{
+		opts:    opts,
+		metrics: newMetrics(telemetry.NewRegistry()),
+		sem:     make(chan struct{}, opts.Workers),
+		table:   opts.Table,
+		health:  newHealth(opts.Health),
+		faults:  opts.Faults,
+	}
+	e.model.Store(m)
+	e.infPool.New = func() any { return core.NewInference(m) }
+	e.recPool.New = func() any { return new(provenance.Record) }
+	return e, nil
+}
+
+// EnableProvenance installs a decision flight recorder of the given
+// capacity (<= 0 means provenance.DefaultCapacity) and an online
+// model-quality monitor registered on the engine's telemetry registry,
+// seeded with the served model's training statistics. Must be called
+// before the engine starts answering decisions.
+func (e *Engine) EnableProvenance(capacity int, opts provenance.MonitorOptions) {
+	if capacity <= 0 {
+		capacity = provenance.DefaultCapacity
+	}
+	e.prov = provenance.NewRecorder(capacity)
+	e.mon = provenance.NewMonitor(e.Telemetry(), opts)
+	names, mean, std := e.Model().TrainingStats()
+	e.mon.SetTrainingStats(names, mean, std)
+}
+
+// FlightRecorder returns the decision flight recorder, or nil when
+// provenance is not enabled.
+func (e *Engine) FlightRecorder() *provenance.Recorder { return e.prov }
+
+// QualityMonitor returns the model-quality monitor, or nil when
+// provenance is not enabled.
+func (e *Engine) QualityMonitor() *provenance.Monitor { return e.mon }
+
+// LoadModel reads a model file and, if quantBits > 0, fake-quantizes it —
+// the loader behind both daemon startup and hot reload, accepting the
+// plain and compressed artifacts interchangeably (they share one format).
+// It validates the result (shapes and finite weights), so a corrupt or
+// truncated artifact is rejected here instead of poisoning the serving
+// path.
+func LoadModel(path string, quantBits int) (*core.Model, error) {
+	m, err := core.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if quantBits > 0 {
+		if m, err = quant.QuantizeModel(m, quantBits); err != nil {
+			return nil, err
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: model %s failed validation: %w", path, err)
+	}
+	return m, nil
+}
+
+// ReloadError is the structured error Reload returns when a new model
+// cannot be swapped in; Stage says how far the reload got ("config",
+// "load", "validate", "swap"). The previously served model always stays
+// active.
+type ReloadError struct {
+	Path  string
+	Stage string
+	Err   error
+}
+
+func (e *ReloadError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("serve: reload failed at %s: %v", e.Stage, e.Err)
+	}
+	return fmt.Sprintf("serve: reload of %s failed at %s: %v", e.Path, e.Stage, e.Err)
+}
+
+func (e *ReloadError) Unwrap() error { return e.Err }
+
+// Model returns the currently served model.
+func (e *Engine) Model() *core.Model { return e.model.Load() }
+
+// Metrics exposes the engine's counters.
+func (e *Engine) Metrics() *Metrics { return e.metrics }
+
+// Telemetry exposes the registry hosting the engine's metrics, for the
+// Prometheus exposition and for daemons that add their own series.
+func (e *Engine) Telemetry() *telemetry.Registry { return e.metrics.Registry() }
+
+// Health returns the engine's current degradation state.
+func (e *Engine) Health() HealthState { return e.health.State() }
+
+// Swap atomically replaces the served model after validating it. A model
+// that fails validation is rejected and the current model keeps serving.
+// In-flight batches finish on the model they started with; new batches
+// see the new one immediately.
+func (e *Engine) Swap(m *core.Model) error {
+	if m == nil {
+		return fmt.Errorf("serve: nil model")
+	}
+	if m.Levels > maxLevels {
+		return fmt.Errorf("serve: model has %d levels, metrics support %d", m.Levels, maxLevels)
+	}
+	if err := e.faults.Inject(FaultSwap); err != nil {
+		return err
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	e.model.Store(m)
+	e.metrics.Reloads.Add(1)
+	if e.mon != nil {
+		// The drift reference follows the served model: the monitor's
+		// windows reset so the new model is not judged against the old
+		// model's training distribution.
+		names, mean, std := m.TrainingStats()
+		e.mon.SetTrainingStats(names, mean, std)
+	}
+	return nil
+}
+
+// Reload loads path (or the configured ModelPath when path is empty) and
+// swaps it in. Concurrent reloads are serialized; decisions never block.
+// Any failure — unreadable file, corrupt or truncated artifact, bad
+// shapes, non-finite weights — returns a *ReloadError and keeps the old
+// model serving.
+func (e *Engine) Reload(path string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if path == "" {
+		path = e.opts.ModelPath
+	}
+	if path == "" {
+		return &ReloadError{Stage: "config", Err: errors.New("no model path configured")}
+	}
+	if err := e.faults.Inject(FaultReload); err != nil {
+		e.metrics.Errors.Add(1)
+		return &ReloadError{Path: path, Stage: "load", Err: err}
+	}
+	m, err := LoadModel(path, e.opts.QuantBits)
+	if err != nil {
+		e.metrics.Errors.Add(1)
+		return &ReloadError{Path: path, Stage: "load", Err: err}
+	}
+	if e.faults.Corrupt(FaultReload) {
+		// Corruption fault: poison the candidate model so the swap-time
+		// validation must reject it — the served model is never touched.
+		m.Decision.Layers[0].W[0] = math.NaN()
+	}
+	if err := e.Swap(m); err != nil {
+		e.metrics.Errors.Add(1)
+		return &ReloadError{Path: path, Stage: "swap", Err: err}
+	}
+	e.opts.Logf("serve: reloaded model from %s (%d params, %d FLOPs)", path, m.Params(), m.FLOPs())
+	return nil
+}
+
+// maxFeature and maxPreset bound what the row validators accept: counter
+// values are per-10µs-epoch counts and watt-scale powers, presets are
+// performance-loss fractions — anything beyond these magnitudes (or
+// non-finite) is garbage that must not reach the model.
+const (
+	maxFeature = 1e15
+	maxPreset  = 1e3
+)
+
+// finiteInRange rejects NaN (v != v) and values outside ±limit (which
+// also catches ±Inf) with plain comparisons — no allocation, no math
+// calls, cheap enough for the per-row hot path.
+func finiteInRange(v, limit float64) bool {
+	return v == v && v >= -limit && v <= limit
+}
+
+// validRow reports whether every feature and the preset are finite and
+// within range. Invalid rows are rejected at the transport boundary and
+// answered by the analytical fallback instead of the model.
+func validRow(row Request) bool {
+	if !finiteInRange(row.Preset, maxPreset) {
+		return false
+	}
+	for _, f := range row.Features {
+		if !finiteInRange(f, maxFeature) {
+			return false
+		}
+	}
+	return true
+}
+
+// fallbackRow answers one row from the PCSTALL analytical baseline — the
+// guaranteed decision when the model cannot or must not be trusted.
+// reason records why the model did not answer.
+func (e *Engine) fallbackRow(row Request, reason provenance.Reason) Decision {
+	level, pred := baselines.FallbackDecision(e.table, row.Features, row.Preset)
+	e.metrics.Fallbacks.Add(1)
+	e.metrics.ObserveLevel(level)
+	return Decision{Level: level, Reason: reason, PredInstr: pred, Shard: -1}
+}
+
+// observe fills the scratch provenance record for one answered row and
+// hands it to the recorder and monitor. rec is nil when provenance is
+// disabled; derived and logits are non-nil only on the model path (they
+// alias inference scratch and are copied into the record here).
+func (e *Engine) observe(rec *provenance.Record, row Request, d Decision, derived, logits []float64, start time.Time) {
+	if rec == nil {
+		return
+	}
+	// v3 keyed rows carry the requesting cluster; v2 rows decode with -1
+	// (not applicable). The serving transports carry no epoch identity.
+	rec.Cluster = row.Cluster
+	rec.Epoch = -1
+	rec.Level = int32(d.Level)
+	rec.Reason = d.Reason
+	rec.Preset = row.Preset
+	rec.EffPreset = row.Preset
+	rec.PredInstr = d.PredInstr
+	rec.PredErr, rec.HasPredErr = 0, false
+	rec.LatencyNs = int64(time.Since(start))
+	rec.SetRaw(row.Features)
+	rec.SetDerived(derived)
+	rec.SetLogits(logits)
+	e.prov.Record(rec)
+	e.mon.ObserveRecord(rec)
+}
+
+// DecideBatch answers every row, appending one Decision per row to decs —
+// the exported entry point transports and in-process embedders share.
+func (e *Engine) DecideBatch(rows []Request, decs []Decision) []Decision {
+	return e.decideBatch(rows, decs)
+}
+
+// decideBatch answers every row, appending one Decision per row to decs.
+// It acquires a worker-pool slot, so at most Options.Workers batches run
+// at once regardless of connection count. The contract is the degradation
+// guarantee: decideBatch never returns fewer decisions than rows and
+// never panics — rows the model cannot answer (invalid features,
+// recovered panic, blown deadline budget, fallback-only health state)
+// degrade to the analytical fallback instead.
+func (e *Engine) decideBatch(rows []Request, decs []Decision) []Decision {
+	e.sem <- struct{}{}
+	defer func() { <-e.sem }()
+
+	var rec *provenance.Record
+	if e.prov != nil || e.mon != nil {
+		rec = e.recPool.Get().(*provenance.Record)
+		defer e.recPool.Put(rec)
+	}
+
+	start := time.Now()
+	done := 0
+	// tailReason labels the rows the model never reached: the health state
+	// machine bypassing it entirely, or the failure modelRows reports.
+	tailReason := provenance.ReasonFallbackOnly
+	if e.health.useModel() {
+		var failed bool
+		decs, done, tailReason, failed = e.modelRows(rows, decs, start, rec)
+		if failed {
+			e.health.recordFailure()
+		} else {
+			e.health.recordSuccess()
+		}
+	}
+	for _, row := range rows[done:] {
+		d := e.fallbackRow(row, tailReason)
+		decs = append(decs, d)
+		e.observe(rec, row, d, nil, nil, start)
+	}
+	return decs
+}
+
+// modelRows runs the model over rows until it finishes, fails, or blows
+// the budget, returning how many rows were answered (model or per-row
+// fallback), the reason the unreached rows should carry, and whether the
+// model path failed. A panic anywhere in the model is recovered and
+// reported as a failure; the rows it did not reach are the caller's to
+// degrade.
+func (e *Engine) modelRows(rows []Request, decs []Decision, start time.Time, rec *provenance.Record) (out []Decision, done int, failReason provenance.Reason, failed bool) {
+	out = decs
+	failReason = provenance.ReasonFallback
+	// On panic the named returns already hold the last consistent state:
+	// out has exactly the decisions of the done rows, because append and
+	// the done update are adjacent non-panicking statements.
+	defer func() {
+		if r := recover(); r != nil {
+			e.metrics.RecoveredPanics.Add(1)
+			failReason = provenance.ReasonPanic
+			failed = true
+		}
+	}()
+	if err := e.faults.Inject(FaultDecide); err != nil {
+		return out, 0, provenance.ReasonFallback, true
+	}
+	inf := e.infPool.Get().(*core.Inference)
+	defer e.infPool.Put(inf)
+	inf.Bind(e.model.Load())
+	nFeat := inf.Model().NumFeatures()
+	budget := e.opts.Budget
+	for i, row := range rows {
+		if budget > 0 && time.Since(start) > budget {
+			e.metrics.DeadlineMisses.Add(1)
+			return out, i, provenance.ReasonDeadline, true
+		}
+		if !validRow(row) {
+			e.metrics.RejectedRows.Add(1)
+			d := e.fallbackRow(row, provenance.ReasonRejected)
+			out = append(out, d)
+			done = i + 1
+			e.observe(rec, row, d, nil, nil, start)
+			continue
+		}
+		if err := e.faults.Inject(FaultInfer); err != nil {
+			return out, i, provenance.ReasonFallback, true
+		}
+		level, pred := inf.Decide(row.Features, row.Preset)
+		e.metrics.ObserveLevel(level)
+		d := Decision{Level: level, Reason: provenance.ReasonModel, PredInstr: pred, Shard: -1}
+		out = append(out, d)
+		done = i + 1
+		e.observe(rec, row, d, inf.DecisionRow()[:nFeat], inf.Logits(), start)
+	}
+	return out, done, provenance.ReasonModel, false
+}
+
+// provHeader builds the dump header attributing recorder contents to
+// this binary and the currently served model.
+func (e *Engine) provHeader() provenance.Header {
+	m := e.Model()
+	names, mean, std := m.TrainingStats()
+	return provenance.Header{
+		Build:       buildinfo.Info(),
+		Features:    names,
+		TrainMean:   mean,
+		TrainStd:    std,
+		Levels:      m.Levels,
+		ModelParams: m.Params(),
+		Capacity:    e.prov.Cap(),
+		Head:        e.prov.Head(),
+	}
+}
+
+// DumpDecisions writes the flight recorder's current contents as a JSONL
+// dump (header + one record per line) — the format cmd/dvfsstat's
+// -decisions view reads. It returns false when provenance is disabled.
+func (e *Engine) DumpDecisions(w io.Writer) (bool, error) {
+	if e.prov == nil {
+		return false, nil
+	}
+	return true, provenance.WriteRecords(w, e.provHeader(), e.prov.Snapshot(nil))
+}

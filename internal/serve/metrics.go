@@ -34,6 +34,7 @@ type Metrics struct {
 	RecoveredPanics *telemetry.Counter // model panics caught mid-batch
 	RejectedRows    *telemetry.Counter // NaN/Inf/out-of-range rows rejected at the boundary
 	DeadlineMisses  *telemetry.Counter // batches that blew the per-decision budget
+	Unavailable     *telemetry.Counter // HTTP /decide requests refused with 503 in fallback-only
 
 	levels [maxLevels]*telemetry.Counter
 	lat    *telemetry.Histogram
@@ -53,6 +54,7 @@ func newMetrics(reg *telemetry.Registry) *Metrics {
 		RecoveredPanics: reg.Counter("serve_recovered_panics_total"),
 		RejectedRows:    reg.Counter("serve_rejected_rows_total"),
 		DeadlineMisses:  reg.Counter("serve_deadline_misses_total"),
+		Unavailable:     reg.Counter("serve_unavailable_total"),
 		lat:             reg.HistogramBuckets("serve_batch_latency_us", histBuckets),
 		reg:             reg,
 	}
@@ -110,6 +112,7 @@ type Snapshot struct {
 	RecoveredPanics int64 `json:"recovered_panics,omitempty"`
 	RejectedRows    int64 `json:"rejected_rows,omitempty"`
 	DeadlineMisses  int64 `json:"deadline_misses,omitempty"`
+	Unavailable     int64 `json:"unavailable_503,omitempty"`
 
 	// LatencyBucketsUs[i] counts batches in [2^(i-1), 2^i) µs (index 0 is
 	// < 1 µs); LatencyP50Us etc. are estimated from the histogram.
@@ -138,6 +141,7 @@ func (m *Metrics) Snapshot(levels int) Snapshot {
 		RecoveredPanics:  m.RecoveredPanics.Load(),
 		RejectedRows:     m.RejectedRows.Load(),
 		DeadlineMisses:   m.DeadlineMisses.Load(),
+		Unavailable:      m.Unavailable.Load(),
 		LatencyBucketsUs: m.lat.Buckets(),
 		LevelCounts:      make([]int64, levels),
 	}

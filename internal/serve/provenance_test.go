@@ -26,7 +26,7 @@ func TestServerProvenanceEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(70))
 	rows := make([]Request, 6)
 	for i := range rows {
-		rows[i] = Request{Preset: 0.1, Features: featureRow(rng)}
+		rows[i] = Request{Preset: 0.1, Features: featureRow(rng), GPU: -1, Cluster: -1}
 	}
 	rows[2].Features[5] = math.NaN() // rejected at the boundary
 	decs := srv.decideBatch(rows, nil)
@@ -165,7 +165,7 @@ func TestSwapRefreshesDriftReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	rows := make([]Request, 4)
 	for i := range rows {
-		rows[i] = Request{Preset: 0.1, Features: featureRow(rng)}
+		rows[i] = Request{Preset: 0.1, Features: featureRow(rng), GPU: -1, Cluster: -1}
 	}
 	srv.decideBatch(rows, nil)
 
@@ -197,7 +197,7 @@ func TestDecideBatchNoAllocsWithProvenance(t *testing.T) {
 	rng := rand.New(rand.NewSource(74))
 	rows := make([]Request, 8)
 	for i := range rows {
-		rows[i] = Request{Preset: 0.1, Features: featureRow(rng)}
+		rows[i] = Request{Preset: 0.1, Features: featureRow(rng), GPU: -1, Cluster: -1}
 	}
 	decs := make([]Decision, 0, len(rows))
 	decs = srv.decideBatch(rows, decs[:0]) // warm the pools

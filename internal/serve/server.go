@@ -6,24 +6,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
-	"runtime"
 	"strconv"
 	"sync"
-	"sync/atomic"
 	"time"
 
-	"ssmdvfs/internal/baselines"
 	"ssmdvfs/internal/buildinfo"
-	"ssmdvfs/internal/clockdomain"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
-	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/provenance"
-	"ssmdvfs/internal/quant"
-	"ssmdvfs/internal/telemetry"
 )
 
 // Canonical fault-injection site names the serving path evaluates. All
@@ -46,60 +38,18 @@ const (
 	FaultConn = "serve.conn"
 )
 
-// Options configures a Server.
-type Options struct {
-	// ModelPath, when set, is the file Reload re-reads on SIGHUP or
-	// POST /reload without an explicit path.
-	ModelPath string
-	// QuantBits, when non-zero, fake-quantizes every loaded model to the
-	// given symmetric bit width (the INT-MAC deployment configuration).
-	QuantBits int
-	// Workers bounds concurrent inference batches across all transports;
-	// 0 means GOMAXPROCS.
-	Workers int
-	// Logf receives progress messages; nil silences them.
-	Logf func(format string, args ...any)
-	// Table is the operating-point table the analytical fallback decides
-	// over; nil means the TitanX table used throughout the project.
-	Table *clockdomain.Table
-	// Budget, when positive, bounds how long one batch may spend in the
-	// model before the remaining rows degrade to the analytical fallback
-	// (a deadline miss). Zero disables the budget.
-	Budget time.Duration
-	// Faults optionally injects deterministic faults at the Fault* sites.
-	// Nil (the default) keeps the hot path allocation-free and fault-free.
-	Faults *faults.Injector
-	// Health tunes the degradation state machine.
-	Health HealthOptions
-}
-
-// Server serves DVFS decisions from a hot-swappable model. One Server
-// may simultaneously serve the binary TCP protocol (ServeConn/ServeTCP)
-// and HTTP (Handler); all transports share the model pointer, the
-// bounded worker pool, and the metrics.
+// Server is the transport layer around an Engine: it speaks the binary
+// protocol (v2 unkeyed and v3 keyed frames, with hello/ack version
+// negotiation and structured protocol errors) over TCP and JSON over
+// HTTP. One Server may serve both transports simultaneously; they share
+// the Engine's model pointer, worker pool, and metrics.
 type Server struct {
-	opts    Options
-	model   atomic.Pointer[core.Model]
-	metrics *Metrics
-	sem     chan struct{}
-	table   *clockdomain.Table
-	health  *health
-	faults  *faults.Injector
+	*Engine
 
-	// prov/mon, when EnableProvenance installed them, receive one record
-	// per decision; both are nil-safe and nil by default, keeping the hot
-	// path free of provenance work. recPool holds *provenance.Record
-	// scratch so recording does not allocate per batch.
-	prov    *provenance.Recorder
-	mon     *provenance.Monitor
-	recPool sync.Pool // *provenance.Record
-
-	infPool sync.Pool // *core.Inference
 	bufPool sync.Pool // *connBuffers
 
-	mu    sync.Mutex // serializes Reload
-	conns sync.Map   // net.Conn → struct{}, for Close
-	ls    sync.Map   // net.Listener → struct{}, for Close
+	conns sync.Map // net.Conn → struct{}, for Close
+	ls    sync.Map // net.Listener → struct{}, for Close
 }
 
 // connBuffers is the per-batch scratch a transport needs: frame bytes,
@@ -113,332 +63,28 @@ type connBuffers struct {
 
 // NewServer builds a server around an initial model.
 func NewServer(m *core.Model, opts Options) (*Server, error) {
-	if m == nil {
-		return nil, fmt.Errorf("serve: nil model")
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
-	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
-	}
-	if opts.Table == nil {
-		opts.Table = clockdomain.TitanX()
-	}
-	s := &Server{
-		opts:    opts,
-		metrics: newMetrics(telemetry.NewRegistry()),
-		sem:     make(chan struct{}, opts.Workers),
-		table:   opts.Table,
-		health:  newHealth(opts.Health),
-		faults:  opts.Faults,
-	}
-	s.model.Store(m)
-	s.infPool.New = func() any { return core.NewInference(m) }
-	s.bufPool.New = func() any { return &connBuffers{} }
-	s.recPool.New = func() any { return new(provenance.Record) }
-	return s, nil
-}
-
-// EnableProvenance installs a decision flight recorder of the given
-// capacity (<= 0 means provenance.DefaultCapacity) and an online
-// model-quality monitor registered on the server's telemetry registry,
-// seeded with the served model's training statistics. Must be called
-// before the server starts answering decisions.
-func (s *Server) EnableProvenance(capacity int, opts provenance.MonitorOptions) {
-	if capacity <= 0 {
-		capacity = provenance.DefaultCapacity
-	}
-	s.prov = provenance.NewRecorder(capacity)
-	s.mon = provenance.NewMonitor(s.Telemetry(), opts)
-	names, mean, std := s.Model().TrainingStats()
-	s.mon.SetTrainingStats(names, mean, std)
-}
-
-// FlightRecorder returns the decision flight recorder, or nil when
-// provenance is not enabled.
-func (s *Server) FlightRecorder() *provenance.Recorder { return s.prov }
-
-// QualityMonitor returns the model-quality monitor, or nil when
-// provenance is not enabled.
-func (s *Server) QualityMonitor() *provenance.Monitor { return s.mon }
-
-// LoadModel reads a model file and, if quantBits > 0, fake-quantizes it —
-// the loader behind both daemon startup and hot reload, accepting the
-// plain and compressed artifacts interchangeably (they share one format).
-// It validates the result (shapes and finite weights), so a corrupt or
-// truncated artifact is rejected here instead of poisoning the serving
-// path.
-func LoadModel(path string, quantBits int) (*core.Model, error) {
-	m, err := core.LoadFile(path)
+	e, err := NewEngine(m, opts)
 	if err != nil {
 		return nil, err
 	}
-	if quantBits > 0 {
-		if m, err = quant.QuantizeModel(m, quantBits); err != nil {
-			return nil, err
-		}
-	}
-	if err := m.Validate(); err != nil {
-		return nil, fmt.Errorf("serve: model %s failed validation: %w", path, err)
-	}
-	return m, nil
+	return NewServerEngine(e), nil
 }
 
-// ReloadError is the structured error Reload returns when a new model
-// cannot be swapped in; Stage says how far the reload got ("config",
-// "load", "validate", "swap"). The previously served model always stays
-// active.
-type ReloadError struct {
-	Path  string
-	Stage string
-	Err   error
-}
-
-func (e *ReloadError) Error() string {
-	if e.Path == "" {
-		return fmt.Sprintf("serve: reload failed at %s: %v", e.Stage, e.Err)
-	}
-	return fmt.Sprintf("serve: reload of %s failed at %s: %v", e.Path, e.Stage, e.Err)
-}
-
-func (e *ReloadError) Unwrap() error { return e.Err }
-
-// Model returns the currently served model.
-func (s *Server) Model() *core.Model { return s.model.Load() }
-
-// Metrics exposes the server's counters.
-func (s *Server) Metrics() *Metrics { return s.metrics }
-
-// Telemetry exposes the registry hosting the server's metrics, for the
-// Prometheus exposition and for daemons that add their own series.
-func (s *Server) Telemetry() *telemetry.Registry { return s.metrics.Registry() }
-
-// Swap atomically replaces the served model after validating it. A model
-// that fails validation is rejected and the current model keeps serving.
-// In-flight batches finish on the model they started with; new batches
-// see the new one immediately.
-func (s *Server) Swap(m *core.Model) error {
-	if m == nil {
-		return fmt.Errorf("serve: nil model")
-	}
-	if m.Levels > maxLevels {
-		return fmt.Errorf("serve: model has %d levels, metrics support %d", m.Levels, maxLevels)
-	}
-	if err := s.faults.Inject(FaultSwap); err != nil {
-		return err
-	}
-	if err := m.Validate(); err != nil {
-		return err
-	}
-	s.model.Store(m)
-	s.metrics.Reloads.Add(1)
-	if s.mon != nil {
-		// The drift reference follows the served model: the monitor's
-		// windows reset so the new model is not judged against the old
-		// model's training distribution.
-		names, mean, std := m.TrainingStats()
-		s.mon.SetTrainingStats(names, mean, std)
-	}
-	return nil
-}
-
-// Reload loads path (or the configured ModelPath when path is empty) and
-// swaps it in. Concurrent reloads are serialized; decisions never block.
-// Any failure — unreadable file, corrupt or truncated artifact, bad
-// shapes, non-finite weights — returns a *ReloadError and keeps the old
-// model serving.
-func (s *Server) Reload(path string) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if path == "" {
-		path = s.opts.ModelPath
-	}
-	if path == "" {
-		return &ReloadError{Stage: "config", Err: errors.New("no model path configured")}
-	}
-	if err := s.faults.Inject(FaultReload); err != nil {
-		s.metrics.Errors.Add(1)
-		return &ReloadError{Path: path, Stage: "load", Err: err}
-	}
-	m, err := LoadModel(path, s.opts.QuantBits)
-	if err != nil {
-		s.metrics.Errors.Add(1)
-		return &ReloadError{Path: path, Stage: "load", Err: err}
-	}
-	if s.faults.Corrupt(FaultReload) {
-		// Corruption fault: poison the candidate model so the swap-time
-		// validation must reject it — the served model is never touched.
-		m.Decision.Layers[0].W[0] = math.NaN()
-	}
-	if err := s.Swap(m); err != nil {
-		s.metrics.Errors.Add(1)
-		return &ReloadError{Path: path, Stage: "swap", Err: err}
-	}
-	s.opts.Logf("serve: reloaded model from %s (%d params, %d FLOPs)", path, m.Params(), m.FLOPs())
-	return nil
-}
-
-// maxFeature and maxPreset bound what the row validators accept: counter
-// values are per-10µs-epoch counts and watt-scale powers, presets are
-// performance-loss fractions — anything beyond these magnitudes (or
-// non-finite) is garbage that must not reach the model.
-const (
-	maxFeature = 1e15
-	maxPreset  = 1e3
-)
-
-// finiteInRange rejects NaN (v != v) and values outside ±limit (which
-// also catches ±Inf) with plain comparisons — no allocation, no math
-// calls, cheap enough for the per-row hot path.
-func finiteInRange(v, limit float64) bool {
-	return v == v && v >= -limit && v <= limit
-}
-
-// validRow reports whether every feature and the preset are finite and
-// within range. Invalid rows are rejected at the transport boundary and
-// answered by the analytical fallback instead of the model.
-func validRow(row Request) bool {
-	if !finiteInRange(row.Preset, maxPreset) {
-		return false
-	}
-	for _, f := range row.Features {
-		if !finiteInRange(f, maxFeature) {
-			return false
-		}
-	}
-	return true
-}
-
-// fallbackRow answers one row from the PCSTALL analytical baseline — the
-// guaranteed decision when the model cannot or must not be trusted.
-// reason records why the model did not answer.
-func (s *Server) fallbackRow(row Request, reason provenance.Reason) Decision {
-	level, pred := baselines.FallbackDecision(s.table, row.Features, row.Preset)
-	s.metrics.Fallbacks.Add(1)
-	s.metrics.ObserveLevel(level)
-	return Decision{Level: level, Reason: reason, PredInstr: pred}
-}
-
-// observe fills the scratch provenance record for one answered row and
-// hands it to the recorder and monitor. rec is nil when provenance is
-// disabled; derived and logits are non-nil only on the model path (they
-// alias inference scratch and are copied into the record here).
-func (s *Server) observe(rec *provenance.Record, row Request, d Decision, derived, logits []float64, start time.Time) {
-	if rec == nil {
-		return
-	}
-	// The serving transports carry no cluster or epoch identity; -1 marks
-	// the fields as not applicable.
-	rec.Cluster = -1
-	rec.Epoch = -1
-	rec.Level = int32(d.Level)
-	rec.Reason = d.Reason
-	rec.Preset = row.Preset
-	rec.EffPreset = row.Preset
-	rec.PredInstr = d.PredInstr
-	rec.PredErr, rec.HasPredErr = 0, false
-	rec.LatencyNs = int64(time.Since(start))
-	rec.SetRaw(row.Features)
-	rec.SetDerived(derived)
-	rec.SetLogits(logits)
-	s.prov.Record(rec)
-	s.mon.ObserveRecord(rec)
-}
-
-// decideBatch answers every row, appending one Decision per row to decs.
-// It acquires a worker-pool slot, so at most Options.Workers batches run
-// at once regardless of connection count. The contract is the degradation
-// guarantee: decideBatch never returns fewer decisions than rows and
-// never panics — rows the model cannot answer (invalid features,
-// recovered panic, blown deadline budget, fallback-only health state)
-// degrade to the analytical fallback instead.
-func (s *Server) decideBatch(rows []Request, decs []Decision) []Decision {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-
-	var rec *provenance.Record
-	if s.prov != nil || s.mon != nil {
-		rec = s.recPool.Get().(*provenance.Record)
-		defer s.recPool.Put(rec)
-	}
-
-	start := time.Now()
-	done := 0
-	// tailReason labels the rows the model never reached: the health state
-	// machine bypassing it entirely, or the failure modelRows reports.
-	tailReason := provenance.ReasonFallbackOnly
-	if s.health.useModel() {
-		var failed bool
-		decs, done, tailReason, failed = s.modelRows(rows, decs, start, rec)
-		if failed {
-			s.health.recordFailure()
-		} else {
-			s.health.recordSuccess()
-		}
-	}
-	for _, row := range rows[done:] {
-		d := s.fallbackRow(row, tailReason)
-		decs = append(decs, d)
-		s.observe(rec, row, d, nil, nil, start)
-	}
-	return decs
-}
-
-// modelRows runs the model over rows until it finishes, fails, or blows
-// the budget, returning how many rows were answered (model or per-row
-// fallback), the reason the unreached rows should carry, and whether the
-// model path failed. A panic anywhere in the model is recovered and
-// reported as a failure; the rows it did not reach are the caller's to
-// degrade.
-func (s *Server) modelRows(rows []Request, decs []Decision, start time.Time, rec *provenance.Record) (out []Decision, done int, failReason provenance.Reason, failed bool) {
-	out = decs
-	failReason = provenance.ReasonFallback
-	// On panic the named returns already hold the last consistent state:
-	// out has exactly the decisions of the done rows, because append and
-	// the done update are adjacent non-panicking statements.
-	defer func() {
-		if r := recover(); r != nil {
-			s.metrics.RecoveredPanics.Add(1)
-			failReason = provenance.ReasonPanic
-			failed = true
-		}
-	}()
-	if err := s.faults.Inject(FaultDecide); err != nil {
-		return out, 0, provenance.ReasonFallback, true
-	}
-	inf := s.infPool.Get().(*core.Inference)
-	defer s.infPool.Put(inf)
-	inf.Bind(s.model.Load())
-	nFeat := inf.Model().NumFeatures()
-	budget := s.opts.Budget
-	for i, row := range rows {
-		if budget > 0 && time.Since(start) > budget {
-			s.metrics.DeadlineMisses.Add(1)
-			return out, i, provenance.ReasonDeadline, true
-		}
-		if !validRow(row) {
-			s.metrics.RejectedRows.Add(1)
-			d := s.fallbackRow(row, provenance.ReasonRejected)
-			out = append(out, d)
-			done = i + 1
-			s.observe(rec, row, d, nil, nil, start)
-			continue
-		}
-		if err := s.faults.Inject(FaultInfer); err != nil {
-			return out, i, provenance.ReasonFallback, true
-		}
-		level, pred := inf.Decide(row.Features, row.Preset)
-		s.metrics.ObserveLevel(level)
-		d := Decision{Level: level, Reason: provenance.ReasonModel, PredInstr: pred}
-		out = append(out, d)
-		done = i + 1
-		s.observe(rec, row, d, inf.DecisionRow()[:nFeat], inf.Logits(), start)
-	}
-	return out, done, provenance.ReasonModel, false
+// NewServerEngine wraps an existing decision engine in the transport
+// layer — the constructor for embedders that built the Engine themselves.
+func NewServerEngine(e *Engine) *Server {
+	s := &Server{Engine: e}
+	s.bufPool.New = func() any { return &connBuffers{} }
+	return s
 }
 
 // ServeConn handles one binary-protocol connection until EOF or error.
+// It speaks both frame generations: v2 unkeyed decide frames (old
+// clients) and v3 keyed batch frames, answering each request in the
+// dialect it arrived in. MsgHello frames negotiate the protocol version;
+// frames with a bad magic or an unsupported version are answered with a
+// structured MsgError frame before the connection drops, so a mismatched
+// peer gets a typed refusal instead of a hung read.
 func (s *Server) ServeConn(conn net.Conn) {
 	s.metrics.Conns.Add(1)
 	s.conns.Store(conn, struct{}{})
@@ -472,34 +118,107 @@ func (s *Server) ServeConn(conn net.Conn) {
 		}
 		bufs.frame = frame[:cap(frame)]
 
+		if !s.serveFrame(bw, bufs, frame) {
+			return
+		}
+	}
+}
+
+// serveFrame answers one request frame, reporting whether the connection
+// is still usable.
+func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) bool {
+	_, msgType, err := parseHeader(frame)
+	if err != nil {
+		// Not our protocol (or a version we do not speak): refuse with a
+		// structured error so the peer does not hang on a silent close.
+		s.metrics.Errors.Add(1)
+		s.writeError(bw, err)
+		return false
+	}
+
+	switch msgType {
+	case MsgHello:
+		minVer, maxVer, err := DecodeHelloFrame(frame)
+		if err != nil {
+			s.metrics.Errors.Add(1)
+			s.writeError(bw, err)
+			return false
+		}
+		if int(minVer) > VersionMax || int(maxVer) < VersionMin {
+			s.metrics.Errors.Add(1)
+			s.writeError(bw, &ProtoError{Code: ErrCodeVersion,
+				Msg: fmt.Sprintf("no common version: client %d..%d, server %d..%d", minVer, maxVer, VersionMin, VersionMax)})
+			return false
+		}
+		ver := VersionMax
+		if int(maxVer) < ver {
+			ver = int(maxVer)
+		}
+		bufs.out = AppendHelloAckFrame(bufs.out[:0], s.helloAck(ver))
+		return writeFrame(bw, bufs.out) == nil && bw.Flush() == nil
+
+	case MsgDecide, MsgDecideKeyed:
+		keyed := msgType == MsgDecideKeyed
 		start := time.Now()
-		rows, err := DecodeRequestFrame(frame, bufs.rows)
+		var rows []Request
+		if keyed {
+			rows, err = DecodeKeyedRequestFrame(frame, bufs.rows)
+		} else {
+			rows, err = DecodeRequestFrame(frame, bufs.rows)
+		}
 		if err != nil {
 			// Protocol violation: report and drop the connection, since
 			// framing can no longer be trusted.
 			s.metrics.Errors.Add(1)
-			if out, eerr := AppendResponseFrame(bufs.out[:0], StatusError, nil); eerr == nil {
-				writeFrame(bw, out)
-				bw.Flush()
-			}
-			return
+			s.writeError(bw, &ProtoError{Code: ErrCodeBadFrame, Msg: err.Error()})
+			return false
 		}
 		bufs.rows = rows
 
 		bufs.decs = s.decideBatch(rows, bufs.decs[:0])
-		out, err := AppendResponseFrame(bufs.out[:0], StatusOK, bufs.decs)
+		var out []byte
+		if keyed {
+			out, err = AppendKeyedResponseFrame(bufs.out[:0], StatusOK, bufs.decs)
+		} else {
+			out, err = AppendResponseFrame(bufs.out[:0], StatusOK, bufs.decs)
+		}
 		if err != nil {
 			s.metrics.Errors.Add(1)
-			return
+			return false
 		}
 		bufs.out = out
 		if err := writeFrame(bw, out); err != nil {
-			return
+			return false
 		}
 		if err := bw.Flush(); err != nil {
-			return
+			return false
 		}
 		s.metrics.ObserveBatch(len(rows), time.Since(start))
+		return true
+
+	default:
+		s.metrics.Errors.Add(1)
+		s.writeError(bw, &ProtoError{Code: ErrCodeBadFrame,
+			Msg: fmt.Sprintf("unexpected message type %d", msgType)})
+		return false
+	}
+}
+
+// helloAck describes this server in version negotiation: a single-GPU
+// daemon (routers override this in their own transport).
+func (s *Server) helloAck(version int) Hello {
+	return Hello{Version: version}
+}
+
+// writeError best-effort sends a structured protocol error frame. err is
+// wrapped into an ErrCodeBadFrame ProtoError when it is not one already.
+func (s *Server) writeError(bw *bufio.Writer, err error) {
+	var pe *ProtoError
+	if !errors.As(err, &pe) {
+		pe = &ProtoError{Code: ErrCodeBadFrame, Msg: err.Error()}
+	}
+	if werr := writeFrame(bw, AppendErrorFrame(nil, pe.Code, pe.Msg)); werr == nil {
+		bw.Flush()
 	}
 }
 
@@ -548,6 +267,9 @@ type httpDecision struct {
 // Handler returns the HTTP API:
 //
 //	POST /decide   {"features":[...47],"preset":0.1} or {"rows":[...]}
+//	               (503 + Retry-After while the health state machine is
+//	               fallback-only, so fleet routers reroute instead of
+//	               accepting degraded answers)
 //	GET  /metrics  counters + latency histogram + level distribution
 //	POST /reload   {"path":"..."} (path optional; defaults to ModelPath)
 //	GET  /model    served model info
@@ -566,9 +288,6 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/decisions", s.handleDecisions)
 	return mux
 }
-
-// Health returns the server's current degradation state.
-func (s *Server) Health() HealthState { return s.health.State() }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.health.State()
@@ -605,6 +324,17 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+	if s.health.State() == FallbackOnly {
+		// The model path is down. The binary protocol keeps answering with
+		// fallback decisions (a µs-scale DVFS loop needs *an* answer), but
+		// HTTP callers are load balancers and fleet routers that can do
+		// better than a degraded answer: tell them to reroute and when to
+		// come back. Recovery probes keep running on the binary transport.
+		s.metrics.Unavailable.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "model path down (fallback-only); reroute or retry", http.StatusServiceUnavailable)
+		return
+	}
 	var body struct {
 		httpRow
 		Rows []httpRow `json:"rows"`
@@ -627,7 +357,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 			s.httpError(w, http.StatusBadRequest, "row %d has %d features, want %d", i, len(hr.Features), counters.Num)
 			return
 		}
-		rows[i] = Request{Preset: hr.Preset, Features: hr.Features}
+		rows[i] = Request{Preset: hr.Preset, Features: hr.Features, GPU: -1, Cluster: -1}
 	}
 
 	start := time.Now()
@@ -678,33 +408,6 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Params   int   `json:"params"`
 		Reloads  int64 `json:"reloads"`
 	}{true, m.Params(), s.metrics.Reloads.Load()})
-}
-
-// provHeader builds the dump header attributing recorder contents to
-// this binary and the currently served model.
-func (s *Server) provHeader() provenance.Header {
-	m := s.Model()
-	names, mean, std := m.TrainingStats()
-	return provenance.Header{
-		Build:       buildinfo.Info(),
-		Features:    names,
-		TrainMean:   mean,
-		TrainStd:    std,
-		Levels:      m.Levels,
-		ModelParams: m.Params(),
-		Capacity:    s.prov.Cap(),
-		Head:        s.prov.Head(),
-	}
-}
-
-// DumpDecisions writes the flight recorder's current contents as a JSONL
-// dump (header + one record per line) — the format cmd/dvfsstat's
-// -decisions view reads. It returns false when provenance is disabled.
-func (s *Server) DumpDecisions(w io.Writer) (bool, error) {
-	if s.prov == nil {
-		return false, nil
-	}
-	return true, provenance.WriteRecords(w, s.provHeader(), s.prov.Snapshot(nil))
 }
 
 func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {

@@ -45,15 +45,45 @@ import (
 //	uint16  row count
 //	rows    count × (uint8 level, uint8 reason, float64 predicted instructions)
 //
-// Version history: v1 response rows had no reason byte; v2 (current)
-// added it so clients can tell a model answer from a degraded one.
+// Version history: v1 response rows had no reason byte; v2 added it so
+// clients can tell a model answer from a degraded one; v3 (current)
+// added keyed multi-row frames for fleet routing — every request row
+// carries its (gpu, cluster) identity so a router can coalesce rows from
+// many clients into one frame per replica and demultiplex the answers —
+// plus an explicit hello/ack version negotiation and a structured error
+// message, so a mismatched peer gets a typed refusal instead of a hung
+// read. A v3 server answers v2 frames with v2 responses, so old clients
+// keep working unchanged.
 const (
 	Magic   = 0x53445646 // "SDVF"
-	Version = 2
+	Version = 2          // the v2 frame version byte (unkeyed rows)
 
-	// MsgDecide and MsgDecisions are the request/response message types.
+	// Version3 is the keyed-frame protocol version. VersionMin/VersionMax
+	// bound what a server accepts and what Hello negotiation can agree on.
+	Version3   = 3
+	VersionMin = 2
+	VersionMax = 3
+
+	// MsgDecide and MsgDecisions are the v2 request/response types.
 	MsgDecide    = 1
 	MsgDecisions = 2
+
+	// MsgDecideKeyed and MsgDecisionsKeyed are the v3 keyed batch
+	// request/response types (rows carry gpu/cluster identity; response
+	// rows carry the shard that answered and a rerouted flag).
+	MsgDecideKeyed    = 3
+	MsgDecisionsKeyed = 4
+
+	// MsgHello and MsgHelloAck negotiate the protocol version on connect:
+	// the client offers its [min,max] supported versions, the server
+	// answers with the highest version both sides speak plus its role
+	// (daemon or router) and shard count.
+	MsgHello    = 5
+	MsgHelloAck = 6
+
+	// MsgError is a structured protocol error: a code and a human-readable
+	// message, sent before the server drops a connection it cannot serve.
+	MsgError = 7
 
 	// MaxFrame bounds a frame payload; anything larger is rejected before
 	// allocation, so a corrupt length prefix cannot balloon memory.
@@ -69,12 +99,47 @@ const (
 	headerLen = 6
 )
 
+// Structured protocol-error codes carried by MsgError frames.
+const (
+	ErrCodeBadMagic = 1 // peer is not speaking this protocol at all
+	ErrCodeVersion  = 2 // version outside [VersionMin, VersionMax]
+	ErrCodeBadFrame = 3 // recognized header but malformed body
+)
+
+// HelloFlagRouter in a HelloAck marks the peer as a fleet router rather
+// than a single-GPU daemon.
+const HelloFlagRouter = 1
+
+// Hello is the result of version negotiation: the agreed protocol
+// version, whether the peer is a router, and (for routers) its shard
+// count.
+type Hello struct {
+	Version int
+	Router  bool
+	Shards  int
+}
+
+// ProtoError is the decoded form of a MsgError frame — the structured
+// refusal a v3 server sends instead of silently dropping the connection.
+type ProtoError struct {
+	Code int
+	Msg  string
+}
+
+func (e *ProtoError) Error() string {
+	return fmt.Sprintf("serve: protocol error %d: %s", e.Code, e.Msg)
+}
+
 // Request is one decision request row.
 type Request struct {
 	// Preset is the performance-loss preset for this decision.
 	Preset float64
 	// Features is the full 47-counter vector of the finished epoch.
 	Features []float64
+	// GPU and Cluster identify the requesting cluster for fleet routing
+	// (v3 keyed frames). -1 means no identity (v2 rows, direct clients).
+	GPU     int32
+	Cluster int32
 }
 
 // Decision is one decision response row.
@@ -86,26 +151,51 @@ type Decision struct {
 	Reason provenance.Reason
 	// PredInstr is the Calibrator's next-epoch instruction estimate.
 	PredInstr float64
+	// Shard is the fleet shard index that answered (v3 keyed responses);
+	// -1 when no router was involved or the row was shed locally.
+	Shard int
+	// Rerouted marks a row that was re-submitted to a different replica
+	// after its home shard failed (v3 keyed responses only).
+	Rerouted bool
 }
 
-func putHeader(buf []byte, msgType byte) {
+func putHeader(buf []byte, version, msgType byte) {
 	binary.BigEndian.PutUint32(buf, Magic)
-	buf[4] = Version
+	buf[4] = version
 	buf[5] = msgType
 }
 
-func checkHeader(payload []byte, wantType byte) error {
+// parseHeader validates the magic and version range and returns the
+// frame's version and message type. Errors are *ProtoError so transports
+// can answer them with a structured MsgError frame.
+func parseHeader(payload []byte) (version, msgType byte, err error) {
 	if len(payload) < headerLen {
-		return fmt.Errorf("serve: frame too short for header (%d bytes)", len(payload))
+		return 0, 0, &ProtoError{Code: ErrCodeBadFrame, Msg: fmt.Sprintf("frame too short for header (%d bytes)", len(payload))}
 	}
 	if m := binary.BigEndian.Uint32(payload); m != Magic {
-		return fmt.Errorf("serve: bad magic %#x", m)
+		return 0, 0, &ProtoError{Code: ErrCodeBadMagic, Msg: fmt.Sprintf("bad magic %#x", m)}
 	}
-	if payload[4] != Version {
-		return fmt.Errorf("serve: unsupported protocol version %d", payload[4])
+	if payload[4] < VersionMin || payload[4] > VersionMax {
+		return 0, 0, &ProtoError{Code: ErrCodeVersion, Msg: fmt.Sprintf("unsupported protocol version %d (speak %d..%d)", payload[4], VersionMin, VersionMax)}
 	}
-	if payload[5] != wantType {
-		return fmt.Errorf("serve: unexpected message type %d, want %d", payload[5], wantType)
+	return payload[4], payload[5], nil
+}
+
+func checkHeader(payload []byte, wantVersion, wantType byte) error {
+	v, t, err := parseHeader(payload)
+	if err != nil {
+		return err
+	}
+	if t == MsgError {
+		// Structured refusals surface as *ProtoError whatever version the
+		// caller expected.
+		return DecodeErrorFrame(payload)
+	}
+	if v != wantVersion {
+		return fmt.Errorf("serve: unexpected protocol version %d, want %d", v, wantVersion)
+	}
+	if t != wantType {
+		return fmt.Errorf("serve: unexpected message type %d, want %d", t, wantType)
 	}
 	return nil
 }
@@ -156,7 +246,7 @@ func AppendRequestFrame(dst []byte, rows []Request) ([]byte, error) {
 	off := len(dst)
 	dst = append(dst, make([]byte, need)...)
 	b := dst[off:]
-	putHeader(b, MsgDecide)
+	putHeader(b, Version, MsgDecide)
 	binary.BigEndian.PutUint16(b[6:], uint16(len(rows)))
 	binary.BigEndian.PutUint16(b[8:], uint16(dim))
 	p := 10
@@ -178,7 +268,7 @@ func AppendRequestFrame(dst []byte, rows []Request) ([]byte, error) {
 // scratch (resized as needed) so a serving loop can decode without
 // allocating; feature slices alias scratch's backing arrays.
 func DecodeRequestFrame(payload []byte, scratch []Request) ([]Request, error) {
-	if err := checkHeader(payload, MsgDecide); err != nil {
+	if err := checkHeader(payload, Version, MsgDecide); err != nil {
 		return nil, err
 	}
 	if len(payload) < headerLen+4 {
@@ -202,6 +292,7 @@ func DecodeRequestFrame(payload []byte, scratch []Request) ([]Request, error) {
 	scratch = scratch[:count]
 	p := headerLen + 4
 	for i := range scratch {
+		scratch[i].GPU, scratch[i].Cluster = -1, -1 // v2 rows carry no identity
 		scratch[i].Preset = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
 		p += 8
 		if cap(scratch[i].Features) < dim {
@@ -226,7 +317,7 @@ func AppendResponseFrame(dst []byte, status byte, decs []Decision) ([]byte, erro
 	off := len(dst)
 	dst = append(dst, make([]byte, need)...)
 	b := dst[off:]
-	putHeader(b, MsgDecisions)
+	putHeader(b, Version, MsgDecisions)
 	b[6] = status
 	binary.BigEndian.PutUint16(b[7:], uint16(len(decs)))
 	p := 9
@@ -244,7 +335,7 @@ func AppendResponseFrame(dst []byte, status byte, decs []Decision) ([]byte, erro
 
 // DecodeResponseFrame parses a response payload, reusing scratch.
 func DecodeResponseFrame(payload []byte, scratch []Decision) ([]Decision, error) {
-	if err := checkHeader(payload, MsgDecisions); err != nil {
+	if err := checkHeader(payload, Version, MsgDecisions); err != nil {
 		return nil, err
 	}
 	if len(payload) < headerLen+3 {
@@ -267,9 +358,293 @@ func DecodeResponseFrame(payload []byte, scratch []Decision) ([]Decision, error)
 		scratch[i].Level = int(payload[p])
 		scratch[i].Reason = provenance.Reason(payload[p+1])
 		scratch[i].PredInstr = math.Float64frombits(binary.BigEndian.Uint64(payload[p+2:]))
+		scratch[i].Shard, scratch[i].Rerouted = -1, false // v2 rows carry no shard
 		p += 10
 	}
 	return scratch, nil
+}
+
+// A v3 keyed request frame (MsgDecideKeyed, version 3) carries, after
+// the header,
+//
+//	uint16  row count (>= 1)
+//	uint16  feature dimension (must equal counters.Num)
+//	rows    count × (uint32 gpu, uint32 cluster, (1+dim) float64)
+//
+// and the matching keyed response (MsgDecisionsKeyed),
+//
+//	uint8   status
+//	uint16  row count
+//	rows    count × (uint8 level, uint8 reason, uint8 flags,
+//	                 uint16 shard, float64 predicted instructions)
+//
+// where flags bit 0 marks a rerouted row and shard 0xffff means "no
+// shard" (a daemon answering keyed frames directly, or a local shed).
+const (
+	keyedReqRowFixed = 4 + 4 // gpu + cluster, before the float64s
+	keyedRespRow     = 1 + 1 + 1 + 2 + 8
+	decFlagRerouted  = 1
+	shardNone        = 0xffff
+)
+
+// AppendKeyedRequestFrame appends an encoded v3 keyed request payload to
+// dst. Every row must carry a non-negative GPU and Cluster.
+func AppendKeyedRequestFrame(dst []byte, rows []Request) ([]byte, error) {
+	if len(rows) == 0 || len(rows) > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows outside [1,%d]", len(rows), MaxBatch)
+	}
+	dim := len(rows[0].Features)
+	if dim != counters.Num {
+		return nil, fmt.Errorf("serve: feature dimension %d, want %d", dim, counters.Num)
+	}
+	need := headerLen + 4 + len(rows)*(keyedReqRowFixed+(1+dim)*8)
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[off:]
+	putHeader(b, Version3, MsgDecideKeyed)
+	binary.BigEndian.PutUint16(b[6:], uint16(len(rows)))
+	binary.BigEndian.PutUint16(b[8:], uint16(dim))
+	p := 10
+	for _, row := range rows {
+		if len(row.Features) != dim {
+			return nil, fmt.Errorf("serve: ragged batch: row has %d features, want %d", len(row.Features), dim)
+		}
+		if row.GPU < 0 || row.Cluster < 0 {
+			return nil, fmt.Errorf("serve: keyed row needs gpu/cluster >= 0, got (%d,%d)", row.GPU, row.Cluster)
+		}
+		binary.BigEndian.PutUint32(b[p:], uint32(row.GPU))
+		binary.BigEndian.PutUint32(b[p+4:], uint32(row.Cluster))
+		p += keyedReqRowFixed
+		binary.BigEndian.PutUint64(b[p:], math.Float64bits(row.Preset))
+		p += 8
+		for _, f := range row.Features {
+			binary.BigEndian.PutUint64(b[p:], math.Float64bits(f))
+			p += 8
+		}
+	}
+	return dst, nil
+}
+
+// DecodeKeyedRequestFrame parses a v3 keyed request payload, reusing
+// scratch like DecodeRequestFrame.
+func DecodeKeyedRequestFrame(payload []byte, scratch []Request) ([]Request, error) {
+	if err := checkHeader(payload, Version3, MsgDecideKeyed); err != nil {
+		return nil, err
+	}
+	if len(payload) < headerLen+4 {
+		return nil, fmt.Errorf("serve: keyed request frame too short (%d bytes)", len(payload))
+	}
+	count := int(binary.BigEndian.Uint16(payload[6:]))
+	dim := int(binary.BigEndian.Uint16(payload[8:]))
+	if count == 0 || count > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows outside [1,%d]", count, MaxBatch)
+	}
+	if dim != counters.Num {
+		return nil, fmt.Errorf("serve: feature dimension %d, want %d", dim, counters.Num)
+	}
+	want := headerLen + 4 + count*(keyedReqRowFixed+(1+dim)*8)
+	if len(payload) != want {
+		return nil, fmt.Errorf("serve: keyed request frame is %d bytes, want %d for %d rows", len(payload), want, count)
+	}
+	if cap(scratch) < count {
+		scratch = append(scratch[:cap(scratch)], make([]Request, count-cap(scratch))...)
+	}
+	scratch = scratch[:count]
+	p := headerLen + 4
+	for i := range scratch {
+		scratch[i].GPU = int32(binary.BigEndian.Uint32(payload[p:]))
+		scratch[i].Cluster = int32(binary.BigEndian.Uint32(payload[p+4:]))
+		p += keyedReqRowFixed
+		scratch[i].Preset = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
+		p += 8
+		if cap(scratch[i].Features) < dim {
+			scratch[i].Features = make([]float64, dim)
+		}
+		feats := scratch[i].Features[:dim]
+		for j := range feats {
+			feats[j] = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
+			p += 8
+		}
+		scratch[i].Features = feats
+	}
+	return scratch, nil
+}
+
+// AppendKeyedResponseFrame appends an encoded v3 keyed response payload
+// to dst, carrying each decision's shard and rerouted flag.
+func AppendKeyedResponseFrame(dst []byte, status byte, decs []Decision) ([]byte, error) {
+	if len(decs) > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows exceeds %d", len(decs), MaxBatch)
+	}
+	need := headerLen + 3 + len(decs)*keyedRespRow
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[off:]
+	putHeader(b, Version3, MsgDecisionsKeyed)
+	b[6] = status
+	binary.BigEndian.PutUint16(b[7:], uint16(len(decs)))
+	p := 9
+	for _, d := range decs {
+		if d.Level < 0 || d.Level > 255 {
+			return nil, fmt.Errorf("serve: level %d does not fit the wire format", d.Level)
+		}
+		b[p] = byte(d.Level)
+		b[p+1] = byte(d.Reason)
+		var flags byte
+		if d.Rerouted {
+			flags |= decFlagRerouted
+		}
+		b[p+2] = flags
+		shard := uint16(shardNone)
+		if d.Shard >= 0 && d.Shard < shardNone {
+			shard = uint16(d.Shard)
+		}
+		binary.BigEndian.PutUint16(b[p+3:], shard)
+		binary.BigEndian.PutUint64(b[p+5:], math.Float64bits(d.PredInstr))
+		p += keyedRespRow
+	}
+	return dst, nil
+}
+
+// DecodeKeyedResponseFrame parses a v3 keyed response payload, reusing
+// scratch. A MsgError frame decodes into a *ProtoError.
+func DecodeKeyedResponseFrame(payload []byte, scratch []Decision) ([]Decision, error) {
+	if err := checkHeader(payload, Version3, MsgDecisionsKeyed); err != nil {
+		return nil, err
+	}
+	if len(payload) < headerLen+3 {
+		return nil, fmt.Errorf("serve: keyed response frame too short (%d bytes)", len(payload))
+	}
+	if payload[6] != StatusOK {
+		return nil, fmt.Errorf("serve: server reported error status %d", payload[6])
+	}
+	count := int(binary.BigEndian.Uint16(payload[7:]))
+	want := headerLen + 3 + count*keyedRespRow
+	if len(payload) != want {
+		return nil, fmt.Errorf("serve: keyed response frame is %d bytes, want %d for %d rows", len(payload), want, count)
+	}
+	if cap(scratch) < count {
+		scratch = make([]Decision, count)
+	}
+	scratch = scratch[:count]
+	p := headerLen + 3
+	for i := range scratch {
+		scratch[i].Level = int(payload[p])
+		scratch[i].Reason = provenance.Reason(payload[p+1])
+		scratch[i].Rerouted = payload[p+2]&decFlagRerouted != 0
+		if s := binary.BigEndian.Uint16(payload[p+3:]); s == shardNone {
+			scratch[i].Shard = -1
+		} else {
+			scratch[i].Shard = int(s)
+		}
+		scratch[i].PredInstr = math.Float64frombits(binary.BigEndian.Uint64(payload[p+5:]))
+		p += keyedRespRow
+	}
+	return scratch, nil
+}
+
+// AppendHelloFrame appends a client hello offering the [min,max] version
+// range.
+func AppendHelloFrame(dst []byte, minVer, maxVer byte) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, headerLen+2)...)
+	b := dst[off:]
+	putHeader(b, VersionMax, MsgHello)
+	b[6], b[7] = minVer, maxVer
+	return dst
+}
+
+// DecodeHelloFrame parses a client hello into its offered version range.
+func DecodeHelloFrame(payload []byte) (minVer, maxVer byte, err error) {
+	if _, t, err := parseHeader(payload); err != nil {
+		return 0, 0, err
+	} else if t != MsgHello {
+		return 0, 0, fmt.Errorf("serve: unexpected message type %d, want %d", t, MsgHello)
+	}
+	if len(payload) != headerLen+2 {
+		return 0, 0, fmt.Errorf("serve: hello frame is %d bytes, want %d", len(payload), headerLen+2)
+	}
+	return payload[6], payload[7], nil
+}
+
+// AppendHelloAckFrame appends the server's negotiation answer.
+func AppendHelloAckFrame(dst []byte, h Hello) []byte {
+	off := len(dst)
+	dst = append(dst, make([]byte, headerLen+4)...)
+	b := dst[off:]
+	putHeader(b, VersionMax, MsgHelloAck)
+	b[6] = byte(h.Version)
+	if h.Router {
+		b[7] = HelloFlagRouter
+	}
+	binary.BigEndian.PutUint16(b[8:], uint16(h.Shards))
+	return dst
+}
+
+// DecodeHelloAckFrame parses a server hello-ack. A MsgError frame decodes
+// into a *ProtoError, so a refused negotiation surfaces as a typed error.
+func DecodeHelloAckFrame(payload []byte) (Hello, error) {
+	_, t, err := parseHeader(payload)
+	if err != nil {
+		return Hello{}, err
+	}
+	if t == MsgError {
+		return Hello{}, DecodeErrorFrame(payload)
+	}
+	if t != MsgHelloAck {
+		return Hello{}, fmt.Errorf("serve: unexpected message type %d, want %d", t, MsgHelloAck)
+	}
+	if len(payload) != headerLen+4 {
+		return Hello{}, fmt.Errorf("serve: hello-ack frame is %d bytes, want %d", len(payload), headerLen+4)
+	}
+	return Hello{
+		Version: int(payload[6]),
+		Router:  payload[7]&HelloFlagRouter != 0,
+		Shards:  int(binary.BigEndian.Uint16(payload[8:])),
+	}, nil
+}
+
+// AppendErrorFrame appends a structured protocol-error frame.
+func AppendErrorFrame(dst []byte, code int, msg string) []byte {
+	if len(msg) > 512 {
+		msg = msg[:512]
+	}
+	off := len(dst)
+	dst = append(dst, make([]byte, headerLen+4+len(msg))...)
+	b := dst[off:]
+	putHeader(b, VersionMax, MsgError)
+	binary.BigEndian.PutUint16(b[6:], uint16(code))
+	binary.BigEndian.PutUint16(b[8:], uint16(len(msg)))
+	copy(b[10:], msg)
+	return dst
+}
+
+// DecodeErrorFrame parses a MsgError payload into a *ProtoError.
+func DecodeErrorFrame(payload []byte) error {
+	if len(payload) < headerLen+4 {
+		return fmt.Errorf("serve: error frame too short (%d bytes)", len(payload))
+	}
+	code := int(binary.BigEndian.Uint16(payload[6:]))
+	n := int(binary.BigEndian.Uint16(payload[8:]))
+	if headerLen+4+n > len(payload) {
+		n = len(payload) - headerLen - 4
+	}
+	return &ProtoError{Code: code, Msg: string(payload[10 : 10+n])}
+}
+
+// ReadFrame and WriteFrame expose the raw frame transport for other
+// packages that speak this protocol (the fleet router's front-end).
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) { return readFrame(r, buf) }
+
+// WriteFrame writes one length-prefixed frame payload.
+func WriteFrame(w io.Writer, payload []byte) error { return writeFrame(w, payload) }
+
+// ParseHeader validates a payload's magic and version range and returns
+// its version and message type — the dispatch step any transport speaking
+// this protocol performs first. Errors are *ProtoError, ready to answer
+// with AppendErrorFrame.
+func ParseHeader(payload []byte) (version, msgType byte, err error) {
+	return parseHeader(payload)
 }
 
 // WriteRequest encodes rows as one frame on w.

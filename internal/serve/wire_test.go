@@ -51,7 +51,8 @@ func TestRequestFrameRoundTrip(t *testing.T) {
 }
 
 func TestResponseFrameRoundTrip(t *testing.T) {
-	decs := []Decision{{Level: 0, PredInstr: 0}, {Level: 5, PredInstr: 12345.5}, {Level: 255, PredInstr: 1e18}}
+	// v2 frames carry no shard identity: decode always yields Shard -1.
+	decs := []Decision{{Level: 0, PredInstr: 0, Shard: -1}, {Level: 5, PredInstr: 12345.5, Shard: -1}, {Level: 255, PredInstr: 1e18, Shard: -1}}
 	payload, err := AppendResponseFrame(nil, StatusOK, decs)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# Fleet smoke test: three race-instrumented ssmdvfsd replicas (one made
+# deliberately slow with injected decide latency), a dvfsfleet router in
+# front of them, and dvfsload -fleet driving keyed traffic through the
+# stack. Passes when the load run completes with zero errored requests
+# AND the router shed at least one row into the analytical fallback —
+# the slow replica guarantees its admission queue backs up, so a zero
+# shed counter means admission control is broken, not that the run was
+# lucky.
+#
+# Usage: scripts/fleet_smoke.sh [duration]   (default 3s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${1:-3s}"
+MODEL=testdata/bench-cache/compressed.json
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+cleanup() {
+    local pids
+    pids="$(jobs -p)"
+    # shellcheck disable=SC2086  # one pid per word, not one argument
+    [ -n "$pids" ] && kill $pids 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$BIN"
+    echo "logs kept in $LOGS"
+}
+trap cleanup EXIT
+
+R1=127.0.0.1:19201
+R2=127.0.0.1:19202
+R3=127.0.0.1:19203
+FLEET_TCP=127.0.0.1:19204
+FLEET_HTTP=127.0.0.1:19205
+
+wait_port() {
+    local host="${1%%:*}" port="${1##*:}"
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "fleet_smoke: timeout waiting for $1" >&2
+    return 1
+}
+
+echo "== building (race) =="
+go build -race -o "$BIN/ssmdvfsd" ./cmd/ssmdvfsd
+go build -race -o "$BIN/dvfsfleet" ./cmd/dvfsfleet
+go build -race -o "$BIN/dvfsload" ./cmd/dvfsload
+
+echo "== starting replicas =="
+"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R1" -http "" >"$LOGS/r1.log" 2>&1 &
+"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R2" -http "" >"$LOGS/r2.log" 2>&1 &
+# The slow replica: every decide batch stalls 5ms, far past the router's
+# queue deadline, so rows sharded to it must shed or queue-overflow.
+"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R3" -http "" \
+    -faults 'serve.decide:latency:latency=5ms:every=1' >"$LOGS/r3.log" 2>&1 &
+wait_port "$R1"
+wait_port "$R2"
+wait_port "$R3"
+
+echo "== starting router =="
+"$BIN/dvfsfleet" -replicas "$R1,$R2,$R3" -tcp "$FLEET_TCP" -http "$FLEET_HTTP" \
+    -queue 8 -queue-deadline 1ms -inflight 1 -coalesce-rows 8 \
+    >"$LOGS/fleet.log" 2>&1 &
+FLEET_PID=$!
+wait_port "$FLEET_TCP"
+wait_port "$FLEET_HTTP"
+
+echo "== driving load ($DURATION) =="
+# dvfsload exits non-zero on any errored request, which fails the script
+# via set -e: that is the "0 errored requests" assertion.
+"$BIN/dvfsload" -fleet -addr "$FLEET_TCP" -conns 8 -batch 1 \
+    -duration "$DURATION" | tee "$LOGS/load.log"
+
+echo "== checking shed counter =="
+SHED="$(curl -fsS "http://$FLEET_HTTP/metrics.prom" |
+    awk '/^fleet_shed_rows_total/ {s += $2} END {print s + 0}')"
+curl -fsS "http://$FLEET_HTTP/metrics.prom" |
+    grep -E '^fleet_(shed|rerouted|healthy|shard_rows)' || true
+if [ "$SHED" -lt 1 ]; then
+    echo "fleet_smoke: FAIL — slow replica injected but fleet_shed_rows_total is 0" >&2
+    exit 1
+fi
+
+kill -TERM "$FLEET_PID"
+wait "$FLEET_PID" || true
+echo "fleet_smoke: PASS ($SHED rows shed)"
