@@ -12,7 +12,7 @@
 //	          [-tcp :8092] [-http :8093] [-vnodes 128] [-seed 1]
 //	          [-coalesce-wait 200us] [-coalesce-rows 64] [-inflight 2]
 //	          [-queue 1024] [-queue-deadline 2ms] [-max-hops 1]
-//	          [-probe 250ms]
+//	          [-probe 250ms] [-spans fleet-spans.jsonl]
 //
 // Clients speak the same binary protocol as to a single daemon — v2
 // clients work unchanged (the router synthesizes a per-connection
@@ -39,6 +39,7 @@ import (
 	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/fleet"
 	"ssmdvfs/internal/serve"
+	"ssmdvfs/internal/telemetry"
 )
 
 func main() {
@@ -56,6 +57,7 @@ func main() {
 		maxHops      = flag.Int("max-hops", 0, "reroute attempts per row after replica failure (0 = default 1)")
 		probe        = flag.Duration("probe", 0, "unhealthy replica re-dial interval (0 = default 250ms)")
 		dialTimeout  = flag.Duration("dial-timeout", time.Second, "router→replica connect timeout")
+		spansPath    = flag.String("spans", "", "write router-hop spans for sampled traced requests to this JSONL file (dvfsstat -chrome input; empty = off)")
 		verbose      = flag.Bool("v", true, "log progress")
 		printVersion = flag.Bool("version", false, "print build information and exit")
 	)
@@ -67,6 +69,17 @@ func main() {
 	logf := func(string, ...any) {}
 	if *verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	}
+	var tracer *telemetry.Tracer
+	if *spansPath != "" {
+		sf, err := os.Create(*spansPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dvfsfleet:", err)
+			os.Exit(1)
+		}
+		defer sf.Close()
+		tracer = telemetry.NewTracer(sf)
+		logf("dvfsfleet: tracing armed: router-hop spans to %s", *spansPath)
 	}
 	opts := fleet.Options{
 		Replicas:      splitAddrs(*replicas),
@@ -80,6 +93,7 @@ func main() {
 		MaxHops:       *maxHops,
 		ProbeInterval: *probe,
 		Dial:          serve.DialOptions{Timeout: *dialTimeout},
+		Tracer:        tracer,
 		Logf:          logf,
 	}
 	if err := run(opts, *tcpAddr, *httpAddr, logf); err != nil {
@@ -147,6 +161,11 @@ func run(opts fleet.Options, tcpAddr, httpAddr string, logf func(string, ...any)
 				hs.Close()
 			}
 			rt.Close()
+			if opts.Tracer != nil {
+				if err := opts.Tracer.Flush(); err != nil {
+					logf("dvfsfleet: span flush: %v", err)
+				}
+			}
 			m := rt.Metrics()
 			logf("dvfsfleet: routed %d rows in %d requests (%d shed, %d rerouted, %d replica failures)",
 				m.Rows.Load(), m.Requests.Load(), m.ShedTotal(), m.Rerouted.Load(), m.Down.Load())

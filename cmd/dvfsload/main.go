@@ -8,7 +8,14 @@
 //
 //	dvfsload -addr localhost:8091 [-conns 8] [-batch 24] [-duration 10s]
 //	         [-qps 0] [-preset 0.10] [-trace trace.csv] [-seed 1] [-fleet]
+//	         [-spans load-spans.jsonl] [-trace-sample 64]
 //	         [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//
+// With -trace-sample (or -spans, which implies it) 1 in N batches is
+// traced end to end: the frame carries a trace context, every hop emits
+// spans, and the exit report adds a per-hop latency table
+// (queue/coalesce/network/inference) plus an example trace ID to chase
+// through the merged Chrome trace or /debug/decisions?trace=.
 //
 // With -trace the feature stream is a cycled replay of the trace file
 // (CSV or JSON from cmd/dvfstrace); without it, synthetic epochs are
@@ -59,6 +66,8 @@ func main() {
 		backoff   = flag.Duration("backoff", 50*time.Millisecond, "initial retry backoff (doubles per attempt, jittered)")
 		faultSpec = flag.String("faults", "", "arm client-side fault injection, e.g. 'client.io:error:every=50'")
 		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
+		spansPath = flag.String("spans", "", "write client-side spans for sampled requests to this JSONL file (dvfsstat -chrome input)")
+		sampleN   = flag.Int("trace-sample", 0, "trace 1 in N batches end to end (0 = off, or 64 when -spans is set)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run here")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit here")
 		version   = flag.Bool("version", false, "print build information and exit")
@@ -81,13 +90,40 @@ func main() {
 		Faults:  inj,
 	}
 
+	// Tracing: a shared head-based sampler picks 1-in-N batches; sampled
+	// ones go out as traced v3 frames with client.send/recv spans under a
+	// load.decide root, and their per-hop attribution feeds the exit
+	// report's hop table.
+	var tracer *telemetry.Tracer
+	var sampler *telemetry.Sampler
+	if *spansPath != "" && *sampleN == 0 {
+		*sampleN = 64
+	}
+	if *sampleN > 0 {
+		if *spansPath != "" {
+			sf, err := os.Create(*spansPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dvfsload:", err)
+				os.Exit(1)
+			}
+			defer sf.Close()
+			tracer = telemetry.NewTracer(sf)
+		}
+		sampler = telemetry.NewSampler(*sampleN, uint64(*seed))
+	}
+
 	stopCPU, err := telemetry.StartCPUProfile(*cpuProf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
 		os.Exit(1)
 	}
-	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed, *fleetMode, dialOpts)
+	runErr := run(*addr, *conns, *batch, *duration, *qps, *preset, *trace, *rows, *seed, *fleetMode, dialOpts, tracer, sampler)
 	stopCPU()
+	if tracer != nil {
+		if err := tracer.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfsload:", err)
+		}
+	}
 	if err := telemetry.WriteHeapProfile(*memProf); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsload:", err)
 		os.Exit(1)
@@ -123,6 +159,8 @@ type workerStats struct {
 	decisions  int64
 	reconnects int64
 	rerouted   int64
+	traced     int64  // batches sent as traced frames
+	exemplar   uint64 // first sampled trace ID, for the exit report
 	levels     [64]int64
 	reasons    [provenance.NumReasons]int64
 	err        error
@@ -137,7 +175,7 @@ func shardLabel(shard int) string {
 	return fmt.Sprintf("%d", shard)
 }
 
-func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64, fleetMode bool, dialOpts serve.DialOptions) error {
+func run(addr string, conns, batch int, duration time.Duration, qps, preset float64, tracePath string, rows int, seed int64, fleetMode bool, dialOpts serve.DialOptions, tracer *telemetry.Tracer, sampler *telemetry.Sampler) error {
 	if conns <= 0 || batch <= 0 || batch > serve.MaxBatch {
 		return fmt.Errorf("need conns > 0 and batch in [1,%d]", serve.MaxBatch)
 	}
@@ -204,6 +242,7 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 			}
 			defer cl.Close()
 			defer func() { st.reconnects = cl.Reconnects() }()
+			cl.SetTracer(tracer)
 			reqs := make([]serve.Request, batch)
 			next := c // offset workers into the feed so replays interleave
 			var tick *time.Ticker
@@ -223,24 +262,48 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 					}
 					next += conns
 				}
+				// 1-in-N batches go out as traced frames under a
+				// load.decide root span; the rest take the plain path.
+				var tc telemetry.TraceContext
+				var rootSp *telemetry.Span
+				if sampler != nil {
+					if rtc := sampler.Next(); rtc.Sampled() {
+						tc = rtc
+						if rootSp = tracer.StartSpan(rtc, "load.decide"); rootSp != nil {
+							tc = rootSp.Context()
+						}
+					}
+				}
 				t0 := time.Now()
 				var decs []serve.Decision
+				var hops serve.HopTimings
 				var err error
-				if fleetMode {
+				switch {
+				case tc.Sampled():
+					decs, hops, err = cl.DecideKeyedTraced(reqs, tc)
+				case fleetMode:
 					decs, err = cl.DecideKeyed(reqs)
-				} else {
+				default:
 					decs, err = cl.Decide(reqs)
 				}
+				lat := time.Since(t0)
+				rootSp.End()
 				if err != nil {
 					st.err = err
 					return
 				}
-				lat := time.Since(t0)
 				st.latencies = append(st.latencies, lat)
 				st.decisions += int64(len(decs))
 				if fleetMode && len(decs) > 0 {
 					reg.Histogram("load_shard_latency_us", "shard", shardLabel(decs[0].Shard)).
 						Observe(lat.Microseconds())
+				}
+				if tc.Sampled() {
+					st.traced++
+					if st.exemplar == 0 {
+						st.exemplar = tc.TraceID
+					}
+					observeHops(reg, lat, hops)
 				}
 				for _, d := range decs {
 					if d.Level >= 0 && d.Level < len(st.levels) {
@@ -264,7 +327,8 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 
 	// Merge.
 	var all []time.Duration
-	var decisions, batches, reconnects, rerouted int64
+	var decisions, batches, reconnects, rerouted, traced int64
+	var exemplar uint64
 	var levels [64]int64
 	var reasons [provenance.NumReasons]int64
 	for c := range stats {
@@ -276,6 +340,10 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 		batches += int64(len(stats[c].latencies))
 		reconnects += stats[c].reconnects
 		rerouted += stats[c].rerouted
+		traced += stats[c].traced
+		if exemplar == 0 {
+			exemplar = stats[c].exemplar
+		}
 		for l, n := range stats[c].levels {
 			levels[l] += n
 		}
@@ -327,7 +395,53 @@ func run(addr string, conns, batch int, duration time.Duration, qps, preset floa
 	if fleetMode {
 		printFleetSummary(reg, reasons[provenance.ReasonShed], rerouted)
 	}
+	if traced > 0 {
+		printHopSummary(reg, traced, exemplar)
+	}
 	return nil
+}
+
+// hopNames orders the per-hop latency table: where a traced decision's
+// time went, from the router's admission queue to the replica's model.
+// "network" is the remainder the attributed hops don't explain — client
+// serialization plus both wire legs.
+var hopNames = []string{"queue", "coalesce", "network", "inference"}
+
+// observeHops files one traced batch's per-hop attribution into the
+// report histograms.
+func observeHops(reg *telemetry.Registry, total time.Duration, hops serve.HopTimings) {
+	q, co, di := int64(hops.QueueUs), int64(hops.CoalesceUs), int64(hops.DispatchUs)
+	network := total.Microseconds() - q - co - di
+	if network < 0 {
+		network = 0
+	}
+	reg.Histogram("load_hop_us", "hop", "queue").Observe(q)
+	reg.Histogram("load_hop_us", "hop", "coalesce").Observe(co)
+	reg.Histogram("load_hop_us", "hop", "network").Observe(network)
+	reg.Histogram("load_hop_us", "hop", "inference").Observe(int64(hops.InferUs))
+}
+
+// printHopSummary renders where traced decisions spent their time, one
+// row per hop, plus an example trace ID to chase through span files and
+// /debug/decisions?trace=.
+func printHopSummary(reg *telemetry.Registry, traced int64, exemplar uint64) {
+	snap := reg.Snapshot()
+	fmt.Printf("\nper-hop latency (%d traced batches):\n", traced)
+	fmt.Printf("  %-10s %12s %12s %12s\n", "hop", "p50 µs", "p99 µs", "p999 µs")
+	for _, hop := range hopNames {
+		h, ok := snap.Histograms[telemetry.MetricID("load_hop_us", "hop", hop)]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-10s %12.0f %12.0f %12.0f\n", hop,
+			telemetry.Quantile(h.Buckets, 0.50),
+			telemetry.Quantile(h.Buckets, 0.99),
+			telemetry.Quantile(h.Buckets, 0.999))
+	}
+	if exemplar != 0 {
+		fmt.Printf("example trace %s  (grep span files, or /debug/decisions?trace=%[1]s)\n",
+			telemetry.FormatTraceID(exemplar))
+	}
 }
 
 // printFleetSummary renders the fleet-mode tail of the report: one

@@ -9,16 +9,24 @@
 //	dvfsstat -metrics telemetry.json          # registry dump (ssmdvfs -telemetry,
 //	                                          # dvfstrace -telemetry, ssmdvfsd /telemetry)
 //	dvfsstat -spans spans.jsonl [-chrome out.json]
+//	dvfsstat -spans client.jsonl,fleet.jsonl,replica.jsonl -chrome out.json
 //	dvfsstat -trace run.csv -against oracle.csv
 //	dvfsstat -decisions dump.jsonl            # flight-recorder dump (ssmdvfsd
 //	                                          # /debug/decisions, dvfstrace -flightrec)
+//	dvfsstat -promlint metrics.prom           # lint a /metrics.prom scrape
 //
 // Any combination of inputs may be given; each produces its section.
 // -chrome converts the span capture to the Chrome trace-event format
-// viewable in chrome://tracing or Perfetto. -decisions summarizes a
-// provenance flight-recorder dump: the per-reason breakdown, the level
+// viewable in chrome://tracing or Perfetto; comma-separated -spans files
+// (one per process of a traced fleet) merge into a single timeline with
+// one Chrome process per file, and trace-linked captures add a per-hop
+// latency quantile table. -decisions summarizes a provenance
+// flight-recorder dump: the per-reason breakdown, the level
 // distribution, prediction-error statistics, and per-feature drift
 // against the training statistics embedded in the dump header.
+// -promlint checks a Prometheus text exposition for malformed names,
+// label escaping, exemplar syntax, and duplicate series, exiting 1 if
+// anything is wrong.
 package main
 
 import (
@@ -41,11 +49,12 @@ import (
 func main() {
 	var (
 		metrics   = flag.String("metrics", "", "telemetry registry snapshot (JSON)")
-		spans     = flag.String("spans", "", "span capture (JSONL)")
+		spans     = flag.String("spans", "", "span captures (JSONL; comma-separated files merge, one Chrome process each)")
 		chrome    = flag.String("chrome", "", "with -spans: write Chrome trace-event JSON here")
 		trace     = flag.String("trace", "", "per-epoch trace (CSV or JSON from dvfstrace)")
 		against   = flag.String("against", "", "with -trace: reference trace to diff decisions against")
 		decisions = flag.String("decisions", "", "flight-recorder dump (JSONL from /debug/decisions or -flightrec)")
+		promlint  = flag.String("promlint", "", "lint a Prometheus text exposition (from /metrics.prom); exits 1 on problems")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -54,17 +63,17 @@ func main() {
 		return
 	}
 
-	if *metrics == "" && *spans == "" && *trace == "" && *decisions == "" {
+	if *metrics == "" && *spans == "" && *trace == "" && *decisions == "" && *promlint == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against, *decisions); err != nil {
+	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against, *decisions, *promlint); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath, decisionsPath string) error {
+func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath, decisionsPath, promlintPath string) error {
 	if metricsPath != "" {
 		snap, err := telemetry.ReadSnapshotFile(metricsPath)
 		if err != nil {
@@ -73,23 +82,33 @@ func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath
 		summarizeMetrics(w, snap)
 	}
 	if spansPath != "" {
-		f, err := os.Open(spansPath)
-		if err != nil {
-			return err
+		// Comma-separated captures (one per process: client, router,
+		// replicas) merge into one timeline; each file becomes its own
+		// Chrome process so cross-process spans line up side by side.
+		var names []string
+		var groups [][]telemetry.SpanRecord
+		var merged []telemetry.SpanRecord
+		for _, path := range strings.Split(spansPath, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			spans, err := telemetry.ReadSpansFile(path)
+			if err != nil {
+				return err
+			}
+			names = append(names, path)
+			groups = append(groups, spans)
+			merged = append(merged, spans...)
 		}
-		spans, err := telemetry.ReadSpans(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		summarizeSpans(w, spans)
+		summarizeSpans(w, merged)
 		if chromePath != "" {
 			if err := atomicfile.Write(chromePath, func(out io.Writer) error {
-				return telemetry.WriteChromeTrace(out, spans)
+				return telemetry.WriteChromeTraceMulti(out, groups, names)
 			}); err != nil {
 				return err
 			}
-			fmt.Fprintf(w, "wrote Chrome trace (%d events) to %s\n", len(spans), chromePath)
+			fmt.Fprintf(w, "wrote Chrome trace (%d events, %d processes) to %s\n",
+				len(merged), len(groups), chromePath)
 		}
 	}
 	if tracePath != "" {
@@ -114,6 +133,21 @@ func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath
 			return err
 		}
 		summarizeDecisions(w, decisionsPath, hdr, recs)
+	}
+	if promlintPath != "" {
+		f, err := os.Open(promlintPath)
+		if err != nil {
+			return err
+		}
+		problems := telemetry.LintProm(f)
+		f.Close()
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(w, "promlint: %s: %s\n", promlintPath, p)
+			}
+			return fmt.Errorf("%s: %d exposition problems", promlintPath, len(problems))
+		}
+		fmt.Fprintf(w, "promlint: %s: clean\n", promlintPath)
 	}
 	return nil
 }
@@ -248,15 +282,19 @@ func summarizeMetrics(w io.Writer, snap telemetry.Snapshot) {
 	}
 }
 
-// summarizeSpans prints a per-name phase table.
+// summarizeSpans prints a per-name phase table, and — when the capture
+// carries trace-linked spans — a per-hop latency quantile table across
+// the distributed hops.
 func summarizeSpans(w io.Writer, spans []telemetry.SpanRecord) {
 	type agg struct {
 		count int
 		total float64
 		max   float64
+		durs  []float64
 	}
 	byName := map[string]*agg{}
 	var order []string
+	traced := false
 	for _, sp := range spans {
 		a, ok := byName[sp.Name]
 		if !ok {
@@ -269,6 +307,10 @@ func summarizeSpans(w io.Writer, spans []telemetry.SpanRecord) {
 		if sp.DurUs > a.max {
 			a.max = sp.DurUs
 		}
+		a.durs = append(a.durs, sp.DurUs)
+		if sp.TraceID != "" {
+			traced = true
+		}
 	}
 	fmt.Fprintln(w, "== spans ==")
 	fmt.Fprintf(w, "%-28s %8s %12s %12s %12s\n", "phase", "count", "total_ms", "mean_ms", "max_ms")
@@ -278,6 +320,19 @@ func summarizeSpans(w io.Writer, spans []telemetry.SpanRecord) {
 			name, a.count, a.total/1e3, a.total/1e3/float64(a.count), a.max/1e3)
 	}
 	fmt.Fprintln(w)
+
+	if traced {
+		fmt.Fprintln(w, "== per-hop latency ==")
+		fmt.Fprintf(w, "%-28s %8s %12s %12s %12s\n", "hop", "count", "p50_us", "p99_us", "p999_us")
+		for _, name := range order {
+			a := byName[name]
+			sort.Float64s(a.durs)
+			q := func(p float64) float64 { return a.durs[int(p*float64(len(a.durs)-1))] }
+			fmt.Fprintf(w, "%-28s %8d %12.1f %12.1f %12.1f\n",
+				name, a.count, q(0.50), q(0.99), q(0.999))
+		}
+		fmt.Fprintln(w)
+	}
 }
 
 // summarizeDivergence diffs the per-(epoch, cluster) operating-level

@@ -46,7 +46,7 @@ func TestSummarizeMetricsDump(t *testing.T) {
 	writeFixtureMetrics(t, path)
 
 	var out bytes.Buffer
-	if err := run(&out, path, "", "", "", "", ""); err != nil {
+	if err := run(&out, path, "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -85,7 +85,7 @@ func TestSummarizeSpansAndChromeExport(t *testing.T) {
 	f.Close()
 
 	var out bytes.Buffer
-	if err := run(&out, "", spansPath, chromePath, "", "", ""); err != nil {
+	if err := run(&out, "", spansPath, chromePath, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -129,7 +129,7 @@ func TestTraceDivergence(t *testing.T) {
 	oracle := mk("oracle.csv", []int{5, 5, 4, 4, 2})
 
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", run1, oracle, ""); err != nil {
+	if err := run(&out, "", "", "", run1, oracle, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -142,7 +142,7 @@ func TestTraceDivergence(t *testing.T) {
 
 func TestTraceRequiresReference(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "whatever.csv", "", ""); err == nil {
+	if err := run(&out, "", "", "", "whatever.csv", "", "", ""); err == nil {
 		t.Fatal("-trace without -against must fail")
 	}
 }
@@ -199,7 +199,7 @@ func TestSummarizeDecisionsDump(t *testing.T) {
 	writeFixtureDecisions(t, path)
 
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "", "", path); err != nil {
+	if err := run(&out, "", "", "", "", "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -223,10 +223,87 @@ func TestSummarizeDecisionsDump(t *testing.T) {
 
 	// The view must be byte-deterministic over the same dump.
 	var again bytes.Buffer
-	if err := run(&again, "", "", "", "", "", path); err != nil {
+	if err := run(&again, "", "", "", "", "", path, ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), again.Bytes()) {
 		t.Fatal("decisions view is not byte-deterministic")
+	}
+}
+
+// TestMultiFileSpanMerge merges per-process span captures into one
+// Chrome trace with a distinct pid per input file, and prints the
+// per-hop quantile table for trace-linked spans.
+func TestMultiFileSpanMerge(t *testing.T) {
+	dir := t.TempDir()
+	clientPath := filepath.Join(dir, "client.jsonl")
+	replicaPath := filepath.Join(dir, "replica.jsonl")
+	chromePath := filepath.Join(dir, "merged.json")
+
+	tc := telemetry.TraceContext{TraceID: 0xbeef, Flags: telemetry.FlagSampled}
+	for i, path := range []string{clientPath, replicaPath} {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := telemetry.NewTracer(f)
+		tr.StartSpan(tc, []string{"client.send", "engine.batch"}[i]).End()
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+
+	var out bytes.Buffer
+	if err := run(&out, "", clientPath+","+replicaPath, chromePath, "", "", "", ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"per-hop latency", "client.send", "engine.batch", "2 processes"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("merge output missing %q:\n%s", want, got)
+		}
+	}
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"pid": 1`, `"pid": 2`, `"process_name"`, `"000000000000beef"`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("chrome trace missing %q", want)
+		}
+	}
+}
+
+func TestPromlintFlag(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.prom")
+	bad := filepath.Join(dir, "bad.prom")
+
+	reg := telemetry.NewRegistry()
+	reg.Counter("serve_decisions_total").Add(5)
+	reg.Histogram("serve_batch_latency_us").ObserveExemplar(7, 0xabc)
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WriteProm(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "", "", "", good); err != nil {
+		t.Fatalf("clean exposition flagged: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "clean") {
+		t.Fatalf("missing clean verdict:\n%s", out.String())
+	}
+
+	if err := os.WriteFile(bad, []byte("a_total 1\na_total 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(&out, "", "", "", "", "", "", bad); err == nil {
+		t.Fatalf("duplicate series not flagged:\n%s", out.String())
 	}
 }

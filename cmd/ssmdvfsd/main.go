@@ -9,6 +9,7 @@
 //
 //	ssmdvfsd -model ssmdvfs-cache/compressed.json [-http :8090] [-tcp :8091]
 //	         [-quant 8] [-workers N] [-budget 200us] [-flightrec 4096]
+//	         [-spans ssmdvfsd-spans.jsonl]
 //	         [-faults 'serve.infer:panic:every=100'] [-faults-seed 1]
 //
 // The daemon degrades instead of failing: model panics, deadline misses
@@ -65,6 +66,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "max concurrent inference batches (0 = GOMAXPROCS)")
 		budget    = flag.Duration("budget", 0, "per-decision deadline; rows past it get the analytical fallback (0 = off)")
 		flightrec = flag.Int("flightrec", 0, "keep the last N decisions in a provenance flight recorder with online drift monitoring (0 = off)")
+		spansPath = flag.String("spans", "", "write spans for sampled traced requests to this JSONL file (dvfsstat -chrome input; empty = off)")
 		faultSpec = flag.String("faults", "", "arm fault injection, e.g. 'serve.infer:panic:every=100;serve.conn:error:rate=0.01' (chaos testing)")
 		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
 		verbose   = flag.Bool("v", true, "log progress")
@@ -80,7 +82,7 @@ func main() {
 	if *verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
-	if err := run(*modelPath, *httpAddr, *tcpAddr, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, logf); err != nil {
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
@@ -107,7 +109,7 @@ func buildMux(srv *serve.Server) http.Handler {
 	return mux
 }
 
-func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
+func run(modelPath, httpAddr, tcpAddr, spansPath string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -141,6 +143,18 @@ func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget tim
 		return err
 	}
 	srv.Telemetry().SetBuild(buildinfo.Info())
+	var tracer *telemetry.Tracer
+	if spansPath != "" {
+		sf, err := os.Create(spansPath)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		defer sf.Close()
+		tracer = telemetry.NewTracer(sf)
+		srv.SetTracer(tracer)
+		logf("ssmdvfsd: tracing armed: sampled request spans to %s", spansPath)
+	}
 	if flightrec > 0 {
 		srv.EnableProvenance(flightrec, provenance.MonitorOptions{
 			Logger: telemetry.NewLoggerFunc(logf, srv.Telemetry()),
@@ -189,6 +203,11 @@ func run(modelPath, httpAddr, tcpAddr string, quantBits, workers int, budget tim
 					hs.Close()
 				}
 				srv.Close()
+				if tracer != nil {
+					if err := tracer.Flush(); err != nil {
+						logf("ssmdvfsd: span flush: %v", err)
+					}
+				}
 				snap := srv.Metrics().Snapshot(srv.Model().Levels)
 				logf("ssmdvfsd: served %d decisions in %d batches, %d reloads, %d errors",
 					snap.Decisions, snap.Batches, snap.Reloads, snap.Errors)

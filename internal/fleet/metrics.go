@@ -23,6 +23,15 @@ var shedCauses = []string{ShedQueueFull, ShedDeadline, ShedNoReplica, ShedShutdo
 // counts batches of [2^(i-1), 2^i) rows, and MaxBatch is 1024 = 2^10.
 const batchHistBuckets = 12
 
+// The fleet shed-rate SLO: at most sloShedBudget of admitted-or-shed rows
+// may be refused by admission control over the rolling sloShedWindow.
+// Exposed as slo_burn_rate{slo="fleet-shed"} (1.0 = shedding exactly at
+// budget).
+const (
+	sloShedBudget = 0.01
+	sloShedWindow = time.Minute
+)
+
 // Metrics aggregates the router's counters on a telemetry.Registry, so
 // the fleet tier exposes the same JSON snapshot + Prometheus exposition
 // surface as a single daemon. Handles are resolved up front; every hot
@@ -36,6 +45,7 @@ type Metrics struct {
 	Healthy  *telemetry.Gauge   // healthy replicas right now
 
 	shed      map[string]*telemetry.Counter // by cause
+	shedSLO   *telemetry.SLO                // shed-rate error budget
 	batchRows *telemetry.Histogram          // rows per dispatched batch
 
 	shards []shardMetrics
@@ -59,6 +69,7 @@ func newMetrics(reg *telemetry.Registry, nShards int) *Metrics {
 		Up:       reg.Counter("fleet_replica_up_total"),
 		Healthy:  reg.Gauge("fleet_healthy_replicas"),
 		shed:     make(map[string]*telemetry.Counter, len(shedCauses)),
+		shedSLO:  telemetry.NewSLO(reg, "fleet-shed", sloShedBudget, sloShedWindow),
 		batchRows: reg.HistogramBuckets("fleet_batch_rows",
 			batchHistBuckets),
 		shards: make([]shardMetrics, nShards),
@@ -81,12 +92,17 @@ func newMetrics(reg *telemetry.Registry, nShards int) *Metrics {
 // Registry exposes the registry hosting the fleet metrics.
 func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
-// Shed counts one refused row.
+// Shed counts one refused row against its cause and the shed-rate SLO.
 func (m *Metrics) Shed(cause string) {
 	if c, ok := m.shed[cause]; ok {
 		c.Add(1)
 	}
+	m.shedSLO.Observe(true)
 }
+
+// Admitted counts one row accepted into a shard queue toward the
+// shed-rate SLO denominator.
+func (m *Metrics) Admitted() { m.shedSLO.Observe(false) }
 
 // ShedTotal sums the shed counters across causes.
 func (m *Metrics) ShedTotal() int64 {
@@ -99,9 +115,16 @@ func (m *Metrics) ShedTotal() int64 {
 
 // ObserveDispatch records one batch sent to a shard: n rows, round-trip d.
 func (m *Metrics) ObserveDispatch(shard, n int, d time.Duration) {
+	m.ObserveDispatchTraced(shard, n, d, 0)
+}
+
+// ObserveDispatchTraced is ObserveDispatch carrying a sampled batch's
+// trace ID: the shard-latency bucket the round trip lands in keeps the
+// ID as its exemplar (traceID 0 is exactly ObserveDispatch).
+func (m *Metrics) ObserveDispatchTraced(shard, n int, d time.Duration, traceID uint64) {
 	m.batchRows.Observe(int64(n))
 	m.shards[shard].Rows.Add(int64(n))
-	m.shards[shard].Latency.Observe(d.Microseconds())
+	m.shards[shard].Latency.ObserveExemplar(d.Microseconds(), traceID)
 }
 
 // itoa formats a small non-negative int without pulling in strconv.

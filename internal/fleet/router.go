@@ -62,6 +62,11 @@ type Options struct {
 	// ProbeInterval is how often unhealthy replicas are re-dialed for
 	// recovery (default 250 ms).
 	ProbeInterval time.Duration
+	// Tracer, when set, emits router-hop spans (router.queue,
+	// router.coalesce, router.dispatch, router.reroute, router.shed) for
+	// sampled traced requests. Nil keeps the routing path span-free; the
+	// unsampled path pays only a flag check either way.
+	Tracer *telemetry.Tracer
 	// Logf receives progress messages; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -113,6 +118,14 @@ type call struct {
 	hops int
 	dec  serve.Decision
 	done chan struct{}
+
+	// tc is the front-end trace context the row arrived under (zero for
+	// untraced rows); deq is when the coalescer pulled the row off the
+	// queue (stamped only for sampled rows); hop accumulates the row's
+	// per-hop latency attribution for the traced response.
+	tc  telemetry.TraceContext
+	deq time.Time
+	hop serve.HopTimings
 }
 
 // shard is one replica's routing state: the admission queue, the
@@ -203,10 +216,20 @@ func (rt *Router) NumShards() int { return len(rt.shards) }
 // fallback (Reason == ReasonShed), never as an error. Rows without a
 // (gpu, cluster) identity get a synthetic one so they still shard.
 func (rt *Router) Decide(rows []serve.Request, decs []serve.Decision) []serve.Decision {
+	decs, _ = rt.DecideTraced(rows, decs, telemetry.TraceContext{})
+	return decs
+}
+
+// DecideTraced is Decide carrying distributed-trace context: sampled
+// rows emit router.queue/coalesce/dispatch spans, propagate the context
+// to replicas that advertised tracing, and return the batch's per-hop
+// latency attribution (merged across rows as a per-field max). A zero
+// context is exactly Decide.
+func (rt *Router) DecideTraced(rows []serve.Request, decs []serve.Decision, tc telemetry.TraceContext) ([]serve.Decision, serve.HopTimings) {
 	rt.metrics.Requests.Add(1)
 	calls := make([]*call, len(rows))
 	for i := range rows {
-		c := &call{req: rows[i], enq: time.Now(), done: make(chan struct{})}
+		c := &call{req: rows[i], enq: time.Now(), tc: tc, done: make(chan struct{})}
 		if c.req.GPU < 0 || c.req.Cluster < 0 {
 			seq := rt.synthSeq.Add(1)
 			c.req.GPU = int32(seq % (1 << 30))
@@ -215,11 +238,13 @@ func (rt *Router) Decide(rows []serve.Request, decs []serve.Decision) []serve.De
 		calls[i] = c
 		rt.submit(c)
 	}
+	var hops serve.HopTimings
 	for _, c := range calls {
 		<-c.done
 		decs = append(decs, c.dec)
+		hops.Merge(c.hop)
 	}
-	return decs
+	return decs, hops
 }
 
 // submit routes one call to its shard's admission queue, shedding on a
@@ -240,6 +265,7 @@ func (rt *Router) submit(c *call) {
 	select {
 	case rt.shards[shardIdx].queue <- c:
 		rt.metrics.Rows.Add(1)
+		rt.metrics.Admitted()
 	default:
 		rt.shedCall(c, ShedQueueFull)
 	}
@@ -255,6 +281,12 @@ func (rt *Router) shedCall(c *call, cause string) {
 		Shard: -1, Rerouted: c.hops > 0,
 	}
 	rt.metrics.Shed(cause)
+	if c.tc.Sampled() {
+		now := time.Now()
+		c.hop.QueueUs = serve.DurUs32(now.Sub(c.enq))
+		sp := rt.opts.Tracer.StartSpanAt(c.tc, "router.shed", c.enq, "cause", cause)
+		sp.EndAt(now)
+	}
 	close(c.done)
 }
 
@@ -278,6 +310,7 @@ func (rt *Router) coalesce(s *shard) {
 			rt.drainQueue(s)
 			return
 		}
+		stampDeq(first)
 		batch := make([]*call, 1, rt.opts.CoalesceRows)
 		batch[0] = first
 		timer.Reset(rt.opts.CoalesceWait)
@@ -287,6 +320,7 @@ func (rt *Router) coalesce(s *shard) {
 			case s.batches <- batch:
 				sent = true
 			case c := <-s.queue:
+				stampDeq(c)
 				batch = append(batch, c)
 			case <-timer.C:
 				expired = true
@@ -330,6 +364,15 @@ func (rt *Router) drainQueue(s *shard) {
 	}
 }
 
+// stampDeq records when the coalescer pulled a sampled call off its
+// shard queue — the boundary between queue wait and coalesce linger.
+// Unsampled calls skip the clock read.
+func stampDeq(c *call) {
+	if c.tc.Sampled() {
+		c.deq = time.Now()
+	}
+}
+
 // dispatch is one in-flight slot for a shard: it owns one connection and
 // drains coalesced batches onto it. A failed round-trip marks the
 // replica unhealthy and reroutes the batch through the ring; rows past
@@ -337,6 +380,7 @@ func (rt *Router) drainQueue(s *shard) {
 func (rt *Router) dispatch(s *shard) {
 	defer rt.wg.Done()
 	var cl *serve.Client
+	tracing := false // did this slot's replica advertise tracing?
 	defer func() {
 		if cl != nil {
 			cl.Close()
@@ -365,33 +409,89 @@ func (rt *Router) dispatch(s *shard) {
 		}
 
 		if cl == nil {
-			c, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
+			c, tr, err := rt.dialReplica(s)
 			if err != nil {
 				rt.replicaFailed(s, live, err)
 				continue
 			}
-			cl = c
+			cl, tracing = c, tr
 		}
 		rows = rows[:0]
 		for _, c := range live {
 			rows = append(rows, c.req)
 		}
+		// The first sampled call's context parents this batch's dispatch
+		// span and rides to the replica (coalesced batches share one
+		// downstream trace; every sampled row still gets its own queue
+		// and coalesce spans below).
+		var parentTC telemetry.TraceContext
+		for _, c := range live {
+			if c.tc.Sampled() {
+				parentTC = c.tc
+				break
+			}
+		}
+		dspSp := rt.opts.Tracer.StartSpan(parentTC, "router.dispatch", "shard", s.addr)
+		var (
+			decs    []serve.Decision
+			repHops serve.HopTimings
+			err     error
+		)
 		start := time.Now()
-		decs, err := cl.DecideKeyed(rows)
+		if tracing && parentTC.Sampled() {
+			childTC := parentTC
+			if dspSp != nil {
+				childTC = dspSp.Context()
+			}
+			decs, repHops, err = cl.DecideKeyedTraced(rows, childTC)
+		} else {
+			decs, err = cl.DecideKeyed(rows)
+		}
+		rtt := time.Since(start)
+		dspSp.End()
 		if err != nil {
 			cl.Close()
 			cl = nil
 			rt.replicaFailed(s, live, err)
 			continue
 		}
-		rt.metrics.ObserveDispatch(s.idx, len(live), time.Since(start))
+		rt.metrics.ObserveDispatchTraced(s.idx, len(live), rtt, parentTC.TraceID)
 		for i, c := range live {
 			c.dec = decs[i]
 			c.dec.Shard = s.idx
 			c.dec.Rerouted = c.hops > 0
+			if c.tc.Sampled() {
+				c.hop.QueueUs = serve.DurUs32(c.deq.Sub(c.enq))
+				c.hop.CoalesceUs = serve.DurUs32(start.Sub(c.deq))
+				c.hop.DispatchUs = serve.DurUs32(rtt)
+				c.hop.InferUs = repHops.InferUs
+				if tr := rt.opts.Tracer; tr != nil {
+					qs := tr.StartSpanAt(c.tc, "router.queue", c.enq)
+					qs.EndAt(c.deq)
+					cs := tr.StartSpanAt(c.tc, "router.coalesce", c.deq)
+					cs.EndAt(start)
+				}
+			}
 			close(c.done)
 		}
 	}
+}
+
+// dialReplica connects one dispatch slot to its replica and negotiates
+// the protocol, reporting whether the peer advertised the tracing
+// capability. Traced frames are only sent to peers that did — v2/v3
+// replicas without tracing keep getting plain keyed frames.
+func (rt *Router) dialReplica(s *shard) (*serve.Client, bool, error) {
+	cl, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
+	if err != nil {
+		return nil, false, err
+	}
+	hello, err := cl.Negotiate()
+	if err != nil {
+		cl.Close()
+		return nil, false, err
+	}
+	return cl, hello.Tracing, nil
 }
 
 // replicaFailed marks a shard unhealthy and reroutes its in-flight calls
@@ -410,6 +510,10 @@ func (rt *Router) replicaFailed(s *shard, calls []*call, err error) {
 		}
 		c.hops++
 		rt.metrics.Rerouted.Add(1)
+		if c.tc.Sampled() {
+			sp := rt.opts.Tracer.StartSpan(c.tc, "router.reroute", "from", s.addr)
+			sp.End()
+		}
 		rt.submit(c)
 	}
 }
@@ -545,15 +649,20 @@ func (rt *Router) serveFrame(bw *bufio.Writer, bufs *connBuffers, connID int32, 
 			ver = int(maxVer)
 		}
 		bufs.out = serve.AppendHelloAckFrame(bufs.out[:0],
-			serve.Hello{Version: ver, Router: true, Shards: len(rt.shards)})
+			serve.Hello{Version: ver, Router: true, Shards: len(rt.shards),
+				Tracing: ver >= serve.Version3})
 		return serve.WriteFrame(bw, bufs.out) == nil && bw.Flush() == nil
 
-	case serve.MsgDecide, serve.MsgDecideKeyed:
-		keyed := msgType == serve.MsgDecideKeyed
+	case serve.MsgDecide, serve.MsgDecideKeyed, serve.MsgDecideTraced:
+		keyed := msgType != serve.MsgDecide
 		var rows []serve.Request
-		if keyed {
+		var tc telemetry.TraceContext
+		switch msgType {
+		case serve.MsgDecideTraced:
+			rows, tc, err = serve.DecodeTracedRequestFrame(frame, bufs.rows)
+		case serve.MsgDecideKeyed:
 			rows, err = serve.DecodeKeyedRequestFrame(frame, bufs.rows)
-		} else {
+		default:
 			rows, err = serve.DecodeRequestFrame(frame, bufs.rows)
 		}
 		if err != nil {
@@ -569,11 +678,15 @@ func (rt *Router) serveFrame(bw *bufio.Writer, bufs *connBuffers, connID int32, 
 				rows[i].Cluster = int32(i)
 			}
 		}
-		bufs.decs = rt.Decide(rows, bufs.decs[:0])
+		var hops serve.HopTimings
+		bufs.decs, hops = rt.DecideTraced(rows, bufs.decs[:0], tc)
 		var out []byte
-		if keyed {
+		switch msgType {
+		case serve.MsgDecideTraced:
+			out, err = serve.AppendTracedResponseFrame(bufs.out[:0], serve.StatusOK, bufs.decs, tc.TraceID, hops)
+		case serve.MsgDecideKeyed:
 			out, err = serve.AppendKeyedResponseFrame(bufs.out[:0], serve.StatusOK, bufs.decs)
-		} else {
+		default:
 			out, err = serve.AppendResponseFrame(bufs.out[:0], serve.StatusOK, bufs.decs)
 		}
 		if err != nil {

@@ -122,6 +122,12 @@ type Record struct {
 	HasPredErr bool
 	// LatencyNs is how long the decision took end to end.
 	LatencyNs int64
+	// TraceID links the decision to its distributed trace (0 = the
+	// request was not sampled): the same 64-bit ID appears on every span
+	// of the request's client → router → replica path and on latency-
+	// histogram exemplars, so /debug/decisions?trace= resolves an
+	// exemplar straight to this record.
+	TraceID uint64
 
 	// Raw is the full per-epoch counter row (counters.Num wide).
 	NumRaw int32
@@ -161,9 +167,10 @@ func (r *Record) SetLogits(row []float64) {
 //	2      Level (high 32) | Reason | HasPredErr | NumRaw | NumDerived | NumLogits (packed bytes)
 //	3..6   Preset, EffPreset, PredInstr, PredErr
 //	7      LatencyNs
-//	8..    Raw, Derived, Logits
+//	8      TraceID
+//	9..    Raw, Derived, Logits
 const (
-	recScalarWords = 8
+	recScalarWords = 9
 	recWords       = recScalarWords + counters.Num + 2*MaxAux
 )
 
@@ -182,9 +189,12 @@ type jsonRecord struct {
 	// the field instead of emitting a meaningless zero.
 	PredErr   *float64 `json:"pred_err,omitempty"`
 	LatencyNs int64    `json:"latency_ns"`
-	Raw       floats   `json:"raw,omitempty"`
-	Derived   floats   `json:"derived,omitempty"`
-	Logits    floats   `json:"logits,omitempty"`
+	// TraceID is the distributed-trace ID in fixed-width hex, omitted
+	// for unsampled decisions (so pre-tracing dumps stay byte-identical).
+	TraceID string `json:"trace_id,omitempty"`
+	Raw     floats `json:"raw,omitempty"`
+	Derived floats `json:"derived,omitempty"`
+	Logits  floats `json:"logits,omitempty"`
 }
 
 // floats marshals a float slice with non-finite values encoded as the
@@ -263,6 +273,9 @@ func (r *Record) toJSON() jsonRecord {
 		e := r.PredErr
 		j.PredErr = &e
 	}
+	if r.TraceID != 0 {
+		j.TraceID = fmt.Sprintf("%016x", r.TraceID)
+	}
 	return j
 }
 
@@ -285,6 +298,13 @@ func (j *jsonRecord) toRecord() (Record, error) {
 	if j.PredErr != nil {
 		r.PredErr = *j.PredErr
 		r.HasPredErr = true
+	}
+	if j.TraceID != "" {
+		id, err := strconv.ParseUint(j.TraceID, 16, 64)
+		if err != nil {
+			return Record{}, fmt.Errorf("provenance: bad trace id %q: %w", j.TraceID, err)
+		}
+		r.TraceID = id
 	}
 	r.SetRaw(j.Raw)
 	r.SetDerived(j.Derived)

@@ -137,6 +137,7 @@ func encodeRecord(w []atomic.Uint64, rec *Record) {
 	w[5].Store(math.Float64bits(rec.PredInstr))
 	w[6].Store(math.Float64bits(rec.PredErr))
 	w[7].Store(uint64(rec.LatencyNs))
+	w[8].Store(rec.TraceID)
 	p := recScalarWords
 	for i := range rec.Raw {
 		w[p+i].Store(math.Float64bits(rec.Raw[i]))
@@ -169,6 +170,7 @@ func decodeRecord(w []atomic.Uint64, rec *Record) {
 	rec.PredInstr = math.Float64frombits(w[5].Load())
 	rec.PredErr = math.Float64frombits(w[6].Load())
 	rec.LatencyNs = int64(w[7].Load())
+	rec.TraceID = w[8].Load()
 	p := recScalarWords
 	for i := range rec.Raw {
 		rec.Raw[i] = math.Float64frombits(w[p+i].Load())

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/telemetry"
 )
 
 // Client-side fault-injection sites (armed via DialOptions.Faults).
@@ -71,10 +72,23 @@ type Client struct {
 
 	reconnects int64
 
+	// tracer, when set, emits client.send/client.recv spans for sampled
+	// traced requests. lastHops holds the per-hop attribution of the most
+	// recent traced response.
+	tracer   *telemetry.Tracer
+	lastHops HopTimings
+
 	frame []byte
 	req   []byte
 	decs  []Decision
 }
+
+// request kinds for the exchange/roundTrip retry loop.
+const (
+	kindPlain = iota
+	kindKeyed
+	kindTraced
+)
 
 // Dial connects to a daemon's binary-protocol address with the default
 // options (one 5 s attempt, no retries).
@@ -108,6 +122,9 @@ func NewClient(conn net.Conn) *Client {
 // Reconnects returns how many times the client re-established its
 // connection.
 func (c *Client) Reconnects() int64 { return c.reconnects }
+
+// SetTracer installs a span tracer for this client's traced requests.
+func (c *Client) SetTracer(tr *telemetry.Tracer) { c.tracer = tr }
 
 func (c *Client) bind(conn net.Conn) {
 	c.conn = conn
@@ -194,7 +211,7 @@ func (c *Client) Decide(rows []Request) ([]Decision, error) {
 		return nil, err
 	}
 	c.req = req
-	return c.exchange(req, false)
+	return c.exchange(req, kindPlain, telemetry.TraceContext{})
 }
 
 // DecideKeyed sends one keyed batch over the v3 protocol — every row
@@ -207,7 +224,28 @@ func (c *Client) DecideKeyed(rows []Request) ([]Decision, error) {
 		return nil, err
 	}
 	c.req = req
-	return c.exchange(req, true)
+	return c.exchange(req, kindKeyed, telemetry.TraceContext{})
+}
+
+// DecideKeyedTraced sends one keyed batch carrying distributed-trace
+// context and returns the server's per-hop latency attribution alongside
+// the decisions. An invalid (zero) context degrades to exactly
+// DecideKeyed — the unsampled hot path pays nothing. The peer must have
+// advertised tracing in its hello-ack (Negotiate), otherwise the traced
+// frame is refused.
+func (c *Client) DecideKeyedTraced(rows []Request, tc telemetry.TraceContext) ([]Decision, HopTimings, error) {
+	if !tc.Valid() {
+		decs, err := c.DecideKeyed(rows)
+		return decs, HopTimings{}, err
+	}
+	req, err := AppendTracedRequestFrame(c.req[:0], rows, tc)
+	if err != nil {
+		return nil, HopTimings{}, err
+	}
+	c.req = req
+	c.lastHops = HopTimings{}
+	decs, err := c.exchange(req, kindTraced, tc)
+	return decs, c.lastHops, err
 }
 
 // Negotiate performs the v3 hello/ack exchange and returns the server's
@@ -230,9 +268,9 @@ func (c *Client) Negotiate() (Hello, error) {
 	return DecodeHelloAckFrame(frame)
 }
 
-// exchange runs the request/response retry loop shared by Decide and
-// DecideKeyed.
-func (c *Client) exchange(req []byte, keyed bool) ([]Decision, error) {
+// exchange runs the request/response retry loop shared by Decide,
+// DecideKeyed and DecideKeyedTraced.
+func (c *Client) exchange(req []byte, kind int, tc telemetry.TraceContext) ([]Decision, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.opts.Retries; attempt++ {
 		if attempt > 0 {
@@ -247,7 +285,7 @@ func (c *Client) exchange(req []byte, keyed bool) ([]Decision, error) {
 				continue
 			}
 		}
-		decs, err := c.roundTrip(req, keyed)
+		decs, err := c.roundTrip(req, kind, tc)
 		if err == nil {
 			return decs, nil
 		}
@@ -265,25 +303,36 @@ func (c *Client) exchange(req []byte, keyed bool) ([]Decision, error) {
 	return nil, lastErr
 }
 
-func (c *Client) roundTrip(req []byte, keyed bool) ([]Decision, error) {
+func (c *Client) roundTrip(req []byte, kind int, tc telemetry.TraceContext) ([]Decision, error) {
 	if err := c.opts.Faults.Inject(FaultClientIO); err != nil {
 		return nil, err
 	}
+	sendSp := c.tracer.StartSpan(tc, "client.send")
 	if err := writeFrame(c.bw, req); err != nil {
+		sendSp.End()
 		return nil, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	err := c.bw.Flush()
+	sendSp.End()
+	if err != nil {
 		return nil, err
 	}
+	recvSp := c.tracer.StartSpan(tc, "client.recv")
 	frame, err := readFrame(c.br, c.frame)
+	recvSp.End()
 	if err != nil {
 		return nil, err
 	}
 	c.frame = frame[:cap(frame)]
 	var decs []Decision
-	if keyed {
+	switch kind {
+	case kindTraced:
+		var hops HopTimings
+		decs, hops, err = DecodeTracedResponseFrame(frame, c.decs)
+		c.lastHops = hops
+	case kindKeyed:
 		decs, err = DecodeKeyedResponseFrame(frame, c.decs)
-	} else {
+	default:
 		decs, err = DecodeResponseFrame(frame, c.decs)
 	}
 	if err != nil {

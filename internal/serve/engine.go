@@ -73,6 +73,10 @@ type Engine struct {
 
 	infPool sync.Pool // *core.Inference
 
+	// tracer, when SetTracer installed one, receives engine-hop spans for
+	// sampled traces. Nil tracers and unsampled requests cost nothing.
+	tracer *telemetry.Tracer
+
 	mu sync.Mutex // serializes Reload
 }
 
@@ -118,6 +122,15 @@ func (e *Engine) EnableProvenance(capacity int, opts provenance.MonitorOptions) 
 	names, mean, std := e.Model().TrainingStats()
 	e.mon.SetTrainingStats(names, mean, std)
 }
+
+// SetTracer installs a span tracer for the engine's decision hops
+// (engine.batch / engine.inference / engine.fallback). Must be called
+// before the engine starts answering decisions; a nil tracer (the
+// default) keeps the hot path span-free.
+func (e *Engine) SetTracer(tr *telemetry.Tracer) { e.tracer = tr }
+
+// Tracer returns the engine's span tracer, or nil.
+func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
 
 // FlightRecorder returns the decision flight recorder, or nil when
 // provenance is not enabled.
@@ -319,14 +332,35 @@ func (e *Engine) DecideBatch(rows []Request, decs []Decision) []Decision {
 	return e.decideBatch(rows, decs)
 }
 
-// decideBatch answers every row, appending one Decision per row to decs.
+// decideBatch is the untraced entry point (zero trace context).
+func (e *Engine) decideBatch(rows []Request, decs []Decision) []Decision {
+	return e.decideBatchTC(rows, decs, telemetry.TraceContext{})
+}
+
+// DecideBatchTraced is DecideBatch for a request carrying distributed-
+// trace context: sampled traces get engine spans and their trace ID
+// stamped into provenance records, and the returned microsecond count
+// is the inference-hop attribution for the traced response frame. An
+// unsampled (zero) context follows exactly the DecideBatch path.
+func (e *Engine) DecideBatchTraced(rows []Request, decs []Decision, tc telemetry.TraceContext) ([]Decision, uint32) {
+	start := time.Now()
+	decs = e.decideBatchTC(rows, decs, tc)
+	return decs, DurUs32(time.Since(start))
+}
+
+// decideBatchTC answers every row, appending one Decision per row to decs.
 // It acquires a worker-pool slot, so at most Options.Workers batches run
 // at once regardless of connection count. The contract is the degradation
 // guarantee: decideBatch never returns fewer decisions than rows and
 // never panics — rows the model cannot answer (invalid features,
 // recovered panic, blown deadline budget, fallback-only health state)
 // degrade to the analytical fallback instead.
-func (e *Engine) decideBatch(rows []Request, decs []Decision) []Decision {
+func (e *Engine) decideBatchTC(rows []Request, decs []Decision, tc telemetry.TraceContext) []Decision {
+	// Span (and provenance trace-ID stamping) only for sampled traces:
+	// sp is nil otherwise and every sp call below is a no-op.
+	sp := e.tracer.StartSpan(tc, "engine.batch")
+	defer sp.End()
+
 	e.sem <- struct{}{}
 	defer func() { <-e.sem }()
 
@@ -334,6 +368,7 @@ func (e *Engine) decideBatch(rows []Request, decs []Decision) []Decision {
 	if e.prov != nil || e.mon != nil {
 		rec = e.recPool.Get().(*provenance.Record)
 		defer e.recPool.Put(rec)
+		rec.TraceID = tc.TraceID
 	}
 
 	start := time.Now()
@@ -342,18 +377,24 @@ func (e *Engine) decideBatch(rows []Request, decs []Decision) []Decision {
 	// machine bypassing it entirely, or the failure modelRows reports.
 	tailReason := provenance.ReasonFallbackOnly
 	if e.health.useModel() {
+		isp := e.tracer.StartSpan(sp.Context(), "engine.inference")
 		var failed bool
 		decs, done, tailReason, failed = e.modelRows(rows, decs, start, rec)
+		isp.End()
 		if failed {
 			e.health.recordFailure()
 		} else {
 			e.health.recordSuccess()
 		}
 	}
-	for _, row := range rows[done:] {
-		d := e.fallbackRow(row, tailReason)
-		decs = append(decs, d)
-		e.observe(rec, row, d, nil, nil, start)
+	if done < len(rows) {
+		fsp := e.tracer.StartSpan(sp.Context(), "engine.fallback")
+		for _, row := range rows[done:] {
+			d := e.fallbackRow(row, tailReason)
+			decs = append(decs, d)
+			e.observe(rec, row, d, nil, nil, start)
+		}
+		fsp.End()
 	}
 	return decs
 }

@@ -38,9 +38,20 @@ type Metrics struct {
 
 	levels [maxLevels]*telemetry.Counter
 	lat    *telemetry.Histogram
+	latSLO *telemetry.SLO
 
 	reg *telemetry.Registry
 }
+
+// The serving latency SLO: batches should finish within
+// sloLatencyTarget, and at most sloLatencyBudget of them may miss it
+// over the rolling sloWindow. Exposed as slo_burn_rate{slo="serve-latency"}
+// (1.0 = consuming the budget exactly as fast as it accrues).
+const (
+	sloLatencyTarget = time.Millisecond
+	sloLatencyBudget = 0.001
+	sloWindow        = time.Minute
+)
 
 // newMetrics resolves every handle the serving hot path needs up front.
 func newMetrics(reg *telemetry.Registry) *Metrics {
@@ -56,6 +67,7 @@ func newMetrics(reg *telemetry.Registry) *Metrics {
 		DeadlineMisses:  reg.Counter("serve_deadline_misses_total"),
 		Unavailable:     reg.Counter("serve_unavailable_total"),
 		lat:             reg.HistogramBuckets("serve_batch_latency_us", histBuckets),
+		latSLO:          telemetry.NewSLO(reg, "serve-latency", sloLatencyBudget, sloWindow),
 		reg:             reg,
 	}
 	for l := range m.levels {
@@ -85,9 +97,17 @@ func (m *Metrics) Registry() *telemetry.Registry { return m.reg }
 
 // ObserveBatch records one served batch: n decisions in d.
 func (m *Metrics) ObserveBatch(n int, d time.Duration) {
+	m.ObserveBatchTraced(n, d, 0)
+}
+
+// ObserveBatchTraced is ObserveBatch carrying a sampled request's trace
+// ID: the latency bucket the batch lands in gets the ID as its exemplar
+// (traceID 0 — the unsampled common case — is exactly ObserveBatch).
+func (m *Metrics) ObserveBatchTraced(n int, d time.Duration, traceID uint64) {
 	m.Batches.Add(1)
 	m.Decisions.Add(int64(n))
-	m.lat.Observe(d.Microseconds())
+	m.lat.ObserveExemplar(d.Microseconds(), traceID)
+	m.latSLO.Observe(d > sloLatencyTarget)
 }
 
 // ObserveLevel records one decision outcome.

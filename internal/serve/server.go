@@ -16,6 +16,7 @@ import (
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/telemetry"
 )
 
 // Canonical fault-injection site names the serving path evaluates. All
@@ -157,13 +158,16 @@ func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) b
 		bufs.out = AppendHelloAckFrame(bufs.out[:0], s.helloAck(ver))
 		return writeFrame(bw, bufs.out) == nil && bw.Flush() == nil
 
-	case MsgDecide, MsgDecideKeyed:
-		keyed := msgType == MsgDecideKeyed
+	case MsgDecide, MsgDecideKeyed, MsgDecideTraced:
 		start := time.Now()
 		var rows []Request
-		if keyed {
+		var tc telemetry.TraceContext
+		switch msgType {
+		case MsgDecideKeyed:
 			rows, err = DecodeKeyedRequestFrame(frame, bufs.rows)
-		} else {
+		case MsgDecideTraced:
+			rows, tc, err = DecodeTracedRequestFrame(frame, bufs.rows)
+		default:
 			rows, err = DecodeRequestFrame(frame, bufs.rows)
 		}
 		if err != nil {
@@ -174,12 +178,24 @@ func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) b
 			return false
 		}
 		bufs.rows = rows
+		if tc.Sampled() {
+			// Retrospective decode span: the frame's trace context is only
+			// known after decoding, so stamp the interval after the fact.
+			dsp := s.tracer.StartSpanAt(tc, "engine.decode", start)
+			dsp.EndAt(time.Now())
+		}
 
-		bufs.decs = s.decideBatch(rows, bufs.decs[:0])
 		var out []byte
-		if keyed {
+		var inferUs uint32
+		switch msgType {
+		case MsgDecideTraced:
+			bufs.decs, inferUs = s.DecideBatchTraced(rows, bufs.decs[:0], tc)
+			out, err = AppendTracedResponseFrame(bufs.out[:0], StatusOK, bufs.decs, tc.TraceID, HopTimings{InferUs: inferUs})
+		case MsgDecideKeyed:
+			bufs.decs = s.decideBatch(rows, bufs.decs[:0])
 			out, err = AppendKeyedResponseFrame(bufs.out[:0], StatusOK, bufs.decs)
-		} else {
+		default:
+			bufs.decs = s.decideBatch(rows, bufs.decs[:0])
 			out, err = AppendResponseFrame(bufs.out[:0], StatusOK, bufs.decs)
 		}
 		if err != nil {
@@ -193,7 +209,7 @@ func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) b
 		if err := bw.Flush(); err != nil {
 			return false
 		}
-		s.metrics.ObserveBatch(len(rows), time.Since(start))
+		s.metrics.ObserveBatchTraced(len(rows), time.Since(start), tc.TraceID)
 		return true
 
 	default:
@@ -205,9 +221,11 @@ func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) b
 }
 
 // helloAck describes this server in version negotiation: a single-GPU
-// daemon (routers override this in their own transport).
+// daemon (routers override this in their own transport). Tracing is a
+// protocol capability — advertised whether or not a span tracer is
+// currently attached, since traced frames decode fine either way.
 func (s *Server) helloAck(version int) Hello {
-	return Hello{Version: version}
+	return Hello{Version: version, Tracing: version >= Version3}
 }
 
 // writeError best-effort sends a structured protocol error frame. err is
@@ -277,7 +295,8 @@ type httpDecision struct {
 //	               fallback-only → 503; decisions are still served)
 //	GET  /debug/decisions  flight-recorder ring dump (404 unless
 //	               provenance is enabled); ?n= caps the rows returned,
-//	               ?cluster= and ?reason= filter them
+//	               ?cluster=, ?reason= and ?trace= (hex trace ID, as
+//	               carried by histogram exemplars) filter them
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/decide", s.handleDecide)
@@ -444,6 +463,14 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 		}
 		hasReason = true
 	}
+	var traceID uint64
+	if v := q.Get("trace"); v != "" {
+		var err error
+		if traceID, err = telemetry.ParseTraceID(v); err != nil {
+			s.httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
 
 	recs := s.prov.Snapshot(nil)
 	kept := recs[:0]
@@ -452,6 +479,9 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		if hasReason && rec.Reason != reason {
+			continue
+		}
+		if traceID != 0 && rec.TraceID != traceID {
 			continue
 		}
 		kept = append(kept, rec)

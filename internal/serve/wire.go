@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/telemetry"
 )
 
 // Wire protocol: every message is one length-prefixed frame,
@@ -85,6 +87,16 @@ const (
 	// message, sent before the server drops a connection it cannot serve.
 	MsgError = 7
 
+	// MsgDecideTraced and MsgDecisionsTraced are the v3 traced batch
+	// request/response types: a keyed frame plus distributed-trace
+	// context on the request (trace ID, parent span ID, flags) and
+	// per-hop latency attribution on the response (queue, coalesce,
+	// dispatch, inference microseconds). Only sent to peers whose
+	// hello-ack advertises HelloFlagTracing, so v2/v3 peers without
+	// tracing support never see them.
+	MsgDecideTraced    = 8
+	MsgDecisionsTraced = 9
+
 	// MaxFrame bounds a frame payload; anything larger is rejected before
 	// allocation, so a corrupt length prefix cannot balloon memory.
 	MaxFrame = 1 << 20
@@ -107,16 +119,69 @@ const (
 )
 
 // HelloFlagRouter in a HelloAck marks the peer as a fleet router rather
-// than a single-GPU daemon.
-const HelloFlagRouter = 1
+// than a single-GPU daemon. HelloFlagTracing advertises that the peer
+// understands MsgDecideTraced/MsgDecisionsTraced — a protocol
+// capability, present whether or not the peer currently has a span
+// tracer attached.
+const (
+	HelloFlagRouter  = 1
+	HelloFlagTracing = 2
+)
 
 // Hello is the result of version negotiation: the agreed protocol
-// version, whether the peer is a router, and (for routers) its shard
-// count.
+// version, whether the peer is a router, whether it accepts traced
+// frames, and (for routers) its shard count.
 type Hello struct {
 	Version int
 	Router  bool
+	Tracing bool
 	Shards  int
+}
+
+// HopTimings is the per-hop latency attribution a traced response
+// carries back up the stack, each in microseconds (saturating at
+// ~71 min, far beyond any serving timeout): time the frame's rows spent
+// in an admission queue, lingering in the coalescer, in the dispatch
+// round trip to a replica, and in model inference. A hop fills only the
+// fields it knows — a daemon answering directly sets InferUs alone; the
+// router adds queue/coalesce/dispatch on the way back; the client
+// derives network time as total minus the attributed hops.
+type HopTimings struct {
+	QueueUs    uint32
+	CoalesceUs uint32
+	DispatchUs uint32
+	InferUs    uint32
+}
+
+// Merge folds another attribution into h taking the per-field maximum —
+// the aggregation a router uses when one client frame was answered by
+// several replica batches.
+func (h *HopTimings) Merge(o HopTimings) {
+	if o.QueueUs > h.QueueUs {
+		h.QueueUs = o.QueueUs
+	}
+	if o.CoalesceUs > h.CoalesceUs {
+		h.CoalesceUs = o.CoalesceUs
+	}
+	if o.DispatchUs > h.DispatchUs {
+		h.DispatchUs = o.DispatchUs
+	}
+	if o.InferUs > h.InferUs {
+		h.InferUs = o.InferUs
+	}
+}
+
+// DurUs32 converts a duration to saturating uint32 microseconds, the
+// unit HopTimings carries on the wire.
+func DurUs32(d time.Duration) uint32 {
+	us := d.Microseconds()
+	if us < 0 {
+		return 0
+	}
+	if us > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(us)
 }
 
 // ProtoError is the decoded form of a MsgError frame — the structured
@@ -543,6 +608,212 @@ func DecodeKeyedResponseFrame(payload []byte, scratch []Decision) ([]Decision, e
 	return scratch, nil
 }
 
+// A v3 traced request frame (MsgDecideTraced, version 3) is a keyed
+// request with distributed-trace context between header and body,
+//
+//	uint64  trace ID
+//	uint64  parent span ID
+//	uint8   trace flags (telemetry.FlagSampled)
+//	uint16  row count, uint16 dim, keyed rows (as MsgDecideKeyed)
+//
+// and the matching traced response (MsgDecisionsTraced) prepends the
+// echoed trace ID and per-hop attribution to the keyed response body:
+//
+//	uint8   status
+//	uint64  trace ID (echo)
+//	uint32  queue µs, uint32 coalesce µs, uint32 dispatch µs, uint32 infer µs
+//	uint16  row count, keyed rows (as MsgDecisionsKeyed)
+const (
+	tracedReqPrefix  = 8 + 8 + 1
+	tracedRespPrefix = 8 + 4*4
+)
+
+// AppendTracedRequestFrame appends a v3 traced keyed request carrying tc
+// across the process boundary.
+func AppendTracedRequestFrame(dst []byte, rows []Request, tc telemetry.TraceContext) ([]byte, error) {
+	if len(rows) == 0 || len(rows) > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows outside [1,%d]", len(rows), MaxBatch)
+	}
+	dim := len(rows[0].Features)
+	if dim != counters.Num {
+		return nil, fmt.Errorf("serve: feature dimension %d, want %d", dim, counters.Num)
+	}
+	need := headerLen + tracedReqPrefix + 4 + len(rows)*(keyedReqRowFixed+(1+dim)*8)
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[off:]
+	putHeader(b, Version3, MsgDecideTraced)
+	binary.BigEndian.PutUint64(b[6:], tc.TraceID)
+	binary.BigEndian.PutUint64(b[14:], tc.SpanID)
+	b[22] = tc.Flags
+	p := headerLen + tracedReqPrefix
+	binary.BigEndian.PutUint16(b[p:], uint16(len(rows)))
+	binary.BigEndian.PutUint16(b[p+2:], uint16(dim))
+	p += 4
+	for _, row := range rows {
+		if len(row.Features) != dim {
+			return nil, fmt.Errorf("serve: ragged batch: row has %d features, want %d", len(row.Features), dim)
+		}
+		if row.GPU < 0 || row.Cluster < 0 {
+			return nil, fmt.Errorf("serve: keyed row needs gpu/cluster >= 0, got (%d,%d)", row.GPU, row.Cluster)
+		}
+		binary.BigEndian.PutUint32(b[p:], uint32(row.GPU))
+		binary.BigEndian.PutUint32(b[p+4:], uint32(row.Cluster))
+		p += keyedReqRowFixed
+		binary.BigEndian.PutUint64(b[p:], math.Float64bits(row.Preset))
+		p += 8
+		for _, f := range row.Features {
+			binary.BigEndian.PutUint64(b[p:], math.Float64bits(f))
+			p += 8
+		}
+	}
+	return dst, nil
+}
+
+// DecodeTracedRequestFrame parses a v3 traced keyed request, reusing
+// scratch, and returns the carried trace context.
+func DecodeTracedRequestFrame(payload []byte, scratch []Request) ([]Request, telemetry.TraceContext, error) {
+	var tc telemetry.TraceContext
+	if err := checkHeader(payload, Version3, MsgDecideTraced); err != nil {
+		return nil, tc, err
+	}
+	if len(payload) < headerLen+tracedReqPrefix+4 {
+		return nil, tc, fmt.Errorf("serve: traced request frame too short (%d bytes)", len(payload))
+	}
+	tc.TraceID = binary.BigEndian.Uint64(payload[6:])
+	tc.SpanID = binary.BigEndian.Uint64(payload[14:])
+	tc.Flags = payload[22]
+	p := headerLen + tracedReqPrefix
+	count := int(binary.BigEndian.Uint16(payload[p:]))
+	dim := int(binary.BigEndian.Uint16(payload[p+2:]))
+	if count == 0 || count > MaxBatch {
+		return nil, tc, fmt.Errorf("serve: batch of %d rows outside [1,%d]", count, MaxBatch)
+	}
+	if dim != counters.Num {
+		return nil, tc, fmt.Errorf("serve: feature dimension %d, want %d", dim, counters.Num)
+	}
+	want := headerLen + tracedReqPrefix + 4 + count*(keyedReqRowFixed+(1+dim)*8)
+	if len(payload) != want {
+		return nil, tc, fmt.Errorf("serve: traced request frame is %d bytes, want %d for %d rows", len(payload), want, count)
+	}
+	if cap(scratch) < count {
+		scratch = append(scratch[:cap(scratch)], make([]Request, count-cap(scratch))...)
+	}
+	scratch = scratch[:count]
+	p += 4
+	for i := range scratch {
+		scratch[i].GPU = int32(binary.BigEndian.Uint32(payload[p:]))
+		scratch[i].Cluster = int32(binary.BigEndian.Uint32(payload[p+4:]))
+		p += keyedReqRowFixed
+		scratch[i].Preset = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
+		p += 8
+		if cap(scratch[i].Features) < dim {
+			scratch[i].Features = make([]float64, dim)
+		}
+		feats := scratch[i].Features[:dim]
+		for j := range feats {
+			feats[j] = math.Float64frombits(binary.BigEndian.Uint64(payload[p:]))
+			p += 8
+		}
+		scratch[i].Features = feats
+	}
+	return scratch, tc, nil
+}
+
+// AppendTracedResponseFrame appends a v3 traced keyed response echoing
+// the trace ID and carrying this hop's latency attribution.
+func AppendTracedResponseFrame(dst []byte, status byte, decs []Decision, traceID uint64, hops HopTimings) ([]byte, error) {
+	if len(decs) > MaxBatch {
+		return nil, fmt.Errorf("serve: batch of %d rows exceeds %d", len(decs), MaxBatch)
+	}
+	need := headerLen + 1 + tracedRespPrefix + 2 + len(decs)*keyedRespRow
+	off := len(dst)
+	dst = append(dst, make([]byte, need)...)
+	b := dst[off:]
+	putHeader(b, Version3, MsgDecisionsTraced)
+	b[6] = status
+	binary.BigEndian.PutUint64(b[7:], traceID)
+	binary.BigEndian.PutUint32(b[15:], hops.QueueUs)
+	binary.BigEndian.PutUint32(b[19:], hops.CoalesceUs)
+	binary.BigEndian.PutUint32(b[23:], hops.DispatchUs)
+	binary.BigEndian.PutUint32(b[27:], hops.InferUs)
+	p := headerLen + 1 + tracedRespPrefix
+	binary.BigEndian.PutUint16(b[p:], uint16(len(decs)))
+	p += 2
+	for _, d := range decs {
+		if d.Level < 0 || d.Level > 255 {
+			return nil, fmt.Errorf("serve: level %d does not fit the wire format", d.Level)
+		}
+		b[p] = byte(d.Level)
+		b[p+1] = byte(d.Reason)
+		var flags byte
+		if d.Rerouted {
+			flags |= decFlagRerouted
+		}
+		b[p+2] = flags
+		shard := uint16(shardNone)
+		if d.Shard >= 0 && d.Shard < shardNone {
+			shard = uint16(d.Shard)
+		}
+		binary.BigEndian.PutUint16(b[p+3:], shard)
+		binary.BigEndian.PutUint64(b[p+5:], math.Float64bits(d.PredInstr))
+		p += keyedRespRow
+	}
+	return dst, nil
+}
+
+// DecodeTracedResponseFrame parses a v3 traced keyed response, reusing
+// scratch, and returns the hop attribution alongside the decisions.
+func DecodeTracedResponseFrame(payload []byte, scratch []Decision) ([]Decision, HopTimings, error) {
+	var hops HopTimings
+	if err := checkHeader(payload, Version3, MsgDecisionsTraced); err != nil {
+		return nil, hops, err
+	}
+	if len(payload) < headerLen+1+tracedRespPrefix+2 {
+		return nil, hops, fmt.Errorf("serve: traced response frame too short (%d bytes)", len(payload))
+	}
+	if payload[6] != StatusOK {
+		return nil, hops, fmt.Errorf("serve: server reported error status %d", payload[6])
+	}
+	hops.QueueUs = binary.BigEndian.Uint32(payload[15:])
+	hops.CoalesceUs = binary.BigEndian.Uint32(payload[19:])
+	hops.DispatchUs = binary.BigEndian.Uint32(payload[23:])
+	hops.InferUs = binary.BigEndian.Uint32(payload[27:])
+	p := headerLen + 1 + tracedRespPrefix
+	count := int(binary.BigEndian.Uint16(payload[p:]))
+	want := headerLen + 1 + tracedRespPrefix + 2 + count*keyedRespRow
+	if len(payload) != want {
+		return nil, hops, fmt.Errorf("serve: traced response frame is %d bytes, want %d for %d rows", len(payload), want, count)
+	}
+	if cap(scratch) < count {
+		scratch = make([]Decision, count)
+	}
+	scratch = scratch[:count]
+	p += 2
+	for i := range scratch {
+		scratch[i].Level = int(payload[p])
+		scratch[i].Reason = provenance.Reason(payload[p+1])
+		scratch[i].Rerouted = payload[p+2]&decFlagRerouted != 0
+		if s := binary.BigEndian.Uint16(payload[p+3:]); s == shardNone {
+			scratch[i].Shard = -1
+		} else {
+			scratch[i].Shard = int(s)
+		}
+		scratch[i].PredInstr = math.Float64frombits(binary.BigEndian.Uint64(payload[p+5:]))
+		p += keyedRespRow
+	}
+	return scratch, hops, nil
+}
+
+// TracedResponseTraceID peeks the echoed trace ID of a traced response
+// payload without decoding the rows.
+func TracedResponseTraceID(payload []byte) uint64 {
+	if len(payload) < headerLen+1+tracedRespPrefix {
+		return 0
+	}
+	return binary.BigEndian.Uint64(payload[7:])
+}
+
 // AppendHelloFrame appends a client hello offering the [min,max] version
 // range.
 func AppendHelloFrame(dst []byte, minVer, maxVer byte) []byte {
@@ -575,7 +846,10 @@ func AppendHelloAckFrame(dst []byte, h Hello) []byte {
 	putHeader(b, VersionMax, MsgHelloAck)
 	b[6] = byte(h.Version)
 	if h.Router {
-		b[7] = HelloFlagRouter
+		b[7] |= HelloFlagRouter
+	}
+	if h.Tracing {
+		b[7] |= HelloFlagTracing
 	}
 	binary.BigEndian.PutUint16(b[8:], uint16(h.Shards))
 	return dst
@@ -600,6 +874,7 @@ func DecodeHelloAckFrame(payload []byte) (Hello, error) {
 	return Hello{
 		Version: int(payload[6]),
 		Router:  payload[7]&HelloFlagRouter != 0,
+		Tracing: payload[7]&HelloFlagTracing != 0,
 		Shards:  int(binary.BigEndian.Uint16(payload[8:])),
 	}, nil
 }

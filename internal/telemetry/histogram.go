@@ -16,9 +16,19 @@ const DefaultHistBuckets = 32
 // absorbs the overflow tail. Observe is a pair of atomic adds —
 // allocation-free and safe for concurrent use.
 type Histogram struct {
-	buckets []atomic.Int64
-	count   atomic.Int64
-	sum     atomic.Int64
+	buckets   []atomic.Int64
+	count     atomic.Int64
+	sum       atomic.Int64
+	exemplars []atomic.Pointer[Exemplar]
+}
+
+// Exemplar links a histogram bucket to one concrete observation that
+// landed in it — the trace ID of a sampled decision plus its value —
+// so a p999 bucket points straight at a flight-recorder entry instead
+// of an anonymous count. Last write wins per bucket.
+type Exemplar struct {
+	TraceID string `json:"trace_id"`
+	Value   int64  `json:"value"`
 }
 
 // NewHistogram returns a histogram with n buckets (minimum 2).
@@ -26,7 +36,10 @@ func NewHistogram(n int) *Histogram {
 	if n < 2 {
 		n = 2
 	}
-	return &Histogram{buckets: make([]atomic.Int64, n)}
+	return &Histogram{
+		buckets:   make([]atomic.Int64, n),
+		exemplars: make([]atomic.Pointer[Exemplar], n),
+	}
 }
 
 // BucketIndex returns the bucket an observation falls in for a histogram
@@ -48,6 +61,34 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[BucketIndex(v, len(h.buckets))].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one observation and, when traceID is nonzero,
+// pins it as the bucket's exemplar. The traceID==0 path is exactly
+// Observe — unsampled requests pay nothing extra.
+func (h *Histogram) ObserveExemplar(v int64, traceID uint64) {
+	i := BucketIndex(v, len(h.buckets))
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[i].Store(&Exemplar{TraceID: FormatTraceID(traceID), Value: v})
+	}
+}
+
+// Exemplars copies the current per-bucket exemplars (nil when no bucket
+// has one; entries are nil for exemplar-less buckets).
+func (h *Histogram) Exemplars() []*Exemplar {
+	var out []*Exemplar
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			if out == nil {
+				out = make([]*Exemplar, len(h.exemplars))
+			}
+			out[i] = e
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -74,12 +115,13 @@ func (h *Histogram) Quantile(q float64) float64 {
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	b := h.Buckets()
 	return HistogramSnapshot{
-		Buckets: b,
-		Count:   h.count.Load(),
-		Sum:     h.sum.Load(),
-		P50:     Quantile(b, 0.50),
-		P95:     Quantile(b, 0.95),
-		P99:     Quantile(b, 0.99),
+		Buckets:   b,
+		Count:     h.count.Load(),
+		Sum:       h.sum.Load(),
+		P50:       Quantile(b, 0.50),
+		P95:       Quantile(b, 0.95),
+		P99:       Quantile(b, 0.99),
+		Exemplars: h.Exemplars(),
 	}
 }
 

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LintProm validates a Prometheus text exposition (0.0.4 plus the
+// OpenMetrics exemplar suffix this package emits): metric and label
+// names must be legal, label values must be properly quoted and
+// escaped, no series may appear twice, every value must parse, and
+// exemplar suffixes must themselves be well-formed label sets followed
+// by a value. It returns one message per problem (nil = clean). This is
+// the lint CI runs against live /metrics.prom scrapes — no external
+// Prometheus toolchain required.
+func LintProm(r io.Reader) []string {
+	var problems []string
+	seen := make(map[string]int)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if p := lintPromComment(line); p != "" {
+				problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, p))
+			}
+			continue
+		}
+		series, rest, p := lintPromSeries(line)
+		if p != "" {
+			problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, p))
+			continue
+		}
+		if prev, dup := seen[series]; dup {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate series %s (first at line %d)", lineNo, series, prev))
+		} else {
+			seen[series] = lineNo
+		}
+		if p := lintPromValue(rest); p != "" {
+			problems = append(problems, fmt.Sprintf("line %d: %s", lineNo, p))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		problems = append(problems, fmt.Sprintf("read: %v", err))
+	}
+	return problems
+}
+
+func lintPromComment(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) >= 2 && fields[1] == "TYPE" {
+		if len(fields) != 4 {
+			return fmt.Sprintf("malformed TYPE comment %q", line)
+		}
+		if !validMetricName(fields[2]) {
+			return fmt.Sprintf("TYPE names invalid metric %q", fields[2])
+		}
+		switch fields[3] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Sprintf("unknown metric type %q", fields[3])
+		}
+	}
+	return ""
+}
+
+// lintPromSeries parses the "name{labels}" prefix of a sample line,
+// returning the canonical series identity and the remainder (value +
+// optional exemplar).
+func lintPromSeries(line string) (series, rest, problem string) {
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	name := line[:i]
+	if !validMetricName(name) {
+		return "", "", fmt.Sprintf("invalid metric name %q", name)
+	}
+	series = name
+	if i < len(line) && line[i] == '{' {
+		end, p := lintLabelSet(line, i, false)
+		if p != "" {
+			return "", "", p
+		}
+		series = line[:end]
+		i = end
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", "", fmt.Sprintf("missing value after series %q", series)
+	}
+	return series, line[i+1:], ""
+}
+
+// lintLabelSet validates a {k="v",...} block starting at the '{' at
+// line[start], returning the index just past the closing '}'. Empty
+// label names are tolerated only in exemplars ({}), matching
+// OpenMetrics.
+func lintLabelSet(line string, start int, allowEmpty bool) (end int, problem string) {
+	i := start + 1
+	first := true
+	for {
+		if i >= len(line) {
+			return 0, "unterminated label set"
+		}
+		if line[i] == '}' {
+			if first && !allowEmpty {
+				return 0, "empty label set"
+			}
+			return i + 1, ""
+		}
+		if !first {
+			if line[i] != ',' {
+				return 0, fmt.Sprintf("expected ',' in label set at byte %d", i)
+			}
+			i++
+		}
+		j := i
+		for j < len(line) && line[j] != '=' {
+			j++
+		}
+		if j >= len(line) {
+			return 0, "label without '='"
+		}
+		labelName := line[i:j]
+		if !validLabelName(labelName) {
+			return 0, fmt.Sprintf("invalid label name %q", labelName)
+		}
+		i = j + 1
+		if i >= len(line) || line[i] != '"' {
+			return 0, fmt.Sprintf("unquoted value for label %q", labelName)
+		}
+		// Scan the quoted value honouring backslash escapes.
+		i++
+		for {
+			if i >= len(line) {
+				return 0, "unterminated label value"
+			}
+			if line[i] == '\\' {
+				if i+1 >= len(line) {
+					return 0, "dangling escape in label value"
+				}
+				switch line[i+1] {
+				case '\\', '"', 'n':
+				default:
+					return 0, fmt.Sprintf("invalid escape \\%c in label value", line[i+1])
+				}
+				i += 2
+				continue
+			}
+			if line[i] == '"' {
+				i++
+				break
+			}
+			i++
+		}
+		first = false
+	}
+}
+
+// lintPromValue validates "value" or "value # {labels} exemplarValue".
+func lintPromValue(rest string) string {
+	val := rest
+	exemplar := ""
+	if idx := strings.Index(rest, " # "); idx >= 0 {
+		val = rest[:idx]
+		exemplar = rest[idx+3:]
+	}
+	if !validPromFloat(val) {
+		return fmt.Sprintf("invalid sample value %q", val)
+	}
+	if exemplar == "" {
+		return ""
+	}
+	if !strings.HasPrefix(exemplar, "{") {
+		return fmt.Sprintf("exemplar must start with '{': %q", exemplar)
+	}
+	end, p := lintLabelSet(exemplar, 0, true)
+	if p != "" {
+		return "exemplar: " + p
+	}
+	tail := strings.TrimPrefix(exemplar[end:], " ")
+	// Exemplar value, optionally followed by a timestamp.
+	fields := strings.Fields(tail)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Sprintf("exemplar needs a value: %q", exemplar)
+	}
+	for _, f := range fields {
+		if !validPromFloat(f) {
+			return fmt.Sprintf("invalid exemplar value %q", f)
+		}
+	}
+	return ""
+}
+
+func validPromFloat(s string) bool {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		return true
+	}
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -250,6 +250,10 @@ type HistogramSnapshot struct {
 	P50     float64 `json:"p50"`
 	P95     float64 `json:"p95"`
 	P99     float64 `json:"p99"`
+	// Exemplars[i], when non-nil, is a sampled observation from bucket i
+	// (absent entirely for histograms that never saw a sampled request,
+	// keeping older dumps byte-identical).
+	Exemplars []*Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-friendly view of a registry. Counter
@@ -368,7 +372,14 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 			if i == len(h.Buckets)-1 {
 				le = "+Inf"
 			}
-			if _, err := fmt.Fprintf(w, "%s %d\n", MetricID(base+"_bucket", flatten(labels, "le", le)...), cum); err != nil {
+			// OpenMetrics-style exemplar suffix: the bucket's sampled
+			// observation, keyed by trace ID, rides after a " # ".
+			exemplar := ""
+			if i < len(h.Exemplars) && h.Exemplars[i] != nil {
+				e := h.Exemplars[i]
+				exemplar = fmt.Sprintf(" # {trace_id=%q} %d", e.TraceID, e.Value)
+			}
+			if _, err := fmt.Fprintf(w, "%s %d%s\n", MetricID(base+"_bucket", flatten(labels, "le", le)...), cum, exemplar); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,109 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext identifies one distributed trace as it crosses process
+// boundaries: a 64-bit trace ID shared by every span of the trace, the
+// span ID of the propagating parent (0 at the root), and a flags byte
+// whose sampled bit says whether anyone downstream should record spans
+// at all. The zero value is "no trace" — it propagates for free and
+// every consumer treats it as a no-op, which is what keeps the
+// tracing-disabled hot path allocation-free.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Flags   uint8
+}
+
+// FlagSampled marks a trace chosen by head-based sampling at its root.
+// The decision is made exactly once, when the trace is created, and
+// every hop honours it — there is no per-hop re-sampling, so a sampled
+// trace is complete end to end.
+const FlagSampled = 1
+
+// Valid reports whether tc identifies a trace at all.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Sampled reports whether spans should be recorded for this trace.
+func (tc TraceContext) Sampled() bool { return tc.TraceID != 0 && tc.Flags&FlagSampled != 0 }
+
+// FormatTraceID renders a trace or span ID as the fixed-width lowercase
+// hex string used in span JSONL, exemplar labels, and ?trace= queries.
+func FormatTraceID(id uint64) string {
+	return fmt.Sprintf("%016x", id)
+}
+
+// ParseTraceID is the inverse of FormatTraceID (leading zeros optional).
+func ParseTraceID(s string) (uint64, error) {
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("telemetry: bad trace id %q: %w", s, err)
+	}
+	return id, nil
+}
+
+// mix64 is the SplitMix64 finalizer: a cheap, well-distributed 64-bit
+// mixer used to derive trace and span IDs deterministically.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sampler makes the head-based sampling decision at a trace's root:
+// request n is sampled iff n is a multiple of EveryN, and its trace ID
+// is derived deterministically from the sampler's seed and sequence
+// number — the same seed yields the same trace IDs on every run, so
+// traces can be cross-referenced between repeated experiments. Next is
+// one atomic increment; unsampled requests get the zero TraceContext
+// and cost nothing downstream. A nil Sampler never samples.
+type Sampler struct {
+	everyN uint64
+	seed   uint64
+	seq    atomic.Uint64
+}
+
+// NewSampler returns a sampler tracing one request in everyN (<= 0
+// disables sampling and returns nil).
+func NewSampler(everyN int, seed uint64) *Sampler {
+	if everyN <= 0 {
+		return nil
+	}
+	return &Sampler{everyN: uint64(everyN), seed: seed}
+}
+
+// Next makes the sampling decision for the next request: a sampled
+// TraceContext rooted at this process, or the zero context.
+func (s *Sampler) Next() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	n := s.seq.Add(1) - 1
+	if n%s.everyN != 0 {
+		return TraceContext{}
+	}
+	id := mix64(s.seed ^ (n + 0x9e3779b97f4a7c15))
+	if id == 0 {
+		id = 1
+	}
+	return TraceContext{TraceID: id, Flags: FlagSampled}
+}
+
+// spanIDSeed distinguishes span IDs minted by different processes (and
+// different tracers within one process) that are part of the same
+// trace: each tracer mixes a unique seed into its span IDs, so two
+// tracers started from the same binary at the same wall-clock tick
+// still cannot collide in practice.
+var spanIDCounter atomic.Uint64
+
+func newSpanIDSeed() uint64 {
+	return mix64(uint64(time.Now().UnixNano()) ^ spanIDCounter.Add(1)<<32)
+}

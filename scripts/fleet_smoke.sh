@@ -2,11 +2,25 @@
 # Fleet smoke test: three race-instrumented ssmdvfsd replicas (one made
 # deliberately slow with injected decide latency), a dvfsfleet router in
 # front of them, and dvfsload -fleet driving keyed traffic through the
-# stack. Passes when the load run completes with zero errored requests
-# AND the router shed at least one row into the analytical fallback —
-# the slow replica guarantees its admission queue backs up, so a zero
-# shed counter means admission control is broken, not that the run was
-# lucky.
+# stack — with end-to-end tracing armed on every process. Passes when:
+#
+#   1. the load run completes with zero errored requests;
+#   2. the router shed at least one row into the analytical fallback —
+#      the slow replica guarantees its admission queue backs up, so a
+#      zero shed counter means admission control is broken, not that the
+#      run was lucky;
+#   3. both /metrics.prom expositions (replica and router) pass
+#      dvfsstat -promlint — valid names, label escaping, exemplar
+#      syntax, no duplicate series;
+#   4. at least one sampled trace ID from the client's span capture is
+#      queryable live via a replica's /debug/decisions?trace=;
+#   5. that trace ID appears in the span captures of at least three
+#      processes (client, router, replica), and the merged Chrome trace
+#      from dvfsstat -spans a,b,c -chrome contains it.
+#
+# With FLEET_ARTIFACT_DIR set, all logs, span captures, and scraped
+# expositions are copied there on exit — pass or fail — so CI can upload
+# them as artifacts either way.
 #
 # Usage: scripts/fleet_smoke.sh [duration]   (default 3s)
 set -euo pipefail
@@ -22,6 +36,10 @@ cleanup() {
     # shellcheck disable=SC2086  # one pid per word, not one argument
     [ -n "$pids" ] && kill $pids 2>/dev/null || true
     wait 2>/dev/null || true
+    if [ -n "${FLEET_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$FLEET_ARTIFACT_DIR"
+        cp -r "$LOGS"/. "$FLEET_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
     rm -rf "$BIN"
     echo "logs kept in $LOGS"
 }
@@ -32,6 +50,9 @@ R2=127.0.0.1:19202
 R3=127.0.0.1:19203
 FLEET_TCP=127.0.0.1:19204
 FLEET_HTTP=127.0.0.1:19205
+R1_HTTP=127.0.0.1:19206
+R2_HTTP=127.0.0.1:19207
+R3_HTTP=127.0.0.1:19208
 
 wait_port() {
     local host="${1%%:*}" port="${1##*:}"
@@ -50,42 +71,96 @@ echo "== building (race) =="
 go build -race -o "$BIN/ssmdvfsd" ./cmd/ssmdvfsd
 go build -race -o "$BIN/dvfsfleet" ./cmd/dvfsfleet
 go build -race -o "$BIN/dvfsload" ./cmd/dvfsload
+go build -o "$BIN/dvfsstat" ./cmd/dvfsstat
 
-echo "== starting replicas =="
-"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R1" -http "" >"$LOGS/r1.log" 2>&1 &
-"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R2" -http "" >"$LOGS/r2.log" 2>&1 &
+echo "== starting replicas (tracing + flight recorder armed) =="
+"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R1" -http "$R1_HTTP" -flightrec 4096 \
+    -spans "$LOGS/r1-spans.jsonl" >"$LOGS/r1.log" 2>&1 &
+R1_PID=$!
+"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R2" -http "$R2_HTTP" -flightrec 4096 \
+    -spans "$LOGS/r2-spans.jsonl" >"$LOGS/r2.log" 2>&1 &
+R2_PID=$!
 # The slow replica: every decide batch stalls 5ms, far past the router's
 # queue deadline, so rows sharded to it must shed or queue-overflow.
-"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R3" -http "" \
+"$BIN/ssmdvfsd" -model "$MODEL" -tcp "$R3" -http "$R3_HTTP" -flightrec 4096 \
+    -spans "$LOGS/r3-spans.jsonl" \
     -faults 'serve.decide:latency:latency=5ms:every=1' >"$LOGS/r3.log" 2>&1 &
+R3_PID=$!
 wait_port "$R1"
 wait_port "$R2"
 wait_port "$R3"
 
-echo "== starting router =="
+echo "== starting router (tracing armed) =="
 "$BIN/dvfsfleet" -replicas "$R1,$R2,$R3" -tcp "$FLEET_TCP" -http "$FLEET_HTTP" \
     -queue 8 -queue-deadline 1ms -inflight 1 -coalesce-rows 8 \
+    -spans "$LOGS/fleet-spans.jsonl" \
     >"$LOGS/fleet.log" 2>&1 &
 FLEET_PID=$!
 wait_port "$FLEET_TCP"
 wait_port "$FLEET_HTTP"
 
-echo "== driving load ($DURATION) =="
+echo "== driving load ($DURATION, tracing 1 in 8 batches) =="
 # dvfsload exits non-zero on any errored request, which fails the script
 # via set -e: that is the "0 errored requests" assertion.
 "$BIN/dvfsload" -fleet -addr "$FLEET_TCP" -conns 8 -batch 1 \
-    -duration "$DURATION" | tee "$LOGS/load.log"
+    -duration "$DURATION" -spans "$LOGS/load-spans.jsonl" -trace-sample 8 \
+    | tee "$LOGS/load.log"
+
+echo "== linting Prometheus expositions =="
+curl -fsS "http://$FLEET_HTTP/metrics.prom" >"$LOGS/fleet-metrics.prom"
+curl -fsS "http://$R1_HTTP/metrics.prom" >"$LOGS/r1-metrics.prom"
+"$BIN/dvfsstat" -promlint "$LOGS/fleet-metrics.prom"
+"$BIN/dvfsstat" -promlint "$LOGS/r1-metrics.prom"
 
 echo "== checking shed counter =="
-SHED="$(curl -fsS "http://$FLEET_HTTP/metrics.prom" |
-    awk '/^fleet_shed_rows_total/ {s += $2} END {print s + 0}')"
-curl -fsS "http://$FLEET_HTTP/metrics.prom" |
-    grep -E '^fleet_(shed|rerouted|healthy|shard_rows)' || true
+SHED="$(awk '/^fleet_shed_rows_total/ {s += $2} END {print s + 0}' \
+    "$LOGS/fleet-metrics.prom")"
+grep -E '^fleet_(shed|rerouted|healthy|shard_rows)' "$LOGS/fleet-metrics.prom" || true
 if [ "$SHED" -lt 1 ]; then
     echo "fleet_smoke: FAIL — slow replica injected but fleet_shed_rows_total is 0" >&2
     exit 1
 fi
 
+echo "== looking up a sampled trace in /debug/decisions?trace= =="
+# The client flushed its span capture at exit; replicas are still live,
+# so any trace ID a replica actually served must be queryable by ID in
+# its flight recorder. Shed rows never reach a replica, so scan a few.
+TRACE_ID=""
+for tid in $(sed -n 's/.*"trace_id":"\([0-9a-f]\{16\}\)".*/\1/p' \
+    "$LOGS/load-spans.jsonl" | sort -u | head -50); do
+    for hp in "$R1_HTTP" "$R2_HTTP" "$R3_HTTP"; do
+        if curl -fsS "http://$hp/debug/decisions?trace=$tid" | grep -q "$tid"; then
+            TRACE_ID=$tid
+            break 2
+        fi
+    done
+done
+if [ -z "$TRACE_ID" ]; then
+    echo "fleet_smoke: FAIL — no sampled trace ID found in any replica's /debug/decisions" >&2
+    exit 1
+fi
+echo "trace $TRACE_ID found via /debug/decisions?trace="
+
+echo "== shutting down (flushes span captures) =="
 kill -TERM "$FLEET_PID"
 wait "$FLEET_PID" || true
-echo "fleet_smoke: PASS ($SHED rows shed)"
+kill -TERM "$R1_PID" "$R2_PID" "$R3_PID"
+wait "$R1_PID" "$R2_PID" "$R3_PID" 2>/dev/null || true
+
+echo "== merging span captures into one Chrome trace =="
+SPAN_FILES="$LOGS/load-spans.jsonl,$LOGS/fleet-spans.jsonl,$LOGS/r1-spans.jsonl,$LOGS/r2-spans.jsonl,$LOGS/r3-spans.jsonl"
+"$BIN/dvfsstat" -spans "$SPAN_FILES" -chrome "$LOGS/merged-trace.json" \
+    | tee "$LOGS/spans.log"
+HOPS="$(grep -l "$TRACE_ID" "$LOGS"/load-spans.jsonl "$LOGS"/fleet-spans.jsonl \
+    "$LOGS"/r1-spans.jsonl "$LOGS"/r2-spans.jsonl "$LOGS"/r3-spans.jsonl \
+    2>/dev/null | wc -l)"
+if [ "$HOPS" -lt 3 ]; then
+    echo "fleet_smoke: FAIL — trace $TRACE_ID spans only $HOPS processes, want >=3 (client, router, replica)" >&2
+    exit 1
+fi
+if ! grep -q "$TRACE_ID" "$LOGS/merged-trace.json"; then
+    echo "fleet_smoke: FAIL — trace $TRACE_ID missing from merged Chrome trace" >&2
+    exit 1
+fi
+
+echo "fleet_smoke: PASS ($SHED rows shed; trace $TRACE_ID crosses $HOPS processes)"
