@@ -8,9 +8,16 @@
 // Usage:
 //
 //	ssmdvfsd -model ssmdvfs-cache/compressed.json [-http :8090] [-tcp :8091]
-//	         [-quant 8] [-workers N] [-budget 200us] [-flightrec 4096]
-//	         [-spans ssmdvfsd-spans.jsonl]
+//	         [-backend int8] [-quant 8] [-workers N] [-budget 200us]
+//	         [-flightrec 4096] [-spans ssmdvfsd-spans.jsonl]
 //	         [-faults 'serve.infer:panic:every=100'] [-faults-seed 1]
+//
+// -backend selects the inference backend ("float64" or "int8",
+// overriding the model header's choice): int8 serves quantized weights
+// with int32 accumulation for batched throughput, and is parity-validated
+// against the float64 reference at load and on every hot-swap. The chosen
+// backend is advertised in hello negotiation, so a fleet router pinned
+// with -backend refuses mismatched replicas.
 //
 // The daemon degrades instead of failing: model panics, deadline misses
 // (-budget), and malformed feature rows are answered by the analytical
@@ -62,6 +69,7 @@ func main() {
 		modelPath = flag.String("model", "", "model file (plain or compressed artifact; required)")
 		httpAddr  = flag.String("http", ":8090", "HTTP listen address (empty disables)")
 		tcpAddr   = flag.String("tcp", ":8091", "binary-protocol listen address (empty disables)")
+		backend   = flag.String("backend", "", "inference backend: float64 or int8 (empty = model header, default float64)")
 		quantBits = flag.Int("quant", 0, "fake-quantize the model to this bit width (0 = off)")
 		workers   = flag.Int("workers", 0, "max concurrent inference batches (0 = GOMAXPROCS)")
 		budget    = flag.Duration("budget", 0, "per-decision deadline; rows past it get the analytical fallback (0 = off)")
@@ -82,7 +90,7 @@ func main() {
 	if *verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
-	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, logf); err != nil {
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *backend, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
@@ -109,7 +117,7 @@ func buildMux(srv *serve.Server) http.Handler {
 	return mux
 }
 
-func run(modelPath, httpAddr, tcpAddr, spansPath string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
+func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -133,6 +141,7 @@ func run(modelPath, httpAddr, tcpAddr, spansPath string, quantBits, workers int,
 
 	srv, err := serve.NewServer(m, serve.Options{
 		ModelPath: modelPath,
+		Backend:   backend,
 		QuantBits: quantBits,
 		Workers:   workers,
 		Budget:    budget,
@@ -142,6 +151,7 @@ func run(modelPath, httpAddr, tcpAddr, spansPath string, quantBits, workers int,
 	if err != nil {
 		return err
 	}
+	logf("ssmdvfsd: serving with the %s inference backend", srv.BackendKind())
 	srv.Telemetry().SetBuild(buildinfo.Info())
 	var tracer *telemetry.Tracer
 	if spansPath != "" {

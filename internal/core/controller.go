@@ -95,6 +95,13 @@ func NewController(model *Model, preset float64, clusters int, calibrate bool) (
 	if clusters <= 0 {
 		return nil, fmt.Errorf("core: clusters must be positive, got %d", clusters)
 	}
+	// Build (and validate) the model's inference backends up front: a
+	// model whose declared backend cannot be built — or whose int8
+	// quantization fails parity — must be rejected here, not discovered
+	// as a panic in the decision loop.
+	if err := model.EnsureBackends(); err != nil {
+		return nil, err
+	}
 	c := &Controller{
 		model:     model,
 		preset:    preset,

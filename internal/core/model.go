@@ -15,6 +15,7 @@ import (
 
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/infer"
 	"ssmdvfs/internal/nn"
 )
 
@@ -43,6 +44,18 @@ type Model struct {
 	// PresetSamples records the Decision head's training formulation
 	// (see TrainOptions.PresetSamples), so evaluation matches it.
 	PresetSamples int
+
+	// Backend declares the inference backend this model serves with
+	// ("float64" or "int8"; empty means float64). It rides in the saved
+	// artifact so a model trained and parity-validated for int8 keeps
+	// that property through hot swaps, and is overridable per daemon via
+	// the -backend flag.
+	Backend infer.Kind
+
+	// bk caches the built backend pair (see backend.go). A plain pointer
+	// rather than a sync type so Clone's shallow copy stays vet-clean;
+	// access is guarded by the package-level backendMu.
+	bk *modelBackends
 }
 
 // NumFeatures returns the number of counter features the model consumes.
@@ -64,30 +77,20 @@ func (m *Model) TrainingStats() (names []string, mean, std []float64) {
 
 // DecideLevel returns the operating-point level for the next epoch given
 // the full 47-counter vector of the just-finished epoch and the (possibly
-// calibrated) performance-loss preset.
+// calibrated) performance-loss preset. It routes through the model's
+// declared inference backend, so offline evaluation sees the same
+// numerics the serving tier does (int8 included).
 func (m *Model) DecideLevel(fullFeatures []float64, preset float64) int {
-	row := make([]float64, len(m.FeatureIdx)+1)
-	copy(row, counters.Select(fullFeatures, m.FeatureIdx))
-	row[len(m.FeatureIdx)] = preset
-	logits := m.Decision.Forward(m.DecisionScaler.Transform(row))
-	return nn.Argmax(logits)
+	return NewInference(m).DecideLevel(fullFeatures, preset)
 }
 
 // PredictInstructions returns the Calibrator's estimate of the next
 // epoch's instruction count given the counters, the *originally set*
 // preset (per the paper, the Calibrator always sees the uncalibrated
-// preset), and the level the Decision-maker chose.
+// preset), and the level the Decision-maker chose. Like DecideLevel it
+// routes through the model's declared inference backend.
 func (m *Model) PredictInstructions(fullFeatures []float64, preset float64, level int) float64 {
-	row := make([]float64, len(m.FeatureIdx)+2)
-	copy(row, counters.Select(fullFeatures, m.FeatureIdx))
-	row[len(m.FeatureIdx)] = preset
-	row[len(m.FeatureIdx)+1] = float64(level)
-	out := m.Calibrator.Forward(m.CalibScaler.Transform(row))
-	pred := out[0] * m.TargetScale
-	if pred < 0 {
-		return 0
-	}
-	return pred
+	return NewInference(m).PredictInstructions(fullFeatures, preset, level)
 }
 
 // FLOPs returns the dense inference cost of one combined decision +
@@ -102,12 +105,16 @@ func (m *Model) EffectiveFLOPs() int {
 // Params returns the combined parameter count.
 func (m *Model) Params() int { return m.Decision.Params() + m.Calibrator.Params() }
 
-// Clone deep-copies the model.
+// Clone deep-copies the model. The backend cache is deliberately not
+// carried over: a clone is usually about to be mutated (pruned,
+// fake-quantized), and stale backends would serve the pre-mutation
+// weights.
 func (m *Model) Clone() *Model {
 	cp := *m
 	cp.FeatureIdx = append([]int(nil), m.FeatureIdx...)
 	cp.Decision = m.Decision.Clone()
 	cp.Calibrator = m.Calibrator.Clone()
+	cp.bk = nil
 	return &cp
 }
 
@@ -177,6 +184,9 @@ func (m *Model) Validate() error {
 	if err := m.Calibrator.CheckFinite(); err != nil {
 		return fmt.Errorf("core: calibrator head: %w", err)
 	}
+	if _, err := infer.ParseKind(string(m.Backend)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
 	return nil
 }
 
@@ -191,6 +201,7 @@ type serializedModel struct {
 	CalibScaler    *counters.Scaler `json:"calib_scaler"`
 	TargetScale    float64          `json:"target_scale"`
 	PresetSamples  int              `json:"preset_samples"`
+	Backend        string           `json:"backend,omitempty"`
 }
 
 // Save writes the model as JSON.
@@ -205,6 +216,7 @@ func (m *Model) Save(w io.Writer) error {
 	s := serializedModel{
 		Levels:         m.Levels,
 		PresetSamples:  m.PresetSamples,
+		Backend:        string(m.Backend),
 		Decision:       json.RawMessage(dBuf.Bytes()),
 		Calibrator:     json.RawMessage(cBuf.Bytes()),
 		DecisionScaler: m.DecisionScaler,
@@ -229,9 +241,12 @@ func Load(r io.Reader) (*Model, error) {
 	if s.DecisionScaler == nil || s.CalibScaler == nil {
 		return nil, fmt.Errorf("core: model is missing scalers")
 	}
+	if _, err := infer.ParseKind(s.Backend); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	m := &Model{Levels: s.Levels, TargetScale: s.TargetScale,
 		DecisionScaler: s.DecisionScaler, CalibScaler: s.CalibScaler,
-		PresetSamples: s.PresetSamples}
+		PresetSamples: s.PresetSamples, Backend: infer.Kind(s.Backend)}
 	for _, f := range s.FeatureIdx {
 		i := int(f)
 		if i < 0 || i >= counters.Num {

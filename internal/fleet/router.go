@@ -14,6 +14,7 @@ import (
 
 	"ssmdvfs/internal/baselines"
 	"ssmdvfs/internal/clockdomain"
+	"ssmdvfs/internal/infer"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
@@ -51,6 +52,14 @@ type Options struct {
 	// MaxHops bounds how many times one row may be rerouted to another
 	// replica after dispatch failures before it sheds (default 1).
 	MaxHops int
+
+	// ExpectBackend, when non-empty, is the inference backend every
+	// replica must advertise in hello negotiation ("float64" or "int8").
+	// A replica answering with a different backend — including a legacy
+	// peer that advertises none — is treated as failed and taken out of
+	// the ring, so a fleet pinned to int8 never silently mixes numerics
+	// across shards. Empty accepts any replica.
+	ExpectBackend string
 
 	// Table is the operating-point table shed rows fall back to; nil
 	// means the TitanX table used throughout the project.
@@ -145,6 +154,7 @@ type shard struct {
 // decision — model, rerouted, or shed-to-fallback — never an error.
 type Router struct {
 	opts    Options
+	expect  infer.Kind // parsed Options.ExpectBackend; "" accepts any
 	ring    *Ring
 	metrics *Metrics
 	shards  []*shard
@@ -166,6 +176,14 @@ type Router struct {
 // prober all start immediately.
 func NewRouter(opts Options) (*Router, error) {
 	opts = opts.withDefaults()
+	var expect infer.Kind
+	if opts.ExpectBackend != "" {
+		k, err := infer.ParseKind(opts.ExpectBackend)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		expect = k
+	}
 	ring, err := NewRing(RingOptions{Replicas: opts.Replicas, VNodes: opts.VNodes, Seed: opts.Seed})
 	if err != nil {
 		return nil, err
@@ -173,6 +191,7 @@ func NewRouter(opts Options) (*Router, error) {
 	names := ring.Replicas()
 	rt := &Router{
 		opts:    opts,
+		expect:  expect,
 		ring:    ring,
 		metrics: newMetrics(telemetry.NewRegistry(), len(names)),
 		shards:  make([]*shard, len(names)),
@@ -480,7 +499,9 @@ func (rt *Router) dispatch(s *shard) {
 // dialReplica connects one dispatch slot to its replica and negotiates
 // the protocol, reporting whether the peer advertised the tracing
 // capability. Traced frames are only sent to peers that did — v2/v3
-// replicas without tracing keep getting plain keyed frames.
+// replicas without tracing keep getting plain keyed frames. When the
+// router pins a backend, a replica advertising any other is a dial
+// failure: it leaves the ring rather than answer with the wrong numerics.
 func (rt *Router) dialReplica(s *shard) (*serve.Client, bool, error) {
 	cl, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
 	if err != nil {
@@ -491,7 +512,25 @@ func (rt *Router) dialReplica(s *shard) (*serve.Client, bool, error) {
 		cl.Close()
 		return nil, false, err
 	}
+	if err := rt.checkBackend(hello); err != nil {
+		cl.Close()
+		return nil, false, err
+	}
 	return cl, hello.Tracing, nil
+}
+
+// checkBackend verifies a replica's advertised backend against the
+// router's pin. A legacy peer advertises nothing and fails a pinned
+// check — it might be serving anything.
+func (rt *Router) checkBackend(hello serve.Hello) error {
+	if rt.opts.ExpectBackend == "" || hello.Backend == rt.expect {
+		return nil
+	}
+	got := string(hello.Backend)
+	if got == "" {
+		got = "none (legacy peer)"
+	}
+	return fmt.Errorf("fleet: replica advertises backend %s, router requires %q", got, rt.expect)
 }
 
 // replicaFailed marks a shard unhealthy and reroutes its in-flight calls
@@ -537,6 +576,16 @@ func (rt *Router) probe() {
 			cl, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
 			if err != nil {
 				continue
+			}
+			if rt.opts.ExpectBackend != "" {
+				// A replica that came back with the wrong backend (say, a
+				// bad restart flag) must stay out of the ring, so recovery
+				// re-negotiates instead of trusting a bare TCP accept.
+				hello, err := cl.Negotiate()
+				if err != nil || rt.checkBackend(hello) != nil {
+					cl.Close()
+					continue
+				}
 			}
 			cl.Close()
 			if rt.ring.SetHealthy(s.idx, true) {

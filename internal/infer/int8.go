@@ -1,0 +1,310 @@
+package infer
+
+import (
+	"fmt"
+	"math"
+
+	"ssmdvfs/internal/nn"
+)
+
+// qlevels is the symmetric quantization range: int8 minus the asymmetric
+// -128, so +x and -x round to equal magnitudes and the accumulator bound
+// (127*127*in) stays far inside int32 for any realistic layer width.
+const qlevels = 127
+
+// qlayer is one dense layer quantized for serving: weights as int8 with
+// one symmetric scale per output channel (a per-layer scale lets one
+// large weight anywhere coarsen every other channel's grid — on the
+// uncompressed model that alone pushes decision flips past 1%), biases
+// kept in float64 and applied at dequantize time.
+type qlayer struct {
+	in, out int
+	qw      []int8    // row-major, qw[o*in+i] ≈ W[o*in+i] / sw[o]
+	sw      []float64 // per output channel; 0 for an all-zero (pruned) channel
+	b       []float64
+}
+
+// int8Scratch holds the quantized-path buffers: per-layer float64
+// activation batches plus the current layer's quantized rows and per-row
+// scales. hmax carries each row's max activation from one layer's
+// fused-ReLU epilogue to the next layer's quantization pass, so hidden
+// layers never rescan their input for the dynamic scale.
+type int8Scratch struct {
+	acts []nn.Batch
+	one  nn.Batch // 1-row staging for the single-row Forward
+	qx   []int8
+	sx   []float64
+	hmax []float64
+}
+
+type int8Backend struct {
+	layers []qlayer
+	in     int
+	out    int
+	params int
+}
+
+// newInt8Backend quantizes m layer by layer. Any layer whose weights are
+// all zero (scale would be zero → all-zero logits forever) or contain a
+// non-finite value (scale would be NaN/Inf → NaN logits) is rejected with
+// a structured *Error instead of being served silently.
+func newInt8Backend(m *nn.MLP) (Backend, error) {
+	bk := &int8Backend{
+		in:     m.InputSize(),
+		out:    m.OutputSize(),
+		params: m.Params(),
+	}
+	for li, l := range m.Layers {
+		ql := qlayer{
+			in:  l.In,
+			out: l.Out,
+			qw:  make([]int8, len(l.W)),
+			sw:  make([]float64, l.Out),
+			b:   make([]float64, len(l.B)),
+		}
+		copy(ql.b, l.B)
+		layerMax := 0.0
+		for o := 0; o < l.Out; o++ {
+			wo := l.W[o*l.In : (o+1)*l.In]
+			maxAbs := 0.0
+			for i, w := range wo {
+				// NaN loses every > comparison, so it must be caught here
+				// explicitly or it would silently quantize to garbage.
+				if math.IsNaN(w) || math.IsInf(w, 0) {
+					return nil, &Error{Kind: KindInt8, Stage: "quantize", Layer: li,
+						Err: fmt.Errorf("non-finite weight %v at index %d", w, o*l.In+i)}
+				}
+				if a := math.Abs(w); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			if maxAbs > layerMax {
+				layerMax = maxAbs
+			}
+			if maxAbs == 0 {
+				// A pruned (all-zero) channel: sw=0 and zero codes make its
+				// output exactly the bias, matching the float64 path.
+				continue
+			}
+			sw := maxAbs / qlevels
+			ql.sw[o] = sw
+			for i, w := range wo {
+				q := math.Round(w / sw)
+				switch {
+				case q > qlevels:
+					q = qlevels
+				case q < -qlevels:
+					q = -qlevels
+				}
+				ql.qw[o*l.In+i] = int8(q)
+			}
+		}
+		if layerMax == 0 {
+			return nil, &Error{Kind: KindInt8, Stage: "quantize", Layer: li,
+				Err: fmt.Errorf("all-zero weights: scale would be 0 and every logit would quantize to 0")}
+		}
+		bk.layers = append(bk.layers, ql)
+	}
+	return bk, nil
+}
+
+func (b *int8Backend) Describe() Description {
+	return Description{
+		Kind:       KindInt8,
+		In:         b.in,
+		Out:        b.out,
+		Layers:     len(b.layers),
+		Params:     b.params,
+		WeightBits: 8,
+	}
+}
+
+// Forward runs the single row through the batch kernel via a 1-row
+// staging batch: one kernel, one set of numerics, so the row and batch
+// paths cannot drift apart.
+func (b *int8Backend) Forward(x []float64, s *Scratch) []float64 {
+	if len(x) != b.in {
+		panic(fmt.Sprintf("infer: int8 Forward with |x|=%d, model wants %d", len(x), b.in))
+	}
+	s.i8.one.Reset(1, b.in)
+	copy(s.i8.one.Data, x)
+	return b.ForwardBatch(&s.i8.one, s).Row(0)
+}
+
+func (b *int8Backend) ForwardBatch(x *nn.Batch, s *Scratch) *nn.Batch {
+	if x.Cols != b.in {
+		panic(fmt.Sprintf("infer: int8 ForwardBatch with %d cols, model wants %d", x.Cols, b.in))
+	}
+	sc := &s.i8
+	if len(sc.acts) < len(b.layers) {
+		sc.acts = append(sc.acts, make([]nn.Batch, len(b.layers)-len(sc.acts))...)
+	}
+	h := x
+	for li := range b.layers {
+		l := &b.layers[li]
+		y := &sc.acts[li]
+		y.Reset(h.Rows, l.out)
+		// Hidden layers (everything but the last) fuse ReLU and record
+		// each row's output max, so the next layer's quantization pass
+		// reads its dynamic scale from hmax instead of rescanning.
+		l.forwardBatch(h, y, sc, li+1 < len(b.layers), li > 0)
+		h = y
+	}
+	return h
+}
+
+// forwardBatch quantizes every activation row with its own dynamic scale
+// (sx = max|x| / 127), accumulates int8×int8 products in int32, and
+// dequantizes with the fused per-(channel,row) factor sw[o]·sx[r] plus
+// the float64 bias — applying ReLU in the same pass when fuseReLU is
+// set. The row loop is tiled four at a time like the float64 kernel so
+// each quantized weight row is loaded once per tile. haveMax means
+// sc.hmax already holds each row's max |x| (filled by the previous
+// layer's fused-ReLU epilogue), skipping the scan; when fuseReLU is set
+// the epilogue refills sc.hmax with this layer's output maxes for the
+// next one.
+func (l *qlayer) forwardBatch(x, y *nn.Batch, sc *int8Scratch, fuseReLU, haveMax bool) {
+	in, out, rows := l.in, l.out, x.Rows
+	if n := rows * in; cap(sc.qx) < n {
+		sc.qx = make([]int8, n)
+	}
+	if cap(sc.sx) < rows {
+		sc.sx = make([]float64, rows)
+		sc.hmax = make([]float64, rows)
+	}
+	qx := sc.qx[:rows*in]
+	sx := sc.sx[:rows]
+	hmax := sc.hmax[:rows]
+
+	// Pass 1: per-row dynamic activation quantization. No clamp is
+	// needed on the quantized codes: |v| ≤ maxAbs makes |v·inv| at most
+	// 127 plus a couple of ulps, far below the 127.5 where the
+	// round-half-away would reach ±128.
+	for r := 0; r < rows; r++ {
+		xr := x.Data[r*in : (r+1)*in : (r+1)*in]
+		qr := qx[r*in : (r+1)*in : (r+1)*in]
+		maxAbs := 0.0
+		if haveMax {
+			maxAbs = hmax[r]
+		} else {
+			for _, v := range xr {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+		}
+		// An all-zero row (or a non-finite one — upstream validation
+		// rejects those before inference) contributes nothing to the
+		// accumulator; sx=0 makes the dequantized output exactly the
+		// bias, which matches the float64 path on a zero row.
+		if !(maxAbs > 0) || math.IsInf(maxAbs, 0) {
+			sx[r] = 0
+			for i := range qr {
+				qr[i] = 0
+			}
+			continue
+		}
+		sx[r] = maxAbs / qlevels
+		inv := qlevels / maxAbs
+		for i, v := range xr {
+			// Truncation after ±0.5 is round-half-away-from-zero — the
+			// same rounding math.Round implements, minus its pure-Go
+			// bit-twiddling cost on the hot path.
+			qr[i] = int8(int32(v*inv + math.Copysign(0.5, v)))
+		}
+	}
+
+	// Pass 2: tiled int32 matmul with fused dequantize(+ReLU) and, for
+	// hidden layers, fused next-layer row-max tracking (post-ReLU
+	// outputs are nonnegative, so the running max is already max |y|).
+	// The [:in] reslices pin every operand's length to the loop bound so
+	// the compiler drops the per-element bounds checks in the MAC loop.
+	w := l.qw[:out*in]
+	sws := l.sw[:out]
+	bias := l.b[:out]
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		q0 := qx[(r+0)*in : (r+1)*in : (r+1)*in][:in]
+		q1 := qx[(r+1)*in : (r+2)*in : (r+2)*in][:in]
+		q2 := qx[(r+2)*in : (r+3)*in : (r+3)*in][:in]
+		q3 := qx[(r+3)*in : (r+4)*in : (r+4)*in][:in]
+		y0 := y.Data[(r+0)*out : (r+1)*out : (r+1)*out]
+		y1 := y.Data[(r+1)*out : (r+2)*out : (r+2)*out]
+		y2 := y.Data[(r+2)*out : (r+3)*out : (r+3)*out]
+		y3 := y.Data[(r+3)*out : (r+4)*out : (r+4)*out]
+		s0, s1, s2, s3 := sx[r+0], sx[r+1], sx[r+2], sx[r+3]
+		var m0, m1, m2, m3 float64
+		for o := 0; o < out; o++ {
+			wo := w[o*in : o*in+in : o*in+in][:in]
+			var a0, a1, a2, a3 int32
+			for i := 0; i < in; i++ {
+				wv := int32(wo[i])
+				a0 += wv * int32(q0[i])
+				a1 += wv * int32(q1[i])
+				a2 += wv * int32(q2[i])
+				a3 += wv * int32(q3[i])
+			}
+			swo, b := sws[o], bias[o]
+			v0 := float64(a0)*(swo*s0) + b
+			v1 := float64(a1)*(swo*s1) + b
+			v2 := float64(a2)*(swo*s2) + b
+			v3 := float64(a3)*(swo*s3) + b
+			if fuseReLU {
+				if v0 < 0 {
+					v0 = 0
+				}
+				if v1 < 0 {
+					v1 = 0
+				}
+				if v2 < 0 {
+					v2 = 0
+				}
+				if v3 < 0 {
+					v3 = 0
+				}
+				if v0 > m0 {
+					m0 = v0
+				}
+				if v1 > m1 {
+					m1 = v1
+				}
+				if v2 > m2 {
+					m2 = v2
+				}
+				if v3 > m3 {
+					m3 = v3
+				}
+			}
+			y0[o], y1[o], y2[o], y3[o] = v0, v1, v2, v3
+		}
+		if fuseReLU {
+			hmax[r+0], hmax[r+1], hmax[r+2], hmax[r+3] = m0, m1, m2, m3
+		}
+	}
+	for ; r < rows; r++ {
+		qr := qx[r*in : (r+1)*in : (r+1)*in][:in]
+		yr := y.Data[r*out : (r+1)*out : (r+1)*out]
+		sr := sx[r]
+		var mr float64
+		for o := 0; o < out; o++ {
+			wo := w[o*in : o*in+in : o*in+in][:in]
+			var acc int32
+			for i := 0; i < in; i++ {
+				acc += int32(wo[i]) * int32(qr[i])
+			}
+			v := float64(acc)*(sws[o]*sr) + bias[o]
+			if fuseReLU {
+				if v < 0 {
+					v = 0
+				}
+				if v > mr {
+					mr = v
+				}
+			}
+			yr[o] = v
+		}
+		if fuseReLU {
+			hmax[r] = mr
+		}
+	}
+}

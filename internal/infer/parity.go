@@ -1,0 +1,71 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+
+	"ssmdvfs/internal/nn"
+)
+
+// ParityReport summarizes how closely a backend tracks the float64
+// reference on synthetic standardized rows.
+type ParityReport struct {
+	Rows      int
+	Flips     int     // rows where argmax disagrees with the reference
+	FlipRate  float64 // Flips / Rows
+	MaxRelErr float64 // worst per-row |out - ref| / max(1, max|ref|)
+}
+
+// CheckParity runs rows deterministic synthetic inputs (standard-normal,
+// matching the standardized features every model head consumes) through
+// both the backend and the float64 reference m, via both the single-row
+// and batched entry points. It reports the argmax flip rate — the number
+// that matters for a decision head — and the worst relative output
+// error, which covers regression heads where argmax is meaningless.
+// Callers (model load, hot-swap validation) decide the thresholds.
+func CheckParity(m *nn.MLP, b Backend, rows int, seed int64) ParityReport {
+	rng := rand.New(rand.NewSource(seed))
+	var x nn.Batch
+	x.Reset(rows, m.InputSize())
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	var s Scratch
+	rep := ParityReport{Rows: rows}
+	y := b.ForwardBatch(&x, &s)
+	var rowScratch Scratch
+	for r := 0; r < rows; r++ {
+		ref := m.Forward(x.Row(r))
+		got := y.Row(r)
+		// The batched path must agree with the backend's own single-row
+		// path exactly; check the second half of the rows that way so
+		// both entry points are exercised under the same report.
+		if r >= rows/2 {
+			got = b.Forward(x.Row(r), &rowScratch)
+		}
+		if len(got) != len(ref) {
+			rep.Flips = rows
+			rep.FlipRate = 1
+			rep.MaxRelErr = math.Inf(1)
+			return rep
+		}
+		denom := 1.0
+		maxDiff := 0.0
+		for k := range ref {
+			if a := math.Abs(ref[k]); a > denom {
+				denom = a
+			}
+			if d := math.Abs(got[k] - ref[k]); d > maxDiff || math.IsNaN(d) {
+				maxDiff = d
+			}
+		}
+		if rel := maxDiff / denom; rel > rep.MaxRelErr || math.IsNaN(rel) {
+			rep.MaxRelErr = rel
+		}
+		if len(ref) > 1 && nn.Argmax(got) != nn.Argmax(ref) {
+			rep.Flips++
+		}
+	}
+	rep.FlipRate = float64(rep.Flips) / float64(rows)
+	return rep
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func fillRows(b *Batch, rows, cols int, rng *rand.Rand) {
+	b.Reset(rows, cols)
+	for i := range b.Data {
+		b.Data[i] = rng.NormFloat64()
+	}
+}
+
+// TestForwardBatchMatchesScratch pins the tiled batch kernel to the
+// row-at-a-time path, bit for bit, across row counts that exercise the
+// 4-row tile body, the remainder loop, and both together — plus scratch
+// reuse across networks of different shapes (buffer resize).
+func TestForwardBatchMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	small, err := NewMLP([]int{6, 12, 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewMLP([]int{6, 20, 20, 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x Batch
+	var bs BatchScratch
+	var s Scratch
+	for _, rows := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33, 64} {
+		for _, m := range []*MLP{small, big, small} {
+			fillRows(&x, rows, m.InputSize(), rng)
+			y := m.ForwardBatch(&x, &bs)
+			if y.Rows != rows || y.Cols != m.OutputSize() {
+				t.Fatalf("rows=%d: got %dx%d output, want %dx%d", rows, y.Rows, y.Cols, rows, m.OutputSize())
+			}
+			for r := 0; r < rows; r++ {
+				want := m.ForwardScratch(x.Row(r), &s)
+				got := y.Row(r)
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("rows=%d row %d out %d: batch %g != scratch %g", rows, r, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchSteadyStateAllocs(t *testing.T) {
+	m, err := NewMLP([]int{6, 20, 20, 6}, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var x Batch
+	x.Reset(16, 6)
+	var s BatchScratch
+	m.ForwardBatch(&x, &s) // warm the scratch buffers
+	allocs := testing.AllocsPerRun(200, func() {
+		m.ForwardBatch(&x, &s)
+	})
+	if allocs > 0 {
+		t.Fatalf("ForwardBatch allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestConcurrentForwardBatchMatchesRowAtATime hammers one read-only MLP
+// from 16 goroutines, each alternating between ForwardBatch and the
+// row-at-a-time ForwardScratch over the same rows, asserting bit-identical
+// outputs to the serial pass. With -race this verifies the batched kernel
+// shares no mutable state across callers.
+func TestConcurrentForwardBatchMatchesRowAtATime(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewMLP([]int{6, 20, 20, 6}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 61 // odd on purpose: tiles plus a remainder
+	var x Batch
+	fillRows(&x, rows, 6, rng)
+	want := make([][]float64, rows)
+	for r := range want {
+		want[r] = m.Forward(x.Row(r))
+	}
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var bs BatchScratch
+			var s Scratch
+			for rep := 0; rep < 8; rep++ {
+				if (g+rep)%2 == 0 {
+					y := m.ForwardBatch(&x, &bs)
+					for r := 0; r < rows; r++ {
+						got := y.Row(r)
+						for k := range got {
+							if got[k] != want[r][k] {
+								t.Errorf("goroutine %d batch row %d out %d: %g != %g", g, r, k, got[k], want[r][k])
+								return
+							}
+						}
+					}
+				} else {
+					for r := 0; r < rows; r++ {
+						got := m.ForwardScratch(x.Row(r), &s)
+						for k := range got {
+							if got[k] != want[r][k] {
+								t.Errorf("goroutine %d row %d out %d: %g != %g", g, r, k, got[k], want[r][k])
+								return
+							}
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkForwardBatch is the zero-alloc guard for the batched hot path:
+// it fails (not just reports) if a steady-state ForwardBatch allocates.
+// CI runs it with -benchtime=1x -benchmem so the numbers stay visible.
+func BenchmarkForwardBatch(b *testing.B) {
+	m, err := NewMLP([]int{6, 20, 20, 6}, rand.New(rand.NewSource(4)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rows := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			var x Batch
+			fillRows(&x, rows, 6, rand.New(rand.NewSource(5)))
+			var s BatchScratch
+			m.ForwardBatch(&x, &s)
+			if allocs := testing.AllocsPerRun(100, func() { m.ForwardBatch(&x, &s) }); allocs > 0 {
+				b.Fatalf("steady-state ForwardBatch allocates %.1f objects/op, want 0", allocs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.ForwardBatch(&x, &s)
+			}
+			b.ReportMetric(float64(rows)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

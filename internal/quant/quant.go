@@ -15,29 +15,62 @@ import (
 	"ssmdvfs/internal/nn"
 )
 
+// ScaleError reports a layer whose quantization scale factor is
+// degenerate — zero (an all-zero layer, so every parameter would
+// quantize to zero and the head would emit constant logits forever) or
+// NaN/Inf (a corrupt artifact with non-finite parameters). Like
+// serve.ReloadError it is a structured error: the layer index and the
+// offending scale survive up the stack so a rejected artifact names
+// exactly what was wrong instead of silently serving garbage.
+type ScaleError struct {
+	Layer int
+	Scale float64
+	Err   error
+}
+
+func (e *ScaleError) Error() string {
+	return fmt.Sprintf("quant: layer %d scale %g: %v", e.Layer, e.Scale, e.Err)
+}
+
+func (e *ScaleError) Unwrap() error { return e.Err }
+
 // QuantizeMLP rounds every layer's weights and biases to a symmetric
 // signed b-bit grid scaled by that layer's max |w|, in place on a clone.
-// Pruning masks survive (zeros quantize to zero).
+// Pruning masks survive (zeros quantize to zero). A layer whose scale
+// would be zero or non-finite fails with a *ScaleError rather than
+// passing through unquantized or poisoning the grid with NaNs.
 func QuantizeMLP(m *nn.MLP, bits int) (*nn.MLP, error) {
 	if bits < 2 || bits > 31 {
 		return nil, fmt.Errorf("quant: bits must be in [2,31], got %d", bits)
 	}
 	q := m.Clone()
 	levels := float64(int64(1)<<(bits-1)) - 1
-	for _, l := range q.Layers {
+	for li, l := range q.Layers {
 		maxAbs := 0.0
 		for _, w := range l.W {
+			// NaN loses every comparison, so check it explicitly — a
+			// single NaN weight would otherwise leave maxAbs finite and
+			// quantize the rest of the layer around a poisoned grid.
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return nil, &ScaleError{Layer: li, Scale: math.NaN(),
+					Err: fmt.Errorf("non-finite weight %v", w)}
+			}
 			if a := math.Abs(w); a > maxAbs {
 				maxAbs = a
 			}
 		}
 		for _, b := range l.B {
+			if math.IsNaN(b) || math.IsInf(b, 0) {
+				return nil, &ScaleError{Layer: li, Scale: math.NaN(),
+					Err: fmt.Errorf("non-finite bias %v", b)}
+			}
 			if a := math.Abs(b); a > maxAbs {
 				maxAbs = a
 			}
 		}
 		if maxAbs == 0 {
-			continue
+			return nil, &ScaleError{Layer: li, Scale: 0,
+				Err: fmt.Errorf("all parameters are zero")}
 		}
 		scale := maxAbs / levels
 		for i, w := range l.W {
@@ -56,10 +89,10 @@ func QuantizeModel(m *core.Model, bits int) (*core.Model, error) {
 	q := m.Clone()
 	var err error
 	if q.Decision, err = QuantizeMLP(m.Decision, bits); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("quant: decision head: %w", err)
 	}
 	if q.Calibrator, err = QuantizeMLP(m.Calibrator, bits); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("quant: calibrator head: %w", err)
 	}
 	return q, nil
 }

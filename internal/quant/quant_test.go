@@ -1,6 +1,7 @@
 package quant
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -112,6 +113,39 @@ func TestQuantizeValidation(t *testing.T) {
 	}
 	if _, err := QuantizeMLP(m, 40); err == nil {
 		t.Fatal("40 bits accepted")
+	}
+}
+
+// TestQuantizeRejectsDegenerateScales: a corrupt artifact — an all-zero
+// layer or a non-finite parameter — must fail quantization with a
+// structured *ScaleError naming the layer, not pass through silently
+// (all-zero) or poison the grid (NaN).
+func TestQuantizeRejectsDegenerateScales(t *testing.T) {
+	zero := newNet(t, 6)
+	for i := range zero.Layers[1].W {
+		zero.Layers[1].W[i] = 0
+	}
+	for i := range zero.Layers[1].B {
+		zero.Layers[1].B[i] = 0
+	}
+	_, err := QuantizeMLP(zero, 8)
+	var se *ScaleError
+	if !errors.As(err, &se) || se.Layer != 1 || se.Scale != 0 {
+		t.Fatalf("all-zero layer: got %v, want *ScaleError{Layer:1, Scale:0}", err)
+	}
+
+	nan := newNet(t, 7)
+	nan.Layers[0].W[2] = math.NaN()
+	if _, err := QuantizeMLP(nan, 8); !errors.As(err, &se) || se.Layer != 0 {
+		t.Fatalf("NaN weight: got %v, want *ScaleError{Layer:0}", err)
+	}
+
+	// A NaN bias slips past nn.Load's weight check, so the scale path
+	// must catch it too.
+	nanB := newNet(t, 8)
+	nanB.Layers[1].B[0] = math.Inf(1)
+	if _, err := QuantizeMLP(nanB, 8); !errors.As(err, &se) || se.Layer != 1 {
+		t.Fatalf("Inf bias: got %v, want *ScaleError{Layer:1}", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"ssmdvfs/internal/clockdomain"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/infer"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/quant"
 	"ssmdvfs/internal/telemetry"
@@ -28,6 +29,12 @@ type Options struct {
 	// QuantBits, when non-zero, fake-quantizes every loaded model to the
 	// given symmetric bit width (the INT-MAC deployment configuration).
 	QuantBits int
+	// Backend, when non-empty, overrides the inference backend for every
+	// model this engine serves ("float64" or "int8"); empty defers to the
+	// model artifact's own backend field (which defaults to float64). The
+	// resolved backend is built and parity-validated before a model is
+	// swapped in, like every other reload check.
+	Backend string
 	// Workers bounds concurrent inference batches across all transports;
 	// 0 means GOMAXPROCS.
 	Workers int
@@ -94,6 +101,9 @@ func NewEngine(m *core.Model, opts Options) (*Engine, error) {
 	if opts.Table == nil {
 		opts.Table = clockdomain.TitanX()
 	}
+	if _, err := infer.ParseKind(opts.Backend); err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		opts:    opts,
 		metrics: newMetrics(telemetry.NewRegistry()),
@@ -102,11 +112,33 @@ func NewEngine(m *core.Model, opts Options) (*Engine, error) {
 		health:  newHealth(opts.Health),
 		faults:  opts.Faults,
 	}
+	if err := e.applyBackend(m); err != nil {
+		return nil, err
+	}
 	e.model.Store(m)
 	e.infPool.New = func() any { return core.NewInference(m) }
 	e.recPool.New = func() any { return new(provenance.Record) }
 	return e, nil
 }
+
+// applyBackend resolves the backend a model will serve with — the
+// engine's override when set, otherwise the model's own header — and
+// builds + parity-validates it. Called before a model is published, so
+// the decision path never discovers a bad backend mid-batch.
+func (e *Engine) applyBackend(m *core.Model) error {
+	if e.opts.Backend != "" {
+		kind, err := infer.ParseKind(e.opts.Backend)
+		if err != nil {
+			return err
+		}
+		m.Backend = kind
+	}
+	return m.EnsureBackends()
+}
+
+// BackendKind returns the inference backend the current model serves
+// with, advertised in hello negotiation and /healthz.
+func (e *Engine) BackendKind() infer.Kind { return e.Model().BackendKind() }
 
 // EnableProvenance installs a decision flight recorder of the given
 // capacity (<= 0 means provenance.DefaultCapacity) and an online
@@ -164,8 +196,8 @@ func LoadModel(path string, quantBits int) (*core.Model, error) {
 
 // ReloadError is the structured error Reload returns when a new model
 // cannot be swapped in; Stage says how far the reload got ("config",
-// "load", "validate", "swap"). The previously served model always stays
-// active.
+// "load", "validate", "backend", "swap"). The previously served model
+// always stays active.
 type ReloadError struct {
 	Path  string
 	Stage string
@@ -211,6 +243,13 @@ func (e *Engine) Swap(m *core.Model) error {
 	if err := m.Validate(); err != nil {
 		return err
 	}
+	// Backend build + parity validation is part of the swap gate: an
+	// artifact whose declared (or flag-forced) backend cannot be built —
+	// all-zero layer, non-finite weights, quantization that flips too
+	// many decisions — is rejected and the current model keeps serving.
+	if err := e.applyBackend(m); err != nil {
+		return err
+	}
 	e.model.Store(m)
 	e.metrics.Reloads.Add(1)
 	if e.mon != nil {
@@ -253,7 +292,12 @@ func (e *Engine) Reload(path string) error {
 	}
 	if err := e.Swap(m); err != nil {
 		e.metrics.Errors.Add(1)
-		return &ReloadError{Path: path, Stage: "swap", Err: err}
+		stage := "swap"
+		var ie *infer.Error
+		if errors.As(err, &ie) {
+			stage = "backend"
+		}
+		return &ReloadError{Path: path, Stage: stage, Err: err}
 	}
 	e.opts.Logf("serve: reloaded model from %s (%d params, %d FLOPs)", path, m.Params(), m.FLOPs())
 	return nil
@@ -268,11 +312,11 @@ const (
 	maxPreset  = 1e3
 )
 
-// finiteInRange rejects NaN (v != v) and values outside ±limit (which
-// also catches ±Inf) with plain comparisons — no allocation, no math
-// calls, cheap enough for the per-row hot path.
+// finiteInRange rejects NaN and values outside ±limit (which also
+// catches ±Inf) with two plain comparisons — NaN fails both, so no
+// separate v == v test — cheap enough for the per-row hot path.
 func finiteInRange(v, limit float64) bool {
-	return v == v && v >= -limit && v <= limit
+	return v >= -limit && v <= limit
 }
 
 // validRow reports whether every feature and the preset are finite and
@@ -399,12 +443,27 @@ func (e *Engine) decideBatchTC(rows []Request, decs []Decision, tc telemetry.Tra
 	return decs
 }
 
+// inferChunk caps how many rows one backend ForwardBatch call takes:
+// large enough to amortize the matmul over a full coalesced fleet batch,
+// small enough that the budget deadline is still checked at a useful
+// granularity on MaxBatch-sized frames.
+const inferChunk = 64
+
 // modelRows runs the model over rows until it finishes, fails, or blows
 // the budget, returning how many rows were answered (model or per-row
 // fallback), the reason the unreached rows should carry, and whether the
 // model path failed. A panic anywhere in the model is recovered and
 // reported as a failure; the rows it did not reach are the caller's to
 // degrade.
+//
+// Valid rows are gathered into runs and answered by one batched backend
+// inference per run — this is where a coalesced multi-row fleet frame
+// actually amortizes matmul cost instead of unrolling row by row. The
+// per-row semantics are unchanged: the budget is checked and FaultInfer
+// injected once per row before its inference (a fault or deadline at row
+// j still answers the gathered rows before j through the model), invalid
+// rows degrade individually, and a lone valid row takes the single-row
+// kernel.
 func (e *Engine) modelRows(rows []Request, decs []Decision, start time.Time, rec *provenance.Record) (out []Decision, done int, failReason provenance.Reason, failed bool) {
 	out = decs
 	failReason = provenance.ReasonFallback
@@ -424,30 +483,76 @@ func (e *Engine) modelRows(rows []Request, decs []Decision, start time.Time, rec
 	inf := e.infPool.Get().(*core.Inference)
 	defer e.infPool.Put(inf)
 	inf.Bind(e.model.Load())
+	kind := inf.Backend()
 	nFeat := inf.Model().NumFeatures()
 	budget := e.opts.Budget
-	for i, row := range rows {
+	i := 0
+	for i < len(rows) {
 		if budget > 0 && time.Since(start) > budget {
 			e.metrics.DeadlineMisses.Add(1)
 			return out, i, provenance.ReasonDeadline, true
 		}
-		if !validRow(row) {
+		if !validRow(rows[i]) {
 			e.metrics.RejectedRows.Add(1)
-			d := e.fallbackRow(row, provenance.ReasonRejected)
+			d := e.fallbackRow(rows[i], provenance.ReasonRejected)
 			out = append(out, d)
 			done = i + 1
-			e.observe(rec, row, d, nil, nil, start)
+			e.observe(rec, rows[i], d, nil, nil, start)
+			i++
 			continue
 		}
-		if err := e.faults.Inject(FaultInfer); err != nil {
-			return out, i, provenance.ReasonFallback, true
+		// Gather the maximal run of valid rows starting at i, spending
+		// each row's budget check and FaultInfer injection as it joins —
+		// exactly what the row-at-a-time loop did before its inference.
+		j := i
+		var stop provenance.Reason
+		for j < len(rows) && j-i < inferChunk {
+			if j > i { // row i was validated above
+				if budget > 0 && time.Since(start) > budget {
+					stop = provenance.ReasonDeadline
+					break
+				}
+				if !validRow(rows[j]) {
+					break
+				}
+			}
+			if err := e.faults.Inject(FaultInfer); err != nil {
+				stop = provenance.ReasonFallback
+				break
+			}
+			j++
 		}
-		level, pred := inf.Decide(row.Features, row.Preset)
-		e.metrics.ObserveLevel(level)
-		d := Decision{Level: level, Reason: provenance.ReasonModel, PredInstr: pred, Shard: -1}
-		out = append(out, d)
-		done = i + 1
-		e.observe(rec, row, d, inf.DecisionRow()[:nFeat], inf.Logits(), start)
+		if n := j - i; n == 1 {
+			level, pred := inf.Decide(rows[i].Features, rows[i].Preset)
+			e.metrics.ObserveInfer(kind, 1)
+			e.metrics.ObserveLevel(level)
+			d := Decision{Level: level, Reason: provenance.ReasonModel, PredInstr: pred, Shard: -1}
+			out = append(out, d)
+			done = i + 1
+			e.observe(rec, rows[i], d, inf.DecisionRow()[:nFeat], inf.Logits(), start)
+		} else if n > 1 {
+			inf.BeginBatch(n)
+			for k := 0; k < n; k++ {
+				inf.SetBatchRow(k, rows[i+k].Features, rows[i+k].Preset)
+			}
+			inf.DecideBatch()
+			e.metrics.ObserveInfer(kind, n)
+			for k := 0; k < n; k++ {
+				level := inf.BatchLevel(k)
+				e.metrics.ObserveLevel(level)
+				d := Decision{Level: level, Reason: provenance.ReasonModel, PredInstr: inf.BatchPredInstr(k), Shard: -1}
+				out = append(out, d)
+				done = i + k + 1
+				e.observe(rec, rows[i+k], d, inf.BatchDerived(k)[:nFeat], inf.BatchLogits(k), start)
+			}
+		}
+		i = j
+		if stop != provenance.ReasonModel { // zero value: gather ran dry, no stop
+			if stop == provenance.ReasonDeadline {
+				e.metrics.DeadlineMisses.Add(1)
+			}
+			return out, i, stop, true
+		}
 	}
 	return out, done, provenance.ReasonModel, false
 }

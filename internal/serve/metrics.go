@@ -3,6 +3,7 @@ package serve
 import (
 	"time"
 
+	"ssmdvfs/internal/infer"
 	"ssmdvfs/internal/telemetry"
 )
 
@@ -15,6 +16,11 @@ const histBuckets = 20
 // this project have 6 levels, so 64 leaves ample room for future tables
 // without resizing the handle table on model hot-swap.
 const maxLevels = 64
+
+// inferRowBuckets sizes the backend batch-size histogram: bucket i counts
+// ForwardBatch calls carrying [2^(i-1), 2^i) rows, and inferChunk (64)
+// rows lands in bucket 7, so 12 covers any future chunk size comfortably.
+const inferRowBuckets = 12
 
 // Metrics aggregates serving counters, hosted on a telemetry.Registry so
 // the same numbers are visible through the JSON Snapshot (the original
@@ -36,9 +42,19 @@ type Metrics struct {
 	DeadlineMisses  *telemetry.Counter // batches that blew the per-decision budget
 	Unavailable     *telemetry.Counter // HTTP /decide requests refused with 503 in fallback-only
 
-	levels [maxLevels]*telemetry.Counter
-	lat    *telemetry.Histogram
-	latSLO *telemetry.SLO
+	// Inference backend counters: rows and ForwardBatch calls per backend
+	// kind, plus a histogram of how many rows each backend call carried —
+	// the direct read on whether fleet coalescing actually reaches the
+	// batched kernel or decays to row-at-a-time.
+	InferRowsF64    *telemetry.Counter
+	InferRowsI8     *telemetry.Counter
+	InferBatchesF64 *telemetry.Counter
+	InferBatchesI8  *telemetry.Counter
+
+	levels    [maxLevels]*telemetry.Counter
+	lat       *telemetry.Histogram
+	inferRows *telemetry.Histogram
+	latSLO    *telemetry.SLO
 
 	reg *telemetry.Registry
 }
@@ -66,7 +82,12 @@ func newMetrics(reg *telemetry.Registry) *Metrics {
 		RejectedRows:    reg.Counter("serve_rejected_rows_total"),
 		DeadlineMisses:  reg.Counter("serve_deadline_misses_total"),
 		Unavailable:     reg.Counter("serve_unavailable_total"),
+		InferRowsF64:    reg.Counter("serve_infer_rows_total", "backend", string(infer.KindFloat64)),
+		InferRowsI8:     reg.Counter("serve_infer_rows_total", "backend", string(infer.KindInt8)),
+		InferBatchesF64: reg.Counter("serve_infer_batches_total", "backend", string(infer.KindFloat64)),
+		InferBatchesI8:  reg.Counter("serve_infer_batches_total", "backend", string(infer.KindInt8)),
 		lat:             reg.HistogramBuckets("serve_batch_latency_us", histBuckets),
+		inferRows:       reg.HistogramBuckets("serve_infer_batch_rows", inferRowBuckets),
 		latSLO:          telemetry.NewSLO(reg, "serve-latency", sloLatencyBudget, sloWindow),
 		reg:             reg,
 	}
@@ -117,6 +138,20 @@ func (m *Metrics) ObserveLevel(level int) {
 	}
 }
 
+// ObserveInfer records one backend inference call: rows rows answered in
+// a single Forward/ForwardBatch by the given backend kind.
+func (m *Metrics) ObserveInfer(kind infer.Kind, rows int) {
+	switch kind {
+	case infer.KindInt8:
+		m.InferRowsI8.Add(int64(rows))
+		m.InferBatchesI8.Add(1)
+	default:
+		m.InferRowsF64.Add(int64(rows))
+		m.InferBatchesF64.Add(1)
+	}
+	m.inferRows.Observe(int64(rows))
+}
+
 // Snapshot is a point-in-time JSON-friendly view of the metrics.
 type Snapshot struct {
 	Decisions int64 `json:"decisions"`
@@ -133,6 +168,18 @@ type Snapshot struct {
 	RejectedRows    int64 `json:"rejected_rows,omitempty"`
 	DeadlineMisses  int64 `json:"deadline_misses,omitempty"`
 	Unavailable     int64 `json:"unavailable_503,omitempty"`
+
+	// Inference backend counters. omitempty keeps the pre-backend JSON
+	// shape for snapshots taken before any decision was served.
+	InferRowsFloat64    int64 `json:"infer_rows_float64,omitempty"`
+	InferRowsInt8       int64 `json:"infer_rows_int8,omitempty"`
+	InferBatchesFloat64 int64 `json:"infer_batches_float64,omitempty"`
+	InferBatchesInt8    int64 `json:"infer_batches_int8,omitempty"`
+
+	// InferBatchRows[i] counts backend calls carrying [2^(i-1), 2^i) rows
+	// (single-row calls land in index 1, multi-row calls in index >= 2).
+	// Present once any inference has run.
+	InferBatchRows []int64 `json:"infer_batch_rows,omitempty"`
 
 	// LatencyBucketsUs[i] counts batches in [2^(i-1), 2^i) µs (index 0 is
 	// < 1 µs); LatencyP50Us etc. are estimated from the histogram.
@@ -152,18 +199,28 @@ func (m *Metrics) Snapshot(levels int) Snapshot {
 		levels = maxLevels
 	}
 	s := Snapshot{
-		Decisions:        m.Decisions.Load(),
-		Batches:          m.Batches.Load(),
-		Errors:           m.Errors.Load(),
-		Reloads:          m.Reloads.Load(),
-		Conns:            m.Conns.Load(),
-		Fallbacks:        m.Fallbacks.Load(),
-		RecoveredPanics:  m.RecoveredPanics.Load(),
-		RejectedRows:     m.RejectedRows.Load(),
-		DeadlineMisses:   m.DeadlineMisses.Load(),
-		Unavailable:      m.Unavailable.Load(),
-		LatencyBucketsUs: m.lat.Buckets(),
-		LevelCounts:      make([]int64, levels),
+		Decisions:           m.Decisions.Load(),
+		Batches:             m.Batches.Load(),
+		Errors:              m.Errors.Load(),
+		Reloads:             m.Reloads.Load(),
+		Conns:               m.Conns.Load(),
+		Fallbacks:           m.Fallbacks.Load(),
+		RecoveredPanics:     m.RecoveredPanics.Load(),
+		RejectedRows:        m.RejectedRows.Load(),
+		DeadlineMisses:      m.DeadlineMisses.Load(),
+		Unavailable:         m.Unavailable.Load(),
+		InferRowsFloat64:    m.InferRowsF64.Load(),
+		InferRowsInt8:       m.InferRowsI8.Load(),
+		InferBatchesFloat64: m.InferBatchesF64.Load(),
+		InferBatchesInt8:    m.InferBatchesI8.Load(),
+		LatencyBucketsUs:    m.lat.Buckets(),
+		LevelCounts:         make([]int64, levels),
+	}
+	if s.InferBatchesFloat64+s.InferBatchesInt8 > 0 {
+		// Only attach the batch-size histogram once an inference has run:
+		// omitempty elides nil but not an all-zero slice, and an idle
+		// server must keep emitting the pre-backend JSON byte for byte.
+		s.InferBatchRows = m.inferRows.Buckets()
 	}
 	for l := 0; l < levels; l++ {
 		s.LevelCounts[l] = m.levels[l].Load()

@@ -223,9 +223,11 @@ func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) b
 // helloAck describes this server in version negotiation: a single-GPU
 // daemon (routers override this in their own transport). Tracing is a
 // protocol capability — advertised whether or not a span tracer is
-// currently attached, since traced frames decode fine either way.
+// currently attached, since traced frames decode fine either way. The
+// backend advertisement lets a fleet router verify every replica serves
+// with the backend the operator expects before admitting it to the ring.
 func (s *Server) helloAck(version int) Hello {
-	return Hello{Version: version, Tracing: version >= Version3}
+	return Hello{Version: version, Tracing: version >= Version3, Backend: s.BackendKind()}
 }
 
 // writeError best-effort sends a structured protocol error frame. err is
@@ -318,6 +320,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	json.NewEncoder(w).Encode(struct {
 		State               string            `json:"state"`
+		Backend             string            `json:"backend"`
 		ConsecutiveFailures int64             `json:"consecutive_failures,omitempty"`
 		FallbackDecisions   int64             `json:"fallback_decisions,omitempty"`
 		RecoveredPanics     int64             `json:"recovered_panics,omitempty"`
@@ -325,6 +328,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Build               map[string]string `json:"build,omitempty"`
 	}{
 		State:               st.String(),
+		Backend:             string(s.BackendKind()),
 		ConsecutiveFailures: s.health.Failures(),
 		FallbackDecisions:   s.metrics.Fallbacks.Load(),
 		RecoveredPanics:     s.metrics.RecoveredPanics.Load(),

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/infer"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/telemetry"
 )
@@ -130,12 +131,43 @@ const (
 
 // Hello is the result of version negotiation: the agreed protocol
 // version, whether the peer is a router, whether it accepts traced
-// frames, and (for routers) its shard count.
+// frames, (for routers) its shard count, and the inference backend the
+// peer serves with. Backend is empty when the peer predates the backend
+// byte (a legacy 4-byte ack body) or chose not to advertise one.
 type Hello struct {
 	Version int
 	Router  bool
 	Tracing bool
 	Shards  int
+	Backend infer.Kind
+}
+
+// Backend codes carried in the hello-ack's trailing byte. Zero — also
+// what a legacy peer's absent byte decodes as — means unspecified.
+const (
+	backendCodeNone    = 0
+	backendCodeFloat64 = 1
+	backendCodeInt8    = 2
+)
+
+func backendCode(k infer.Kind) byte {
+	switch k {
+	case infer.KindFloat64:
+		return backendCodeFloat64
+	case infer.KindInt8:
+		return backendCodeInt8
+	}
+	return backendCodeNone
+}
+
+func backendFromCode(c byte) infer.Kind {
+	switch c {
+	case backendCodeFloat64:
+		return infer.KindFloat64
+	case backendCodeInt8:
+		return infer.KindInt8
+	}
+	return ""
 }
 
 // HopTimings is the per-hop latency attribution a traced response
@@ -838,10 +870,13 @@ func DecodeHelloFrame(payload []byte) (minVer, maxVer byte, err error) {
 	return payload[6], payload[7], nil
 }
 
-// AppendHelloAckFrame appends the server's negotiation answer.
+// AppendHelloAckFrame appends the server's negotiation answer. The
+// trailing byte advertises the serving backend; peers that predate it
+// parse only the first four body bytes, so appending is compatible both
+// ways.
 func AppendHelloAckFrame(dst []byte, h Hello) []byte {
 	off := len(dst)
-	dst = append(dst, make([]byte, headerLen+4)...)
+	dst = append(dst, make([]byte, headerLen+5)...)
 	b := dst[off:]
 	putHeader(b, VersionMax, MsgHelloAck)
 	b[6] = byte(h.Version)
@@ -852,6 +887,7 @@ func AppendHelloAckFrame(dst []byte, h Hello) []byte {
 		b[7] |= HelloFlagTracing
 	}
 	binary.BigEndian.PutUint16(b[8:], uint16(h.Shards))
+	b[10] = backendCode(h.Backend)
 	return dst
 }
 
@@ -868,15 +904,23 @@ func DecodeHelloAckFrame(payload []byte) (Hello, error) {
 	if t != MsgHelloAck {
 		return Hello{}, fmt.Errorf("serve: unexpected message type %d, want %d", t, MsgHelloAck)
 	}
-	if len(payload) != headerLen+4 {
-		return Hello{}, fmt.Errorf("serve: hello-ack frame is %d bytes, want %d", len(payload), headerLen+4)
+	// headerLen+4 is the legacy body (no backend byte); headerLen+5
+	// carries the backend advertisement. Both stay accepted so old and
+	// new peers interoperate in either direction.
+	if len(payload) != headerLen+4 && len(payload) != headerLen+5 {
+		return Hello{}, fmt.Errorf("serve: hello-ack frame is %d bytes, want %d or %d",
+			len(payload), headerLen+4, headerLen+5)
 	}
-	return Hello{
+	h := Hello{
 		Version: int(payload[6]),
 		Router:  payload[7]&HelloFlagRouter != 0,
 		Tracing: payload[7]&HelloFlagTracing != 0,
 		Shards:  int(binary.BigEndian.Uint16(payload[8:])),
-	}, nil
+	}
+	if len(payload) == headerLen+5 {
+		h.Backend = backendFromCode(payload[10])
+	}
+	return h, nil
 }
 
 // AppendErrorFrame appends a structured protocol-error frame.
