@@ -11,6 +11,20 @@
 //	         [-backend int8] [-quant 8] [-workers N] [-budget 200us]
 //	         [-flightrec 4096] [-spans ssmdvfsd-spans.jsonl]
 //	         [-faults 'serve.infer:panic:every=100'] [-faults-seed 1]
+//	         [-adapt] [-adapt-interval 1s] [-adapt-min-rows 512]
+//	         [-adapt-shadow-rows 256] [-adapt-canary-rows 256]
+//	         [-adapt-margin 0.1] [-adapt-regress 1.5]
+//
+// -adapt closes the paper's self-calibration loop online: when the
+// flight recorder's drift gauges cross their thresholds, the daemon
+// harvests realized epochs into a training stream, re-fits the
+// Calibrator in place, shadow-scores the candidate on live traffic
+// (it never serves), promotes it through the validated hot-swap path
+// only if it beats the incumbent's rolling MAPE, canaries the
+// promotion against live realized error, and automatically rolls back
+// to the retained incumbent on regression. Every transition lands in
+// adapt_* telemetry and the /debug/adapt transition log. -adapt implies
+// -flightrec (default 4096 when unset).
 //
 // -backend selects the inference backend ("float64" or "int8",
 // overriding the model header's choice): int8 serves quantized weights
@@ -41,12 +55,14 @@
 //	POST /reload        swap in a new model ({"path":"..."}; path optional)
 //	GET  /model         served model info
 //	GET  /healthz       liveness + build attribution
+//	GET  /debug/adapt   adaptation state + transition log (with -adapt)
 //
 // Pair it with cmd/dvfsload to measure serving throughput and latency,
 // and cmd/dvfsstat to summarize a scraped /telemetry dump.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -54,9 +70,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"ssmdvfs/internal/adapt"
 	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/provenance"
@@ -74,6 +92,13 @@ func main() {
 		workers   = flag.Int("workers", 0, "max concurrent inference batches (0 = GOMAXPROCS)")
 		budget    = flag.Duration("budget", 0, "per-decision deadline; rows past it get the analytical fallback (0 = off)")
 		flightrec = flag.Int("flightrec", 0, "keep the last N decisions in a provenance flight recorder with online drift monitoring (0 = off)")
+		adaptOn   = flag.Bool("adapt", false, "close the self-calibration loop: drift-triggered online re-fit with shadow scoring, canary rollout, and automatic rollback (implies -flightrec)")
+		adaptIvl  = flag.Duration("adapt-interval", time.Second, "how often the adaptation controller polls the flight recorder")
+		adaptMin  = flag.Int("adapt-min-rows", 512, "harvested training pairs required before a re-fit")
+		adaptShad = flag.Int("adapt-shadow-rows", 256, "realized shadow comparisons required to judge a candidate")
+		adaptCan  = flag.Int("adapt-canary-rows", 256, "live realized-error samples required to commit a promotion")
+		adaptMarg = flag.Float64("adapt-margin", 0.1, "relative shadow-MAPE improvement required to promote a candidate")
+		adaptRegr = flag.Float64("adapt-regress", 1.5, "canary rolls back when live MAPE exceeds promise times this factor")
 		spansPath = flag.String("spans", "", "write spans for sampled traced requests to this JSONL file (dvfsstat -chrome input; empty = off)")
 		faultSpec = flag.String("faults", "", "arm fault injection, e.g. 'serve.infer:panic:every=100;serve.conn:error:rate=0.01' (chaos testing)")
 		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
@@ -90,17 +115,41 @@ func main() {
 	if *verbose {
 		logf = func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
 	}
-	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *backend, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, logf); err != nil {
+	acfg := adaptConfig{
+		Enabled:    *adaptOn,
+		Interval:   *adaptIvl,
+		MinRows:    *adaptMin,
+		ShadowRows: *adaptShad,
+		CanaryRows: *adaptCan,
+		Margin:     *adaptMarg,
+		Regress:    *adaptRegr,
+	}
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *backend, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, acfg, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
 }
 
+// adaptConfig carries the -adapt* flags into run.
+type adaptConfig struct {
+	Enabled    bool
+	Interval   time.Duration
+	MinRows    int
+	ShadowRows int
+	CanaryRows int
+	Margin     float64
+	Regress    float64
+}
+
 // buildMux layers the daemon-only observability endpoints — Prometheus
-// exposition, the raw telemetry dump, and pprof — over the serving API.
-func buildMux(srv *serve.Server) http.Handler {
+// exposition, the raw telemetry dump, pprof, and (with -adapt) the
+// adaptation controller's transition log — over the serving API.
+func buildMux(srv *serve.Server, ctrl *adapt.Controller) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
+	if ctrl != nil {
+		mux.Handle("/debug/adapt", ctrl.Handler())
+	}
 	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		srv.Telemetry().WriteProm(w)
@@ -117,7 +166,7 @@ func buildMux(srv *serve.Server) http.Handler {
 	return mux
 }
 
-func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, logf func(string, ...any)) error {
+func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, acfg adaptConfig, logf func(string, ...any)) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -165,11 +214,52 @@ func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, wor
 		srv.SetTracer(tracer)
 		logf("ssmdvfsd: tracing armed: sampled request spans to %s", spansPath)
 	}
+	if acfg.Enabled && flightrec <= 0 {
+		// The flight recorder is the adaptation loop's training stream and
+		// drift sensor; -adapt without -flightrec arms a default-sized one.
+		flightrec = 4096
+		logf("ssmdvfsd: -adapt implies a flight recorder: arming -flightrec %d", flightrec)
+	}
+	// The drift monitor is wired before the controller exists, so the
+	// threshold callback dereferences a pointer filled in below.
+	var ctrlRef atomic.Pointer[adapt.Controller]
 	if flightrec > 0 {
-		srv.EnableProvenance(flightrec, provenance.MonitorOptions{
+		mopts := provenance.MonitorOptions{
 			Logger: telemetry.NewLoggerFunc(logf, srv.Telemetry()),
-		})
+		}
+		if acfg.Enabled {
+			mopts.OnThreshold = func(ev provenance.ThresholdEvent) {
+				if c := ctrlRef.Load(); c != nil {
+					c.NoteThreshold(ev)
+				}
+			}
+		}
+		srv.EnableProvenance(flightrec, mopts)
 		logf("ssmdvfsd: flight recorder armed: last %d decisions at /debug/decisions, drift gauges on /telemetry", flightrec)
+	}
+	var ctrl *adapt.Controller
+	var stopCtrl context.CancelFunc
+	if acfg.Enabled {
+		// Live MAPE feeds both the drift trigger and the canary judge.
+		srv.EnablePredFeedback()
+		ctrl, err = adapt.NewController(srv.Engine, adapt.Options{
+			MinRows:          acfg.MinRows,
+			ShadowMinSamples: acfg.ShadowRows,
+			CanaryMinSamples: acfg.CanaryRows,
+			Margin:           acfg.Margin,
+			RegressFactor:    acfg.Regress,
+			Logf:             logf,
+		})
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		ctrlRef.Store(ctrl)
+		var ctx context.Context
+		ctx, stopCtrl = context.WithCancel(context.Background())
+		defer stopCtrl()
+		go ctrl.Run(ctx, acfg.Interval)
+		logf("ssmdvfsd: online adaptation armed: drift-triggered re-fit with shadow + canary every %s, transitions at /debug/adapt", acfg.Interval)
 	}
 
 	errc := make(chan error, 2)
@@ -183,7 +273,7 @@ func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, wor
 	}
 	var hs *http.Server
 	if httpAddr != "" {
-		hs = &http.Server{Addr: httpAddr, Handler: buildMux(srv)}
+		hs = &http.Server{Addr: httpAddr, Handler: buildMux(srv, ctrl)}
 		hl, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			srv.Close()
@@ -209,6 +299,9 @@ func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, wor
 				}
 			default:
 				logf("ssmdvfsd: %s, shutting down", sig)
+				if stopCtrl != nil {
+					stopCtrl()
+				}
 				if hs != nil {
 					hs.Close()
 				}

@@ -8,9 +8,11 @@ import (
 	"strings"
 	"testing"
 
+	"ssmdvfs/internal/adapt"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/nn"
+	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
 )
 
@@ -52,7 +54,12 @@ func TestBuildMuxObservabilityEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(buildMux(srv))
+	srv.EnableProvenance(256, provenance.MonitorOptions{})
+	ctrl, err := adapt.NewController(srv.Engine, adapt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(buildMux(srv, ctrl))
 	defer ts.Close()
 
 	get := func(path string) (int, string) {
@@ -89,5 +96,10 @@ func TestBuildMuxObservabilityEndpoints(t *testing.T) {
 	if code, body := get("/metrics"); code != http.StatusOK ||
 		!strings.Contains(body, "latency_buckets_us") {
 		t.Fatalf("/metrics → %d:\n%s", code, body)
+	}
+	// With -adapt, the controller's state and transition log are mounted.
+	if code, body := get("/debug/adapt"); code != http.StatusOK ||
+		!strings.Contains(body, `"state": "monitoring"`) {
+		t.Fatalf("/debug/adapt → %d:\n%s", code, body)
 	}
 }

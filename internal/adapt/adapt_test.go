@@ -1,0 +1,368 @@
+package adapt
+
+import (
+	"encoding/json"
+	"math/rand"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/nn"
+	"ssmdvfs/internal/provenance"
+	"ssmdvfs/internal/serve"
+)
+
+// trafficMean/Std describe the synthetic live feature distribution the
+// adapt tests serve; the model's scalers carry the same statistics so
+// the only drift signal is the calibration error.
+const (
+	trafficMean = 3000.0
+	trafficStd  = 1000.0
+	instrBase   = 3000.0
+)
+
+// adaptModel hand-crafts the test incumbent: a random (but shared-able)
+// Decision head, and a Calibrator whose hidden layers are all zero with
+// an output bias of 1.0 — it predicts exactly TargetScale (1000)
+// instructions for any input. Live traffic realizes ~3000, so the
+// incumbent's live MAPE sits at ~2.0 (miles over the 0.25 threshold) and
+// a warm-started re-fit deterministically learns the output bias toward
+// 3.0, because zero hidden weights leave the bias as the only parameter
+// with gradient flow.
+func adaptModel(tb testing.TB, seed int64) *core.Model {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dec, err := nn.NewMLP([]int{6, 16, 6}, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	cal, err := nn.NewMLP([]int{7, 16, 1}, rng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, l := range cal.Layers {
+		for i := range l.W {
+			l.W[i] = 0
+		}
+		for i := range l.B {
+			l.B[i] = 0
+		}
+	}
+	cal.Layers[len(cal.Layers)-1].B[0] = 1.0
+
+	scaler := func(n int) *counters.Scaler {
+		s := &counters.Scaler{Mean: make([]float64, n), Std: make([]float64, n)}
+		for i := 0; i < 5; i++ {
+			s.Mean[i] = trafficMean
+			s.Std[i] = trafficStd
+		}
+		for i := 5; i < n; i++ {
+			s.Std[i] = 1
+		}
+		return s
+	}
+	return &core.Model{
+		FeatureIdx:     counters.SelectedFive(),
+		Levels:         6,
+		Decision:       dec,
+		Calibrator:     cal,
+		DecisionScaler: scaler(6),
+		CalibScaler:    scaler(7),
+		TargetScale:    1000,
+		PresetSamples:  1,
+	}
+}
+
+// trafficRow builds one keyed epoch row: selected features on the
+// training distribution, realized instructions around instr.
+func trafficRow(rng *rand.Rand, cluster int32, instr float64) serve.Request {
+	feats := make([]float64, counters.Num)
+	for _, idx := range counters.SelectedFive() {
+		feats[idx] = trafficMean + trafficStd*0.01*(rng.Float64()-0.5)
+	}
+	feats[counters.IdxInstr] = instr * (1 + 0.01*(rng.Float64()-0.5))
+	return serve.Request{Preset: 0.1, Features: feats, GPU: 0, Cluster: cluster}
+}
+
+// adaptEngine builds the serving engine + controller pair the tests
+// drive deterministically via Step().
+func adaptEngine(tb testing.TB, opts Options) (*serve.Engine, *Controller) {
+	tb.Helper()
+	e, err := serve.NewEngine(adaptModel(tb, 70), serve.Options{Workers: 2})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	e.EnableProvenance(8192, provenance.MonitorOptions{Window: 64})
+	e.EnablePredFeedback()
+	c, err := NewController(e, opts)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// The monitor's edge events feed the transition log.
+	return e, c
+}
+
+func testOpts() Options {
+	return Options{
+		MinRows:          64,
+		ShadowMinSamples: 32,
+		CanaryMinSamples: 32,
+		CooldownSteps:    2,
+		Margin:           0.05,
+		Refit:            core.RefitOptions{Epochs: 150, BatchSize: 32, LearningRate: 0.02, Seed: 1},
+	}
+}
+
+// serveBatches pushes n keyed batches through the engine.
+func serveBatches(e *serve.Engine, rng *rand.Rand, n int, instr float64) {
+	rows := make([]serve.Request, 8)
+	var decs []serve.Decision
+	for b := 0; b < n; b++ {
+		for i := range rows {
+			rows[i] = trafficRow(rng, int32(i), instr)
+		}
+		decs = e.DecideBatch(rows, decs[:0])
+	}
+}
+
+// waitState steps the controller (serving traffic between steps) until
+// it reaches want or the deadline passes.
+func waitState(t *testing.T, e *serve.Engine, c *Controller, rng *rand.Rand, instr float64, want State) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for c.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("controller stuck in %s (want %s): %+v", c.State(), want, c.Status())
+		}
+		serveBatches(e, rng, 4, instr)
+		time.Sleep(time.Millisecond) // let the shadow worker drain
+		c.Step()
+	}
+}
+
+func TestStreamBuilderPairsEpochs(t *testing.T) {
+	rec := provenance.NewRecorder(64)
+	b := newStreamBuilder(32)
+	mk := func(cluster int32, reason provenance.Reason, instr float64) {
+		r := provenance.Record{Cluster: cluster, Reason: reason, Preset: 0.1, Level: 2}
+		raw := make([]float64, counters.Num)
+		for i := range raw {
+			raw[i] = float64(i)
+		}
+		raw[counters.IdxInstr] = instr
+		r.SetRaw(raw)
+		rec.Record(&r)
+	}
+	mk(0, provenance.ReasonModel, 100)
+	mk(1, provenance.ReasonModel, 200)
+	mk(0, provenance.ReasonModel, 150) // pairs with cluster 0's first epoch
+	mk(1, provenance.ReasonFallback, 250) // pairs, then breaks cluster 1's chain
+	mk(1, provenance.ReasonModel, 300) // fresh start: no pending to pair with
+	if n := b.Scan(rec, nil); n != 5 {
+		t.Fatalf("scanned %d records, want 5", n)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("stream holds %d pairs, want 2", b.Len())
+	}
+	rows, targets := b.Build([]int{0, 1})
+	if len(rows) != 2 || len(rows[0]) != 4 {
+		t.Fatalf("built %d rows of width %d, want 2 of 4", len(rows), len(rows[0]))
+	}
+	if targets[0] != 150 || targets[1] != 250 {
+		t.Fatalf("targets = %v, want [150 250]", targets)
+	}
+	// Re-scanning sees nothing new; a later record resumes cluster 1.
+	if n := b.Scan(rec, nil); n != 0 {
+		t.Fatalf("re-scan saw %d records, want 0", n)
+	}
+	mk(1, provenance.ReasonModel, 400)
+	b.Scan(rec, nil)
+	if b.Len() != 3 {
+		t.Fatalf("stream holds %d pairs after resume, want 3", b.Len())
+	}
+}
+
+// TestControllerFullCycleCommit drives the loop end to end on clean
+// post-drift traffic: drift → refit → shadow → promote → canary →
+// commit, with the serving generation advanced and every transition in
+// the log.
+func TestControllerFullCycleCommit(t *testing.T) {
+	e, c := adaptEngine(t, testOpts())
+	rng := rand.New(rand.NewSource(80))
+
+	if c.State() != StateMonitoring {
+		t.Fatalf("initial state %s", c.State())
+	}
+	// Clean traffic until the MAPE window fills and the stream has rows.
+	waitState(t, e, c, rng, instrBase, StateShadow)
+	st := c.Status()
+	if st.CandidateGen != 1 {
+		t.Fatalf("candidate generation = %d, want 1", st.CandidateGen)
+	}
+	if e.Generation() != 0 {
+		t.Fatal("candidate is serving during shadow")
+	}
+
+	waitState(t, e, c, rng, instrBase, StateCanary)
+	if e.Generation() != 1 {
+		t.Fatalf("serving generation after promotion = %d, want 1", e.Generation())
+	}
+	if e.Model().Lineage.Source != core.SourceRefit {
+		t.Fatalf("promoted lineage = %+v", e.Model().Lineage)
+	}
+
+	waitState(t, e, c, rng, instrBase, StateCooldown)
+	if e.Generation() != 1 {
+		t.Fatalf("serving generation after commit = %d, want 1 (no rollback)", e.Generation())
+	}
+	// Cooldown drains back to monitoring without traffic.
+	c.Step()
+	c.Step()
+	if c.State() != StateMonitoring {
+		t.Fatalf("state after cooldown = %s", c.State())
+	}
+
+	// The transition log tells the whole story in order.
+	var kinds []string
+	for _, ev := range c.Events().Snapshot(nil) {
+		if ev.Kind == string(StateShadow) || ev.Kind == string(StateCanary) ||
+			ev.Kind == string(StateCooldown) || ev.Kind == string(StateMonitoring) {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	want := []string{"shadow", "canary", "cooldown", "monitoring"}
+	if len(kinds) != len(want) {
+		t.Fatalf("transitions = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("transition %d = %s, want %s", i, kinds[i], want[i])
+		}
+	}
+
+	// Telemetry saw the same history.
+	snap := e.Telemetry().Snapshot()
+	if snap.Counters["adapt_refits_total"] != 1 || snap.Counters["adapt_promotions_total"] != 1 {
+		t.Fatalf("refits/promotions = %d/%d, want 1/1",
+			snap.Counters["adapt_refits_total"], snap.Counters["adapt_promotions_total"])
+	}
+	if snap.Counters["adapt_rollbacks_total"] != 0 {
+		t.Fatal("clean commit recorded a rollback")
+	}
+}
+
+// TestControllerRollbackOnRegression forces a post-promotion workload
+// shift: the canary's live MAPE blows its shadow promise and the
+// controller rolls back to the retained incumbent without touching disk.
+func TestControllerRollbackOnRegression(t *testing.T) {
+	e, c := adaptEngine(t, testOpts())
+	rng := rand.New(rand.NewSource(81))
+
+	waitState(t, e, c, rng, instrBase, StateShadow)
+	waitState(t, e, c, rng, instrBase, StateCanary)
+	if e.Generation() != 1 {
+		t.Fatalf("canary generation = %d, want 1", e.Generation())
+	}
+
+	// The workload shifts 10×: every live prediction is now off by ~9×
+	// its value, far over max(promise*1.5, 0.10).
+	waitState(t, e, c, rng, instrBase*10, StateCooldown)
+	if e.Generation() != 0 {
+		t.Fatalf("serving generation after regression = %d, want 0 (rolled back)", e.Generation())
+	}
+	snap := e.Telemetry().Snapshot()
+	if snap.Counters["adapt_rollbacks_total"] != 1 {
+		t.Fatalf("rollbacks = %d, want 1", snap.Counters["adapt_rollbacks_total"])
+	}
+	var sawRollback bool
+	for _, ev := range c.Events().Snapshot(nil) {
+		if ev.Kind == string(StateCooldown) && ev.Detail["restored_generation"] != nil {
+			sawRollback = true
+		}
+	}
+	if !sawRollback {
+		t.Fatal("rollback transition missing from the event log")
+	}
+}
+
+// TestControllerRejectsByMargin pins the promotion gate: with an
+// unreachable margin the candidate is discarded after scoring and never
+// serves.
+func TestControllerRejectsByMargin(t *testing.T) {
+	opts := testOpts()
+	opts.Margin = 0.999999 // incumbent MAPE * (1-margin) ≈ 0: unbeatable
+	e, c := adaptEngine(t, opts)
+	rng := rand.New(rand.NewSource(82))
+
+	waitState(t, e, c, rng, instrBase, StateShadow)
+	waitState(t, e, c, rng, instrBase, StateCooldown)
+	if e.Generation() != 0 {
+		t.Fatalf("rejected candidate is serving (generation %d)", e.Generation())
+	}
+	snap := e.Telemetry().Snapshot()
+	if snap.Counters["adapt_rejects_total"] != 1 || snap.Counters["adapt_promotions_total"] != 0 {
+		t.Fatalf("rejects/promotions = %d/%d, want 1/0",
+			snap.Counters["adapt_rejects_total"], snap.Counters["adapt_promotions_total"])
+	}
+	if c.Status().LastReject == "" {
+		t.Fatal("reject reason not recorded")
+	}
+	// A later cycle must not reuse the rejected candidate's generation.
+	waitState(t, e, c, rng, instrBase, StateMonitoring)
+	waitState(t, e, c, rng, instrBase, StateShadow)
+	if got := c.Status().CandidateGen; got != 2 {
+		t.Fatalf("second candidate generation = %d, want 2", got)
+	}
+}
+
+// TestControllerHandler pins the /debug/adapt payload shape.
+func TestControllerHandler(t *testing.T) {
+	e, c := adaptEngine(t, testOpts())
+	rng := rand.New(rand.NewSource(83))
+	serveBatches(e, rng, 4, instrBase)
+	c.Step()
+
+	rr := httptest.NewRecorder()
+	c.Handler().ServeHTTP(rr, httptest.NewRequest("GET", "/debug/adapt", nil))
+	if rr.Code != 200 {
+		t.Fatalf("status %d", rr.Code)
+	}
+	var st Status
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("payload not JSON: %v\n%s", err, rr.Body.String())
+	}
+	if st.State != StateMonitoring || st.Transitions == nil {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// TestControllerRequiresProvenance pins the constructor contract.
+func TestControllerRequiresProvenance(t *testing.T) {
+	e, err := serve.NewEngine(adaptModel(t, 71), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewController(e, Options{}); err == nil {
+		t.Fatal("controller accepted an engine without provenance")
+	}
+	if _, err := NewController(nil, Options{}); err == nil {
+		t.Fatal("controller accepted a nil engine")
+	}
+}
+
+// TestNoteThreshold pins the edge hook: a high crossing lands in the
+// transition log, a recovery does not.
+func TestNoteThreshold(t *testing.T) {
+	_, c := adaptEngine(t, testOpts())
+	c.NoteThreshold(provenance.ThresholdEvent{Kind: "mape", Value: 0.5, Threshold: 0.25, High: true})
+	c.NoteThreshold(provenance.ThresholdEvent{Kind: "mape", Value: 0.1, Threshold: 0.25, High: false})
+	evs := c.Events().Snapshot(nil)
+	if len(evs) != 1 || evs[0].Kind != "drift_signal" {
+		t.Fatalf("events = %+v", evs)
+	}
+	if !c.edge.Load() {
+		t.Fatal("edge flag not set by a high crossing")
+	}
+}

@@ -52,6 +52,13 @@ type Model struct {
 	// the -backend flag.
 	Backend infer.Kind
 
+	// Lineage tracks where this model came from across online
+	// recalibration: its generation number, parent generation, and how it
+	// was produced. The zero value means an unversioned offline artifact,
+	// and is omitted from saved files so pre-lineage artifacts round-trip
+	// byte-identically.
+	Lineage Lineage
+
 	// bk caches the built backend pair (see backend.go). A plain pointer
 	// rather than a sync type so Clone's shallow copy stays vet-clean;
 	// access is guarded by the package-level backendMu.
@@ -202,6 +209,7 @@ type serializedModel struct {
 	TargetScale    float64          `json:"target_scale"`
 	PresetSamples  int              `json:"preset_samples"`
 	Backend        string           `json:"backend,omitempty"`
+	Lineage        *Lineage         `json:"lineage,omitempty"`
 }
 
 // Save writes the model as JSON.
@@ -222,6 +230,10 @@ func (m *Model) Save(w io.Writer) error {
 		DecisionScaler: m.DecisionScaler,
 		CalibScaler:    m.CalibScaler,
 		TargetScale:    m.TargetScale,
+	}
+	if m.Lineage != (Lineage{}) {
+		lin := m.Lineage
+		s.Lineage = &lin
 	}
 	for _, i := range m.FeatureIdx {
 		s.FeatureIdx = append(s.FeatureIdx, float64(i))
@@ -247,6 +259,9 @@ func Load(r io.Reader) (*Model, error) {
 	m := &Model{Levels: s.Levels, TargetScale: s.TargetScale,
 		DecisionScaler: s.DecisionScaler, CalibScaler: s.CalibScaler,
 		PresetSamples: s.PresetSamples, Backend: infer.Kind(s.Backend)}
+	if s.Lineage != nil {
+		m.Lineage = *s.Lineage
+	}
 	for _, f := range s.FeatureIdx {
 		i := int(f)
 		if i < 0 || i >= counters.Num {

@@ -58,6 +58,11 @@ type shardMetrics struct {
 	Rows    *telemetry.Counter   // rows dispatched to this replica
 	Errors  *telemetry.Counter   // failed dispatches (dial or round-trip)
 	Latency *telemetry.Histogram // round-trip µs per dispatched batch
+	// Generation is the model lineage generation the replica last
+	// advertised in hello negotiation (-1 until one is known), so a fleet
+	// dashboard can spot a replica serving a stale model after an online
+	// promotion rolled through the rest of the fleet.
+	Generation *telemetry.Gauge
 }
 
 func newMetrics(reg *telemetry.Registry, nShards int) *Metrics {
@@ -81,10 +86,12 @@ func newMetrics(reg *telemetry.Registry, nShards int) *Metrics {
 	for i := range m.shards {
 		label := itoa(i)
 		m.shards[i] = shardMetrics{
-			Rows:    reg.Counter("fleet_shard_rows_total", "shard", label),
-			Errors:  reg.Counter("fleet_shard_errors_total", "shard", label),
-			Latency: reg.Histogram("fleet_shard_latency_us", "shard", label),
+			Rows:       reg.Counter("fleet_shard_rows_total", "shard", label),
+			Errors:     reg.Counter("fleet_shard_errors_total", "shard", label),
+			Latency:    reg.Histogram("fleet_shard_latency_us", "shard", label),
+			Generation: reg.Gauge("fleet_replica_generation", "shard", label),
 		}
+		m.shards[i].Generation.Set(-1)
 	}
 	return m
 }

@@ -68,8 +68,9 @@ type Options struct {
 	// 1 s connect timeout and no retries (the router's reroute path is
 	// its retry policy).
 	Dial serve.DialOptions
-	// ProbeInterval is how often unhealthy replicas are re-dialed for
-	// recovery (default 250 ms).
+	// ProbeInterval is how often every replica is re-dialed — unhealthy
+	// ones for recovery, healthy ones to refresh the model lineage
+	// generation they advertise (default 250 ms).
 	ProbeInterval time.Duration
 	// Tracer, when set, emits router-hop spans (router.queue,
 	// router.coalesce, router.dispatch, router.reroute, router.shed) for
@@ -144,6 +145,12 @@ type shard struct {
 	addr    string
 	queue   chan *call
 	batches chan []*call
+	// gen is the model lineage generation the replica last advertised in
+	// hello negotiation; -1 until a hello has been seen. Refreshed on
+	// every dispatch-slot connect and on every prober tick (healthy
+	// replicas included), so a replica left behind by an online promotion
+	// is flagged within one probe interval.
+	gen atomic.Int64
 }
 
 // Router is the fleet serving tier: it owns the consistent-hash ring,
@@ -205,6 +212,7 @@ func NewRouter(opts Options) (*Router, error) {
 			queue:   make(chan *call, opts.QueueLen),
 			batches: make(chan []*call, opts.MaxInFlight),
 		}
+		s.gen.Store(-1)
 		rt.shards[i] = s
 		rt.wg.Add(1 + opts.MaxInFlight)
 		go rt.coalesce(s)
@@ -516,7 +524,15 @@ func (rt *Router) dialReplica(s *shard) (*serve.Client, bool, error) {
 		cl.Close()
 		return nil, false, err
 	}
+	rt.noteGeneration(s, hello)
 	return cl, hello.Tracing, nil
+}
+
+// noteGeneration records the model lineage generation a replica
+// advertised in hello negotiation.
+func (rt *Router) noteGeneration(s *shard, hello serve.Hello) {
+	s.gen.Store(int64(hello.Generation))
+	rt.metrics.shards[s.idx].Generation.Set(float64(hello.Generation))
 }
 
 // checkBackend verifies a replica's advertised backend against the
@@ -557,8 +573,11 @@ func (rt *Router) replicaFailed(s *shard, calls []*call, err error) {
 	}
 }
 
-// probe periodically re-dials unhealthy replicas and restores them to
-// the ring on success, moving their keys back home.
+// probe periodically re-dials every replica: unhealthy ones are restored
+// to the ring on a successful re-negotiation (moving their keys back
+// home), and healthy ones have their advertised model lineage refreshed
+// so a replica serving a stale generation is flagged within one probe
+// interval even when no dispatch slot has reconnected to it.
 func (rt *Router) probe() {
 	defer rt.wg.Done()
 	t := time.NewTicker(rt.opts.ProbeInterval)
@@ -570,25 +589,26 @@ func (rt *Router) probe() {
 		case <-t.C:
 		}
 		for _, s := range rt.shards {
-			if rt.ring.IsHealthy(s.idx) {
-				continue
-			}
+			healthy := rt.ring.IsHealthy(s.idx)
 			cl, err := serve.DialContext(context.Background(), s.addr, rt.opts.Dial)
 			if err != nil {
+				// An unreachable healthy replica is the dispatch path's
+				// problem (it owns failure detection); an unreachable
+				// unhealthy one just stays out of the ring.
 				continue
 			}
-			if rt.opts.ExpectBackend != "" {
-				// A replica that came back with the wrong backend (say, a
-				// bad restart flag) must stay out of the ring, so recovery
-				// re-negotiates instead of trusting a bare TCP accept.
-				hello, err := cl.Negotiate()
-				if err != nil || rt.checkBackend(hello) != nil {
-					cl.Close()
-					continue
-				}
+			// Recovery and lineage refresh both re-negotiate instead of
+			// trusting a bare TCP accept: a replica that came back with the
+			// wrong backend (say, a bad restart flag) must stay out of the
+			// ring, and the hello is where the generation rides.
+			hello, err := cl.Negotiate()
+			if err != nil || rt.checkBackend(hello) != nil {
+				cl.Close()
+				continue
 			}
 			cl.Close()
-			if rt.ring.SetHealthy(s.idx, true) {
+			rt.noteGeneration(s, hello)
+			if !healthy && rt.ring.SetHealthy(s.idx, true) {
 				rt.metrics.Up.Add(1)
 				rt.metrics.Healthy.Set(float64(rt.ring.Healthy()))
 				rt.opts.Logf("fleet: replica %s (shard %d) recovered", s.addr, s.idx)
@@ -782,10 +802,29 @@ func (rt *Router) Handler() http.Handler {
 			Shard   int    `json:"shard"`
 			Addr    string `json:"addr"`
 			Healthy bool   `json:"healthy"`
+			// Generation is the model lineage the replica last advertised
+			// (-1 before any hello); Stale flags a replica whose known
+			// generation trails the newest one known anywhere in the fleet
+			// — the signature of an online promotion that missed it.
+			Generation int  `json:"generation"`
+			Stale      bool `json:"stale,omitempty"`
 		}
 		reps := make([]replica, len(rt.shards))
+		maxGen := int64(-1)
+		for _, s := range rt.shards {
+			if g := s.gen.Load(); g > maxGen {
+				maxGen = g
+			}
+		}
 		for i, s := range rt.shards {
-			reps[i] = replica{Shard: i, Addr: s.addr, Healthy: rt.ring.IsHealthy(i)}
+			g := s.gen.Load()
+			reps[i] = replica{
+				Shard:      i,
+				Addr:       s.addr,
+				Healthy:    rt.ring.IsHealthy(i),
+				Generation: int(g),
+				Stale:      g >= 0 && g < maxGen,
+			}
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if rt.ring.Healthy() == 0 {

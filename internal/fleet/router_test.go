@@ -1,8 +1,10 @@
 package fleet
 
 import (
+	"encoding/json"
 	"math/rand"
 	"net"
+	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -500,3 +502,101 @@ func benchFleet(b *testing.B, coalesceRows int) {
 func BenchmarkFleet_CoalescedThroughput(b *testing.B) { benchFleet(b, 64) }
 
 func BenchmarkFleet_SingleRowThroughput(b *testing.B) { benchFleet(b, 1) }
+
+// TestRouterModelLineage checks the fleet surfaces per-replica model
+// lineage: the prober refreshes the generation each replica advertises
+// in hello negotiation, /healthz reports it per replica, and a replica
+// whose generation trails the newest one in the fleet is flagged stale
+// — the signature of an online promotion that missed it.
+func TestRouterModelLineage(t *testing.T) {
+	// Replica 0 serves generation 0; replica 1 serves generation 3, as
+	// if three online refits were promoted there but never here.
+	mOld := testModel(t, 100)
+	mNew := testModel(t, 101)
+	mNew.Lineage = core.Lineage{Generation: 3, Parent: 2, Source: core.SourceRefit, Refits: 3}
+
+	var addrs []string
+	for _, m := range []*core.Model{mOld, mNew} {
+		srv, err := serve.NewServer(m, serve.Options{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.ServeTCP(l)
+		t.Cleanup(srv.Close)
+		addrs = append(addrs, l.Addr().String())
+	}
+
+	rt, err := NewRouter(Options{
+		Replicas:      addrs,
+		Seed:          7,
+		ProbeInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+
+	// The ring orders shards by its own hash, not by the Replicas slice;
+	// expectations key on address.
+	wantGen := map[string]int64{addrs[0]: 0, addrs[1]: 3}
+
+	// The prober learns generations on its own — no traffic needed.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.shards[0].gen.Load() < 0 || rt.shards[1].gen.Load() < 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("prober never learned generations: shard0=%d shard1=%d",
+				rt.shards[0].gen.Load(), rt.shards[1].gen.Load())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, s := range rt.shards {
+		if g := s.gen.Load(); g != wantGen[s.addr] {
+			t.Fatalf("shard %d (%s): generation = %d, want %d", s.idx, s.addr, g, wantGen[s.addr])
+		}
+	}
+
+	// /healthz reports lineage and flags the trailing replica.
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("/healthz = %d: %s", rec.Code, rec.Body.String())
+	}
+	var health struct {
+		Healthy  int `json:"healthy_replicas"`
+		Replicas []struct {
+			Shard      int    `json:"shard"`
+			Addr       string `json:"addr"`
+			Healthy    bool   `json:"healthy"`
+			Generation int    `json:"generation"`
+			Stale      bool   `json:"stale"`
+		} `json:"replicas"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("decode /healthz: %v", err)
+	}
+	if health.Healthy != 2 || len(health.Replicas) != 2 {
+		t.Fatalf("healthz = %+v, want 2 healthy replicas", health)
+	}
+	for _, r := range health.Replicas {
+		want := int(wantGen[r.Addr])
+		wantStale := want == 0 // generation 0 trails the fleet max of 3
+		if r.Generation != want || r.Stale != wantStale {
+			t.Errorf("shard %d (%s): generation=%d stale=%v, want %d/%v",
+				r.Shard, r.Addr, r.Generation, r.Stale, want, wantStale)
+		}
+	}
+
+	// The per-shard gauge mirrors what /healthz reports.
+	snap := rt.Metrics().Registry().Snapshot()
+	for _, s := range rt.shards {
+		id := `fleet_replica_generation{shard="` + itoa(s.idx) + `"}`
+		want := float64(wantGen[s.addr])
+		if got, ok := snap.Gauges[id]; !ok || got != want {
+			t.Errorf("%s = %v (present=%v), want %v", id, got, ok, want)
+		}
+	}
+}

@@ -67,12 +67,25 @@ func TestBehaviourFrequencySensitivity(t *testing.T) {
 // between compute- and memory-dominated epochs, which the calibrator
 // ablation depends on.
 func TestPhaseKernelAlternates(t *testing.T) {
+	assertPhaseSwing(t, "rodinia.backprop")
+}
+
+// TestDNNLayerKernelShiftsPhases holds the DNN archetype to the same
+// contract: the layer walk (conv → pool → fc → softmax) must move the
+// memory-boundedness the counters report, or the online adaptation loop
+// has no layer-induced drift to track.
+func TestDNNLayerKernelShiftsPhases(t *testing.T) {
+	assertPhaseSwing(t, "tango.alexnet")
+}
+
+func assertPhaseSwing(t *testing.T, name string) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("simulation-heavy")
 	}
 	cfg := gpusim.SmallConfig()
 	cfg.Clusters = 1
-	spec, err := ByName("rodinia.backprop")
+	spec, err := ByName(name)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,12 @@ const (
 	Irregular     Behaviour = "irregular"
 	BranchHeavy   Behaviour = "branch"
 	PhaseMixed    Behaviour = "phases"
+	// DNNLayer models DNN inference passes whose layers walk the kernel
+	// through distinct phases — convolution (dense FALU), pooling
+	// (cache-resident reduction), fully-connected (weight streaming), and
+	// softmax (SFU) — the layer-by-layer workload shifts the online
+	// adaptation loop has to track.
+	DNNLayer Behaviour = "dnn"
 )
 
 // Spec describes one kernel in the suite.
@@ -285,6 +291,44 @@ func phaseKernel(computeOps, memLoads, lines int) func(int, *rand.Rand) []isa.Pr
 	}
 }
 
+// dnnLayerKernel: one DNN inference pass per iteration, layer by layer —
+// convolution (L1-resident activations under a dense multiply-accumulate
+// chain), pooling (cache-blocked window reductions), fully-connected
+// (streaming the weight matrix from DRAM), and softmax (SFU
+// exponentials plus a normalization pass). Each layer is long enough to
+// span multiple 10 µs epochs, so the counters seen by the controller
+// shift phase at every layer boundary (AlexNet/ResNet inference class).
+func dnnLayerKernel(convOps, poolLoads, fcLoads, lines int) func(int, *rand.Rand) []isa.Program {
+	return func(iters int, rng *rand.Rand) []isa.Program {
+		return uniformPrograms(4, iters, func(slot int) []isa.Instruction {
+			var ra regAlloc
+			var body []isa.Instruction
+			// Convolution.
+			act := ra.get()
+			body = append(body, load(act, residentSpec(0x8000_0000, 8*kib)))
+			body = computeChain(body, isa.OpFAlu, convOps, 4, act, &ra)
+			// Pooling.
+			for p := 0; p < poolLoads; p++ {
+				r := ra.get()
+				body = append(body, load(r, residentSpec(uint64(0x8800_0000+slot*0x10_0000), 12*kib)))
+				body = computeChain(body, isa.OpIAlu, 6, 2, r, &ra)
+			}
+			// Fully connected: the weight matrix never fits in cache.
+			base := uint64(0x9000_0000 + slot*0x800_0000)
+			for m := 0; m < fcLoads; m++ {
+				w := ra.get()
+				body = append(body, load(w, streamSpec(base+uint64(m)*0x100_0000, 32*mib, lines)))
+				body = computeChain(body, isa.OpFAlu, 2, 2, w, &ra)
+			}
+			// Softmax.
+			body = computeChain(body, isa.OpSFU, convOps/8+4, 1, act, &ra)
+			body = computeChain(body, isa.OpFAlu, 8, 2, act, &ra)
+			body = append(body, store(act, streamSpec(base+0x4000_0000, 32*mib, lines)))
+			return body
+		})
+	}
+}
+
 // --- the suite -------------------------------------------------------------
 
 // Suite returns the full kernel suite, sorted by name. The split marks 13
@@ -328,6 +372,13 @@ func Suite() []Spec {
 		{Name: "rodinia.kmeans", Behaviour: PhaseMixed, Training: true, Warps: 16, BaseIterations: 4, seed: 601, build: phaseKernel(4200, 55, 4)},
 		{Name: "rodinia.backprop", Behaviour: PhaseMixed, Training: true, Warps: 16, BaseIterations: 4, seed: 602, build: phaseKernel(3000, 70, 4)},
 		{Name: "rodinia.srad", Behaviour: PhaseMixed, Training: false, Warps: 16, BaseIterations: 4, seed: 603, build: phaseKernel(5200, 45, 8)},
+
+		// DNN inference, layer-phase-shifting. All held out: these are the
+		// drift workloads the online adaptation loop is evaluated on, so
+		// the offline model must never have seen them.
+		{Name: "tango.alexnet", Behaviour: DNNLayer, Training: false, Warps: 16, BaseIterations: 4, seed: 701, build: dnnLayerKernel(3600, 6, 48, 4)},
+		{Name: "tango.resnet", Behaviour: DNNLayer, Training: false, Warps: 16, BaseIterations: 4, seed: 702, build: dnnLayerKernel(4800, 8, 36, 4)},
+		{Name: "tango.squeezenet", Behaviour: DNNLayer, Training: false, Warps: 12, BaseIterations: 4, seed: 703, build: dnnLayerKernel(2800, 4, 56, 8)},
 	}
 	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
 	return specs

@@ -45,7 +45,7 @@ func TestTrainEvalSplit(t *testing.T) {
 }
 
 func TestBehaviourCoverage(t *testing.T) {
-	want := []Behaviour{ComputeBound, MemoryBound, CacheFriendly, Irregular, BranchHeavy, PhaseMixed}
+	want := []Behaviour{ComputeBound, MemoryBound, CacheFriendly, Irregular, BranchHeavy, PhaseMixed, DNNLayer}
 	have := map[Behaviour]int{}
 	for _, s := range Suite() {
 		have[s.Behaviour]++
@@ -122,6 +122,13 @@ func TestArchetypesHaveExpectedMix(t *testing.T) {
 		case BranchHeavy:
 			if ops[isa.OpBranch] == 0 {
 				t.Errorf("%s: branch-heavy without branches", s.Name)
+			}
+		case DNNLayer:
+			// Every layer type must be present: conv FALU, pool/fc global
+			// traffic, softmax SFU.
+			if ops[isa.OpFAlu] == 0 || ops[isa.OpSFU] == 0 ||
+				ops[isa.OpLoadGlobal] == 0 || ops[isa.OpStoreGlobal] == 0 {
+				t.Errorf("%s: dnn kernel missing a layer phase: %v", s.Name, ops)
 			}
 		}
 	}

@@ -24,6 +24,24 @@ type MonitorOptions struct {
 	DriftZThreshold float64
 	// Logger receives threshold-crossing events; nil is silent.
 	Logger *telemetry.Logger
+	// OnThreshold, when set, is called once per threshold crossing (in
+	// either direction) with the event that fired. It is invoked after the
+	// monitor's lock is released, so the callback may call back into the
+	// monitor (Stats, DriftState) without deadlocking; it must still be
+	// fast, since it runs on the decision path that observed the record.
+	OnThreshold func(ThresholdEvent)
+}
+
+// ThresholdEvent describes one threshold crossing: Kind is "mape" or
+// "drift", Feature names the drifting feature (drift events only), Value
+// is the statistic that crossed, and High says which direction (true =
+// crossed above the threshold, false = recovered below it).
+type ThresholdEvent struct {
+	Kind      string
+	Feature   string
+	Value     float64
+	Threshold float64
+	High      bool
 }
 
 func (o MonitorOptions) withDefaults() MonitorOptions {
@@ -93,6 +111,11 @@ type Monitor struct {
 	evMAPE, evDrift *telemetry.Counter
 	mapeHigh        bool
 	driftHigh       []bool
+
+	// pending accumulates threshold events under the lock; they are
+	// drained and delivered to OnThreshold after unlock so the callback
+	// can safely re-enter the monitor.
+	pending []ThresholdEvent
 
 	reg    *telemetry.Registry
 	logger *telemetry.Logger
@@ -225,7 +248,17 @@ func (m *Monitor) ObserveRecord(rec *Record) {
 		m.sumErr += e
 	}
 	m.publishLocked(flipRate)
+	var fire []ThresholdEvent
+	if len(m.pending) > 0 {
+		fire = append(fire, m.pending...)
+		m.pending = m.pending[:0]
+	}
 	m.mu.Unlock()
+	if cb := m.opts.OnThreshold; cb != nil {
+		for _, ev := range fire {
+			cb(ev)
+		}
+	}
 }
 
 // publishLocked refreshes the gauges and fires threshold events; the
@@ -248,6 +281,9 @@ func (m *Monitor) publishLocked(flipRate float64) {
 				m.logger.Logf("provenance: rolling MAPE %.3f crossed threshold %.3f (window %d)", mape, th, m.errN)
 			} else {
 				m.logger.Logf("provenance: rolling MAPE %.3f back under threshold %.3f", mape, th)
+			}
+			if m.opts.OnThreshold != nil {
+				m.pending = append(m.pending, ThresholdEvent{Kind: "mape", Value: mape, Threshold: th, High: high})
 			}
 		}
 	}
@@ -282,6 +318,9 @@ func (m *Monitor) publishLocked(flipRate float64) {
 					} else {
 						m.logger.Logf("provenance: feature %s back in range (z=%.2f)", m.names[j], z)
 					}
+					if m.opts.OnThreshold != nil {
+						m.pending = append(m.pending, ThresholdEvent{Kind: "drift", Feature: m.names[j], Value: z, Threshold: th, High: high})
+					}
 				}
 			}
 		}
@@ -295,6 +334,72 @@ type Stats struct {
 	Bias       float64
 	ErrSamples int
 	FlipRate   float64
+}
+
+// DriftState is a level-triggered view of the monitor's threshold state:
+// unlike the crossing events (which fire once per edge and are easy to
+// miss for a poller that attaches late), it reports what is true *now*.
+type DriftState struct {
+	// MAPEHigh is true while the rolling MAPE sits above its threshold
+	// (on a full window). MAPE is the current rolling value, ErrSamples
+	// how many samples back it.
+	MAPEHigh   bool
+	MAPE       float64
+	ErrSamples int
+	// Drifting lists the features whose window-mean |z| currently exceeds
+	// the drift threshold, with their z values; WorstZ is the largest |z|
+	// across all features (signed), WorstFeature its name. Feature state
+	// is only meaningful on a full feature window (FeatureSamples ==
+	// window length).
+	Drifting       []string
+	DriftZ         []float64
+	WorstFeature   string
+	WorstZ         float64
+	FeatureSamples int
+	FlipRate       float64
+}
+
+// Any reports whether any level-triggered condition is currently high.
+func (s DriftState) Any() bool { return s.MAPEHigh || len(s.Drifting) > 0 }
+
+// DriftState returns the current level-triggered threshold state. Unlike
+// the edge-triggered events, polling this cannot race a crossing: a
+// controller that checks between two crossings still sees the condition
+// while it holds. Nil-safe; allocates only when features are drifting.
+func (m *Monitor) DriftState() DriftState {
+	if m == nil {
+		return DriftState{}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := DriftState{ErrSamples: m.errN, FeatureSamples: m.fN}
+	if m.errN > 0 {
+		st.MAPE = m.sumAbs / float64(m.errN)
+	}
+	if th := m.opts.MAPEThreshold; th > 0 && m.errN == len(m.errs) {
+		st.MAPEHigh = st.MAPE > th
+	}
+	if m.flipN > 0 {
+		st.FlipRate = float64(m.flipSum) / float64(m.flipN)
+	}
+	if m.nFeat > 0 && m.fN == m.opts.Window {
+		th := m.opts.DriftZThreshold
+		n := float64(m.fN)
+		for j := 0; j < m.nFeat; j++ {
+			if sd := m.trainStd[j]; sd > 0 {
+				z := (m.fSum[j]/n - m.trainMean[j]) / sd
+				if math.Abs(z) > math.Abs(st.WorstZ) {
+					st.WorstZ = z
+					st.WorstFeature = m.names[j]
+				}
+				if th > 0 && math.Abs(z) > th {
+					st.Drifting = append(st.Drifting, m.names[j])
+					st.DriftZ = append(st.DriftZ, z)
+				}
+			}
+		}
+	}
+	return st
 }
 
 // Stats returns the current rolling statistics.

@@ -182,3 +182,119 @@ func TestMonitorObserveNoAllocsSteadyState(t *testing.T) {
 		t.Fatalf("ObserveRecord allocates %.1f objects/op, want 0", allocs)
 	}
 }
+
+func TestMonitorOnThresholdCallback(t *testing.T) {
+	var events []ThresholdEvent
+	var m *Monitor
+	m = NewMonitor(telemetry.NewRegistry(), MonitorOptions{
+		Window: 4, MAPEThreshold: 0.2, DriftZThreshold: 2,
+		OnThreshold: func(ev ThresholdEvent) {
+			// Re-entering the monitor from the callback must not deadlock.
+			_ = m.DriftState()
+			events = append(events, ev)
+		},
+	})
+	m.SetTrainingStats([]string{"ipc"}, []float64{2.0}, []float64{0.5})
+
+	// Fill the error window above the MAPE threshold: one "mape" high
+	// event on the crossing, none while it stays high.
+	for i := 0; i < 8; i++ {
+		rec := modelRecord(0, 1, []float64{2.0})
+		rec.HasPredErr, rec.PredErr = true, 0.5
+		m.ObserveRecord(&rec)
+	}
+	if len(events) != 1 || events[0].Kind != "mape" || !events[0].High {
+		t.Fatalf("after high MAPE window: events = %+v", events)
+	}
+	if events[0].Value <= events[0].Threshold {
+		t.Fatalf("mape event value %g not above threshold %g", events[0].Value, events[0].Threshold)
+	}
+
+	// Drift feature 0 by 4σ: one "drift" high event once the feature
+	// window refills shifted.
+	for i := 0; i < 4; i++ {
+		rec := modelRecord(0, 1, []float64{4.0})
+		rec.HasPredErr, rec.PredErr = true, 0.5
+		m.ObserveRecord(&rec)
+	}
+	if len(events) != 2 {
+		t.Fatalf("after drift: events = %+v", events)
+	}
+	if ev := events[1]; ev.Kind != "drift" || ev.Feature != "ipc" || !ev.High {
+		t.Fatalf("drift event = %+v", ev)
+	}
+
+	// Recovery fires the matching low-direction events.
+	for i := 0; i < 4; i++ {
+		rec := modelRecord(0, 1, []float64{2.0})
+		rec.HasPredErr, rec.PredErr = true, 0.01
+		m.ObserveRecord(&rec)
+	}
+	var lows int
+	for _, ev := range events[2:] {
+		if ev.High {
+			t.Fatalf("unexpected high event during recovery: %+v", ev)
+		}
+		lows++
+	}
+	if lows != 2 {
+		t.Fatalf("recovery fired %d low events, want 2 (mape + drift): %+v", lows, events)
+	}
+}
+
+func TestMonitorDriftStateLevelTriggered(t *testing.T) {
+	m := NewMonitor(telemetry.NewRegistry(), MonitorOptions{Window: 4, MAPEThreshold: 0.2, DriftZThreshold: 2})
+	m.SetTrainingStats([]string{"ipc", "ppc_total_w"}, []float64{2.0, 5.0}, []float64{0.5, 1.0})
+
+	if st := m.DriftState(); st.Any() {
+		t.Fatalf("fresh monitor reports drift: %+v", st)
+	}
+
+	// Partial windows never assert: three high-error, shifted rows.
+	for i := 0; i < 3; i++ {
+		rec := modelRecord(0, 1, []float64{4.0, 5.0})
+		rec.HasPredErr, rec.PredErr = true, 0.5
+		m.ObserveRecord(&rec)
+	}
+	if st := m.DriftState(); st.Any() {
+		t.Fatalf("partial window asserted drift: %+v", st)
+	}
+
+	// A fourth row fills both windows: now the state is visible to a
+	// late-attaching poller, long after the edge events fired.
+	rec := modelRecord(0, 1, []float64{4.0, 5.0})
+	rec.HasPredErr, rec.PredErr = true, 0.5
+	m.ObserveRecord(&rec)
+	st := m.DriftState()
+	if !st.MAPEHigh || math.Abs(st.MAPE-0.5) > 1e-12 || st.ErrSamples != 4 {
+		t.Fatalf("MAPE state = %+v", st)
+	}
+	if len(st.Drifting) != 1 || st.Drifting[0] != "ipc" {
+		t.Fatalf("drifting features = %v", st.Drifting)
+	}
+	if len(st.DriftZ) != 1 || math.Abs(st.DriftZ[0]-4.0) > 1e-9 {
+		t.Fatalf("drift z = %v, want [4]", st.DriftZ)
+	}
+	if st.WorstFeature != "ipc" || math.Abs(st.WorstZ-4.0) > 1e-9 {
+		t.Fatalf("worst = %s z=%g, want ipc z=4", st.WorstFeature, st.WorstZ)
+	}
+	if !st.Any() {
+		t.Fatal("Any() = false with MAPE high and a drifting feature")
+	}
+
+	// Recovery deasserts the level.
+	for i := 0; i < 4; i++ {
+		rec := modelRecord(0, 1, []float64{2.0, 5.0})
+		rec.HasPredErr, rec.PredErr = true, 0.01
+		m.ObserveRecord(&rec)
+	}
+	if st := m.DriftState(); st.Any() {
+		t.Fatalf("recovered monitor still asserts: %+v", st)
+	}
+
+	// Nil monitor is a zero state.
+	var nilMon *Monitor
+	if st := nilMon.DriftState(); st.Any() {
+		t.Fatal("nil monitor asserts drift")
+	}
+}

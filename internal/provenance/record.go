@@ -128,6 +128,11 @@ type Record struct {
 	// histogram exemplars, so /debug/decisions?trace= resolves an
 	// exemplar straight to this record.
 	TraceID uint64
+	// ModelGen is the lineage generation of the model that was serving
+	// when the decision was recorded (0 = an offline/unversioned model),
+	// so an online-adaptation audit can attribute every decision to the
+	// exact incumbent, candidate, or rolled-back model that produced it.
+	ModelGen uint32
 
 	// Raw is the full per-epoch counter row (counters.Num wide).
 	NumRaw int32
@@ -168,9 +173,10 @@ func (r *Record) SetLogits(row []float64) {
 //	3..6   Preset, EffPreset, PredInstr, PredErr
 //	7      LatencyNs
 //	8      TraceID
-//	9..    Raw, Derived, Logits
+//	9      ModelGen
+//	10..   Raw, Derived, Logits
 const (
-	recScalarWords = 9
+	recScalarWords = 10
 	recWords       = recScalarWords + counters.Num + 2*MaxAux
 )
 
@@ -192,9 +198,12 @@ type jsonRecord struct {
 	// TraceID is the distributed-trace ID in fixed-width hex, omitted
 	// for unsampled decisions (so pre-tracing dumps stay byte-identical).
 	TraceID string `json:"trace_id,omitempty"`
-	Raw     floats `json:"raw,omitempty"`
-	Derived floats `json:"derived,omitempty"`
-	Logits  floats `json:"logits,omitempty"`
+	// ModelGen is omitted for generation-0 (offline) models, so dumps
+	// from daemons without online adaptation stay byte-identical.
+	ModelGen uint32 `json:"model_gen,omitempty"`
+	Raw      floats `json:"raw,omitempty"`
+	Derived  floats `json:"derived,omitempty"`
+	Logits   floats `json:"logits,omitempty"`
 }
 
 // floats marshals a float slice with non-finite values encoded as the
@@ -265,6 +274,7 @@ func (r *Record) toJSON() jsonRecord {
 		EffPreset: r.EffPreset,
 		PredInstr: r.PredInstr,
 		LatencyNs: r.LatencyNs,
+		ModelGen:  r.ModelGen,
 		Raw:       floats(r.Raw[:r.NumRaw]),
 		Derived:   floats(r.Derived[:r.NumDerived]),
 		Logits:    floats(r.Logits[:r.NumLogits]),
@@ -294,6 +304,7 @@ func (j *jsonRecord) toRecord() (Record, error) {
 		EffPreset: j.EffPreset,
 		PredInstr: j.PredInstr,
 		LatencyNs: j.LatencyNs,
+		ModelGen:  j.ModelGen,
 	}
 	if j.PredErr != nil {
 		r.PredErr = *j.PredErr

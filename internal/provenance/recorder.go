@@ -138,6 +138,7 @@ func encodeRecord(w []atomic.Uint64, rec *Record) {
 	w[6].Store(math.Float64bits(rec.PredErr))
 	w[7].Store(uint64(rec.LatencyNs))
 	w[8].Store(rec.TraceID)
+	w[9].Store(uint64(rec.ModelGen))
 	p := recScalarWords
 	for i := range rec.Raw {
 		w[p+i].Store(math.Float64bits(rec.Raw[i]))
@@ -171,6 +172,7 @@ func decodeRecord(w []atomic.Uint64, rec *Record) {
 	rec.PredErr = math.Float64frombits(w[6].Load())
 	rec.LatencyNs = int64(w[7].Load())
 	rec.TraceID = w[8].Load()
+	rec.ModelGen = uint32(w[9].Load())
 	p := recScalarWords
 	for i := range rec.Raw {
 		rec.Raw[i] = math.Float64frombits(w[p+i].Load())

@@ -20,6 +20,7 @@ func testRecord(i int) Record {
 		EffPreset: 0.08,
 		PredInstr: 1000 + float64(i),
 		LatencyNs: int64(100 + i),
+		ModelGen:  uint32(i % 3),
 	}
 	if i%2 == 0 {
 		rec.PredErr = 0.01 * float64(i%7)

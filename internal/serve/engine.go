@@ -14,6 +14,7 @@ import (
 	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/clockdomain"
 	"ssmdvfs/internal/core"
+	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/infer"
 	"ssmdvfs/internal/provenance"
@@ -69,6 +70,24 @@ type Engine struct {
 	table   *clockdomain.Table
 	health  *health
 	faults  *faults.Injector
+
+	// prev retains the model the last successful Swap replaced — the
+	// incumbent snapshot Rollback restores without touching disk, so a
+	// regressing canary can be reverted even if the artifact file has
+	// since been overwritten or deleted.
+	prev atomic.Pointer[core.Model]
+
+	// shadow, when SetShadow installed one, receives every model-path
+	// decision (provenance must be enabled). The single-pointer holder
+	// makes install/remove atomic against in-flight batches.
+	shadow atomic.Pointer[shadowHolder]
+
+	// Prediction feedback (EnablePredFeedback): last model-path PredInstr
+	// per (GPU, cluster) key, used to stamp the realized relative error of
+	// the *previous* epoch's prediction into the next record.
+	fbOn bool
+	fbMu sync.Mutex
+	fb   map[int64]float64
 
 	// prov/mon, when EnableProvenance installed them, receive one record
 	// per decision; both are nil-safe and nil by default, keeping the hot
@@ -155,6 +174,70 @@ func (e *Engine) EnableProvenance(capacity int, opts provenance.MonitorOptions) 
 	e.mon.SetTrainingStats(names, mean, std)
 }
 
+// ShadowObserver receives a copy of every model-path decision the engine
+// serves — the hook shadow-mode candidate scoring hangs off. The
+// observer sees traffic only; its output never influences the served
+// decision. Implementations must be fast and non-blocking (hand off to a
+// channel or drop), since they run on the decision path.
+type ShadowObserver interface {
+	ObserveServed(row Request, d Decision)
+}
+
+// shadowHolder wraps the observer so installing/removing is one atomic
+// pointer swap even though ShadowObserver is an interface value.
+type shadowHolder struct{ obs ShadowObserver }
+
+// SetShadow installs (or, with nil, removes) the shadow observer.
+// Observation rides the provenance path, so EnableProvenance must be on
+// for the observer to see traffic. Safe to call while serving.
+func (e *Engine) SetShadow(obs ShadowObserver) {
+	if obs == nil {
+		e.shadow.Store(nil)
+		return
+	}
+	e.shadow.Store(&shadowHolder{obs: obs})
+}
+
+// EnablePredFeedback turns on self-measured prediction error: the engine
+// remembers the last model-path instruction prediction per (GPU,
+// cluster) key and, when the same key's next epoch arrives, stamps the
+// realized relative error (pred-actual)/pred into that record
+// (HasPredErr). This is what feeds the quality monitor's rolling MAPE
+// from live traffic alone — no offline labels — assuming each keyed
+// client streams consecutive epochs, which the v3 fleet transport does.
+// Unkeyed (v2/HTTP) rows carry no identity and are skipped. Must be
+// called before the engine starts answering decisions.
+func (e *Engine) EnablePredFeedback() {
+	e.fbOn = true
+	e.fb = make(map[int64]float64, 256)
+}
+
+// maxFeedbackKeys bounds the feedback map; a key churn beyond this (a
+// fleet cycling through more identities than any real GPU population)
+// resets the map rather than growing without bound.
+const maxFeedbackKeys = 1 << 16
+
+// predFeedback resolves the previous prediction for a keyed row and
+// retires/installs the key's entry. It returns the previous model-path
+// prediction for this key and whether one existed.
+func (e *Engine) predFeedback(row Request, d Decision) (prev float64, ok bool) {
+	key := int64(uint32(row.GPU))<<32 | int64(uint32(row.Cluster))
+	e.fbMu.Lock()
+	prev, ok = e.fb[key]
+	if d.Reason == provenance.ReasonModel {
+		if !ok && len(e.fb) >= maxFeedbackKeys {
+			e.fb = make(map[int64]float64, 256)
+		}
+		e.fb[key] = d.PredInstr
+	} else if ok {
+		// A degraded epoch breaks the prediction chain: the next epoch's
+		// counters follow a fallback decision, not a model prediction.
+		delete(e.fb, key)
+	}
+	e.fbMu.Unlock()
+	return prev, ok
+}
+
 // SetTracer installs a span tracer for the engine's decision hops
 // (engine.batch / engine.inference / engine.fallback). Must be called
 // before the engine starts answering decisions; a nil tracer (the
@@ -229,8 +312,16 @@ func (e *Engine) Health() HealthState { return e.health.State() }
 // Swap atomically replaces the served model after validating it. A model
 // that fails validation is rejected and the current model keeps serving.
 // In-flight batches finish on the model they started with; new batches
-// see the new one immediately.
+// see the new one immediately. The outgoing model is retained in memory
+// as the rollback snapshot (see Rollback). Serialized with Reload and
+// Rollback.
 func (e *Engine) Swap(m *core.Model) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.swapLocked(m)
+}
+
+func (e *Engine) swapLocked(m *core.Model) error {
 	if m == nil {
 		return fmt.Errorf("serve: nil model")
 	}
@@ -250,8 +341,20 @@ func (e *Engine) Swap(m *core.Model) error {
 	if err := e.applyBackend(m); err != nil {
 		return err
 	}
+	e.prev.Store(e.model.Load())
 	e.model.Store(m)
 	e.metrics.Reloads.Add(1)
+	if e.fbOn {
+		// A swap breaks every prediction chain: pending predictions were
+		// made by the outgoing model, and realizing them against epochs
+		// decided by (and attributed to) the incoming model would charge
+		// the new model with the old model's error — poisoning both the
+		// drift monitor's reset windows and any canary judgement keyed on
+		// the new generation.
+		e.fbMu.Lock()
+		e.fb = make(map[int64]float64, 256)
+		e.fbMu.Unlock()
+	}
 	if e.mon != nil {
 		// The drift reference follows the served model: the monitor's
 		// windows reset so the new model is not judged against the old
@@ -260,6 +363,47 @@ func (e *Engine) Swap(m *core.Model) error {
 		e.mon.SetTrainingStats(names, mean, std)
 	}
 	return nil
+}
+
+// PrevModel returns the retained pre-swap snapshot Rollback would
+// restore, or nil when no swap has happened yet.
+func (e *Engine) PrevModel() *core.Model { return e.prev.Load() }
+
+// Generation returns the lineage generation of the currently served
+// model (0 for an unversioned offline artifact) — what hello
+// negotiation and /healthz advertise, and what provenance records stamp.
+func (e *Engine) Generation() int { return e.Model().Lineage.Generation }
+
+// Rollback restores the retained pre-swap snapshot — the canary escape
+// hatch. It never touches disk: the snapshot was validated and its
+// backend built when it originally served, so rollback cannot fail the
+// way a reload can (corrupt file, missing artifact). The rolled-back
+// model becomes the new retained snapshot, so a rollback is itself
+// reversible. Returns the model now serving.
+func (e *Engine) Rollback() (*core.Model, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	p := e.prev.Load()
+	if p == nil {
+		return nil, errors.New("serve: no retained model to roll back to")
+	}
+	cur := e.model.Load()
+	e.model.Store(p)
+	e.prev.Store(cur)
+	e.metrics.Rollbacks.Add(1)
+	if e.fbOn {
+		// Same chain break as swapLocked: the regressing model's pending
+		// predictions must not be charged to the restored incumbent.
+		e.fbMu.Lock()
+		e.fb = make(map[int64]float64, 256)
+		e.fbMu.Unlock()
+	}
+	if e.mon != nil {
+		names, mean, std := p.TrainingStats()
+		e.mon.SetTrainingStats(names, mean, std)
+	}
+	e.opts.Logf("serve: rolled back to retained model %s", p.Lineage)
+	return p, nil
 }
 
 // Reload loads path (or the configured ModelPath when path is empty) and
@@ -290,7 +434,7 @@ func (e *Engine) Reload(path string) error {
 		// validation must reject it — the served model is never touched.
 		m.Decision.Layers[0].W[0] = math.NaN()
 	}
-	if err := e.Swap(m); err != nil {
+	if err := e.swapLocked(m); err != nil {
 		e.metrics.Errors.Add(1)
 		stage := "swap"
 		var ie *infer.Error
@@ -362,12 +506,26 @@ func (e *Engine) observe(rec *provenance.Record, row Request, d Decision, derive
 	rec.EffPreset = row.Preset
 	rec.PredInstr = d.PredInstr
 	rec.PredErr, rec.HasPredErr = 0, false
+	if e.fbOn && row.Cluster >= 0 && len(row.Features) > counters.IdxInstr {
+		// The instruction counter of the just-finished epoch is the
+		// realized value the previous epoch's prediction was about.
+		if prev, ok := e.predFeedback(row, d); ok && prev > 0 {
+			rec.PredErr = (prev - row.Features[counters.IdxInstr]) / prev
+			rec.HasPredErr = true
+		}
+	}
 	rec.LatencyNs = int64(time.Since(start))
 	rec.SetRaw(row.Features)
 	rec.SetDerived(derived)
 	rec.SetLogits(logits)
 	e.prov.Record(rec)
 	e.mon.ObserveRecord(rec)
+	if h := e.shadow.Load(); h != nil && d.Reason == provenance.ReasonModel {
+		// Shadow scoring sees model-path traffic only: degraded rows carry
+		// no model prediction to compare a candidate against. row.Features
+		// aliases transport scratch — observers must copy what they keep.
+		h.obs.ObserveServed(row, d)
+	}
 }
 
 // DecideBatch answers every row, appending one Decision per row to decs —
@@ -413,6 +571,9 @@ func (e *Engine) decideBatchTC(rows []Request, decs []Decision, tc telemetry.Tra
 		rec = e.recPool.Get().(*provenance.Record)
 		defer e.recPool.Put(rec)
 		rec.TraceID = tc.TraceID
+		// Stamped again after the model binds (modelRows), so fallback-only
+		// batches still attribute to whatever is serving now.
+		rec.ModelGen = uint32(e.Generation())
 	}
 
 	start := time.Now()
@@ -483,6 +644,11 @@ func (e *Engine) modelRows(rows []Request, decs []Decision, start time.Time, rec
 	inf := e.infPool.Get().(*core.Inference)
 	defer e.infPool.Put(inf)
 	inf.Bind(e.model.Load())
+	if rec != nil {
+		// Attribution follows the model this batch actually bound, which a
+		// concurrent swap could have already replaced as the serving one.
+		rec.ModelGen = uint32(inf.Model().Lineage.Generation)
+	}
 	kind := inf.Backend()
 	nFeat := inf.Model().NumFeatures()
 	budget := e.opts.Budget

@@ -32,6 +32,7 @@ type Metrics struct {
 	Batches   *telemetry.Counter // frames / HTTP bodies served
 	Errors    *telemetry.Counter // malformed frames, bad requests, failed reloads
 	Reloads   *telemetry.Counter // successful model swaps
+	Rollbacks *telemetry.Counter // reversions to the retained pre-swap snapshot
 	Conns     *telemetry.Counter // currently open binary-protocol connections
 
 	// Degradation counters: how often the serving path fell back to the
@@ -76,6 +77,7 @@ func newMetrics(reg *telemetry.Registry) *Metrics {
 		Batches:         reg.Counter("serve_batches_total"),
 		Errors:          reg.Counter("serve_errors_total"),
 		Reloads:         reg.Counter("serve_reloads_total"),
+		Rollbacks:       reg.Counter("serve_rollbacks_total"),
 		Conns:           reg.Counter("serve_open_conns"),
 		Fallbacks:       reg.Counter("serve_fallback_decisions_total"),
 		RecoveredPanics: reg.Counter("serve_recovered_panics_total"),
@@ -163,6 +165,7 @@ type Snapshot struct {
 	// Degradation counters. They carry omitempty so a server that never
 	// degrades (injector nil, clean traffic) emits the exact pre-fault
 	// /metrics JSON, byte for byte.
+	Rollbacks       int64 `json:"rollbacks,omitempty"`
 	Fallbacks       int64 `json:"fallback_decisions,omitempty"`
 	RecoveredPanics int64 `json:"recovered_panics,omitempty"`
 	RejectedRows    int64 `json:"rejected_rows,omitempty"`
@@ -204,6 +207,7 @@ func (m *Metrics) Snapshot(levels int) Snapshot {
 		Errors:              m.Errors.Load(),
 		Reloads:             m.Reloads.Load(),
 		Conns:               m.Conns.Load(),
+		Rollbacks:           m.Rollbacks.Load(),
 		Fallbacks:           m.Fallbacks.Load(),
 		RecoveredPanics:     m.RecoveredPanics.Load(),
 		RejectedRows:        m.RejectedRows.Load(),

@@ -227,7 +227,8 @@ func (s *Server) serveFrame(bw *bufio.Writer, bufs *connBuffers, frame []byte) b
 // backend advertisement lets a fleet router verify every replica serves
 // with the backend the operator expects before admitting it to the ring.
 func (s *Server) helloAck(version int) Hello {
-	return Hello{Version: version, Tracing: version >= Version3, Backend: s.BackendKind()}
+	return Hello{Version: version, Tracing: version >= Version3,
+		Backend: s.BackendKind(), Generation: s.Generation()}
 }
 
 // writeError best-effort sends a structured protocol error frame. err is
@@ -318,9 +319,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// signal orchestrators that the model path is down.
 		w.WriteHeader(http.StatusServiceUnavailable)
 	}
+	lin := s.Model().Lineage
 	json.NewEncoder(w).Encode(struct {
 		State               string            `json:"state"`
 		Backend             string            `json:"backend"`
+		Generation          int               `json:"generation,omitempty"`
+		ModelSource         string            `json:"model_source,omitempty"`
 		ConsecutiveFailures int64             `json:"consecutive_failures,omitempty"`
 		FallbackDecisions   int64             `json:"fallback_decisions,omitempty"`
 		RecoveredPanics     int64             `json:"recovered_panics,omitempty"`
@@ -329,6 +333,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{
 		State:               st.String(),
 		Backend:             string(s.BackendKind()),
+		Generation:          lin.Generation,
+		ModelSource:         lin.Source,
 		ConsecutiveFailures: s.health.Failures(),
 		FallbackDecisions:   s.metrics.Fallbacks.Load(),
 		RecoveredPanics:     s.metrics.RecoveredPanics.Load(),

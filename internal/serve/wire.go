@@ -131,15 +131,19 @@ const (
 
 // Hello is the result of version negotiation: the agreed protocol
 // version, whether the peer is a router, whether it accepts traced
-// frames, (for routers) its shard count, and the inference backend the
-// peer serves with. Backend is empty when the peer predates the backend
-// byte (a legacy 4-byte ack body) or chose not to advertise one.
+// frames, (for routers) its shard count, the inference backend the
+// peer serves with, and the lineage generation of the model it is
+// serving. Backend is empty when the peer predates the backend byte (a
+// legacy 4-byte ack body) or chose not to advertise one; Generation is 0
+// when the peer predates the generation word or serves an unversioned
+// offline artifact.
 type Hello struct {
-	Version int
-	Router  bool
-	Tracing bool
-	Shards  int
-	Backend infer.Kind
+	Version    int
+	Router     bool
+	Tracing    bool
+	Shards     int
+	Backend    infer.Kind
+	Generation int
 }
 
 // Backend codes carried in the hello-ack's trailing byte. Zero — also
@@ -870,13 +874,14 @@ func DecodeHelloFrame(payload []byte) (minVer, maxVer byte, err error) {
 	return payload[6], payload[7], nil
 }
 
-// AppendHelloAckFrame appends the server's negotiation answer. The
-// trailing byte advertises the serving backend; peers that predate it
-// parse only the first four body bytes, so appending is compatible both
-// ways.
+// AppendHelloAckFrame appends the server's negotiation answer. The body
+// has grown twice, always by appending: byte 10 advertises the serving
+// backend, bytes 11-14 the serving model's lineage generation. Peers
+// that predate an extension parse only the prefix they know, so every
+// body length remains compatible in both directions.
 func AppendHelloAckFrame(dst []byte, h Hello) []byte {
 	off := len(dst)
-	dst = append(dst, make([]byte, headerLen+5)...)
+	dst = append(dst, make([]byte, headerLen+9)...)
 	b := dst[off:]
 	putHeader(b, VersionMax, MsgHelloAck)
 	b[6] = byte(h.Version)
@@ -888,6 +893,7 @@ func AppendHelloAckFrame(dst []byte, h Hello) []byte {
 	}
 	binary.BigEndian.PutUint16(b[8:], uint16(h.Shards))
 	b[10] = backendCode(h.Backend)
+	binary.BigEndian.PutUint32(b[11:], uint32(h.Generation))
 	return dst
 }
 
@@ -904,12 +910,14 @@ func DecodeHelloAckFrame(payload []byte) (Hello, error) {
 	if t != MsgHelloAck {
 		return Hello{}, fmt.Errorf("serve: unexpected message type %d, want %d", t, MsgHelloAck)
 	}
-	// headerLen+4 is the legacy body (no backend byte); headerLen+5
-	// carries the backend advertisement. Both stay accepted so old and
-	// new peers interoperate in either direction.
-	if len(payload) != headerLen+4 && len(payload) != headerLen+5 {
-		return Hello{}, fmt.Errorf("serve: hello-ack frame is %d bytes, want %d or %d",
-			len(payload), headerLen+4, headerLen+5)
+	// headerLen+4 is the legacy body (no backend byte), headerLen+5 adds
+	// the backend advertisement, headerLen+9 the model generation. All
+	// stay accepted so old and new peers interoperate in either direction.
+	switch len(payload) {
+	case headerLen + 4, headerLen + 5, headerLen + 9:
+	default:
+		return Hello{}, fmt.Errorf("serve: hello-ack frame is %d bytes, want %d, %d or %d",
+			len(payload), headerLen+4, headerLen+5, headerLen+9)
 	}
 	h := Hello{
 		Version: int(payload[6]),
@@ -917,8 +925,11 @@ func DecodeHelloAckFrame(payload []byte) (Hello, error) {
 		Tracing: payload[7]&HelloFlagTracing != 0,
 		Shards:  int(binary.BigEndian.Uint16(payload[8:])),
 	}
-	if len(payload) == headerLen+5 {
+	if len(payload) >= headerLen+5 {
 		h.Backend = backendFromCode(payload[10])
+	}
+	if len(payload) == headerLen+9 {
+		h.Generation = int(binary.BigEndian.Uint32(payload[11:]))
 	}
 	return h, nil
 }

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogRetainsOrderAndWraps(t *testing.T) {
+	l := NewEventLog(4, nil)
+	for i := 0; i < 6; i++ {
+		l.Append(Event{Kind: fmt.Sprintf("k%d", i), Time: time.Unix(int64(i), 0)})
+	}
+	if l.Total() != 6 {
+		t.Fatalf("total = %d, want 6", l.Total())
+	}
+	evs := l.Snapshot(nil)
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := fmt.Sprintf("k%d", i+2); ev.Kind != want {
+			t.Fatalf("event %d kind = %s, want %s (oldest-first after wrap)", i, ev.Kind, want)
+		}
+	}
+}
+
+func TestEventLogStampsTimeAndCounts(t *testing.T) {
+	reg := NewRegistry()
+	l := NewEventLog(0, reg)
+	before := time.Now()
+	l.Append(Event{Kind: "promote", Reason: "beat incumbent", Detail: map[string]any{"gen": 2}})
+	evs := l.Snapshot(nil)
+	if len(evs) != 1 || evs[0].Time.Before(before) {
+		t.Fatalf("events = %+v", evs)
+	}
+	if n := reg.Snapshot().Counters["events_total"]; n != 1 {
+		t.Fatalf("events_total = %d, want 1", n)
+	}
+}
+
+func TestEventLogWriteJSON(t *testing.T) {
+	l := NewEventLog(8, nil)
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var empty []Event
+	if err := json.Unmarshal(buf.Bytes(), &empty); err != nil || len(empty) != 0 {
+		t.Fatalf("empty log JSON = %q (err %v)", buf.String(), err)
+	}
+
+	l.Append(Event{Kind: "rollback", Reason: "live MAPE regressed", Detail: map[string]any{"gen": float64(3)}})
+	buf.Reset()
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var got []Event
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Kind != "rollback" || got[0].Detail["gen"] != float64(3) {
+		t.Fatalf("round-trip = %+v", got)
+	}
+}
+
+func TestEventLogConcurrentAndNil(t *testing.T) {
+	var nilLog *EventLog
+	nilLog.Append(Event{Kind: "x"})
+	if nilLog.Total() != 0 || nilLog.Snapshot(nil) != nil {
+		t.Fatal("nil log not a no-op")
+	}
+
+	l := NewEventLog(64, nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(Event{Kind: "tick"})
+				l.Snapshot(nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Total() != 800 {
+		t.Fatalf("total = %d, want 800", l.Total())
+	}
+}

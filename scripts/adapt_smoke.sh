@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Online-adaptation smoke test, two halves:
+#
+#   1. Daemon wiring: a race-instrumented ssmdvfsd starts with -adapt,
+#      /debug/adapt answers with the controller in its monitoring state
+#      and an adapt_state gauge on /telemetry, and the daemon shuts
+#      down cleanly — proving the controller loop starts and stops with
+#      the process.
+#   2. Full lifecycle: the adaptation chaos test under the race
+#      detector — live traffic drifts, the controller re-fits, shadow
+#      scores, promotes a canary, a forced regression rolls it back,
+#      and the test asserts zero errored requests, zero decisions from
+#      an unvalidated generation, and the full transition history.
+#
+# With ADAPT_ARTIFACT_DIR set, the chaos test dumps its /debug/adapt
+# transition log there (pass or fail) and the daemon half copies its
+# log + scraped /debug/adapt alongside, so CI can upload the whole
+# story as artifacts.
+#
+# Usage: scripts/adapt_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODEL=testdata/bench-cache/compressed.json
+BIN="$(mktemp -d)"
+LOGS="$(mktemp -d)"
+cleanup() {
+    local pids
+    pids="$(jobs -p)"
+    # shellcheck disable=SC2086  # one pid per word, not one argument
+    [ -n "$pids" ] && kill $pids 2>/dev/null || true
+    wait 2>/dev/null || true
+    if [ -n "${ADAPT_ARTIFACT_DIR:-}" ]; then
+        mkdir -p "$ADAPT_ARTIFACT_DIR"
+        cp -r "$LOGS"/. "$ADAPT_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+    rm -rf "$BIN"
+    echo "logs kept in $LOGS"
+}
+trap cleanup EXIT
+
+HTTP=127.0.0.1:19301
+TCP=127.0.0.1:19302
+
+wait_port() {
+    local host="${1%%:*}" port="${1##*:}"
+    for _ in $(seq 1 100); do
+        if (exec 3<>"/dev/tcp/$host/$port") 2>/dev/null; then
+            exec 3>&- 3<&-
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "adapt_smoke: timeout waiting for $1" >&2
+    return 1
+}
+
+echo "== building (race) =="
+go build -race -o "$BIN/ssmdvfsd" ./cmd/ssmdvfsd
+
+echo "== starting ssmdvfsd -adapt =="
+"$BIN/ssmdvfsd" -model "$MODEL" -http "$HTTP" -tcp "$TCP" -adapt \
+    -adapt-interval 100ms >"$LOGS/ssmdvfsd.log" 2>&1 &
+DAEMON_PID=$!
+wait_port "$HTTP"
+
+echo "== checking /debug/adapt =="
+curl -fsS "http://$HTTP/debug/adapt" >"$LOGS/debug-adapt.json"
+if ! grep -q '"state": "monitoring"' "$LOGS/debug-adapt.json"; then
+    echo "adapt_smoke: FAIL — controller not monitoring:" >&2
+    cat "$LOGS/debug-adapt.json" >&2
+    exit 1
+fi
+curl -fsS "http://$HTTP/telemetry" >"$LOGS/telemetry.json"
+if ! grep -q 'adapt_state' "$LOGS/telemetry.json"; then
+    echo "adapt_smoke: FAIL — adapt_* series missing from /telemetry" >&2
+    exit 1
+fi
+
+echo "== shutting daemon down =="
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" || true
+if ! grep -q 'online adaptation armed' "$LOGS/ssmdvfsd.log"; then
+    echo "adapt_smoke: FAIL — daemon never armed the adaptation loop" >&2
+    cat "$LOGS/ssmdvfsd.log" >&2
+    exit 1
+fi
+
+echo "== running adaptation chaos lifecycle (race) =="
+ADAPT_ARTIFACT_DIR="$LOGS" \
+    go test -race -run TestChaosAdaptationLifecycle -v -count=1 \
+    ./internal/adapt/ | tee "$LOGS/chaos.log"
+
+echo "adapt_smoke: PASS"
