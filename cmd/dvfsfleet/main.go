@@ -13,6 +13,16 @@
 //	          [-backend int8] [-coalesce-wait 200us] [-coalesce-rows 64]
 //	          [-inflight 2] [-queue 1024] [-queue-deadline 2ms]
 //	          [-max-hops 1] [-probe 250ms] [-spans fleet-spans.jsonl]
+//	          [-replica-http http://host1:8090,http://host2:8090,...]
+//	          [-scrape 1s] [-alerts 'burn>1.5;regress>0.5;stale>15']
+//
+// -replica-http arms the fleet efficiency-ledger plane: the router
+// scrapes every replica's /debug/ledger snapshot, merges them
+// deterministically, evaluates the -alerts rules (perf-loss budget
+// burn-rate, energy-savings regression vs the rolling baseline, stale
+// replica ledgers), and serves the fleet view at /debug/ledger plus
+// ledger_fleet_*/alert_* series on /metrics.prom — what cmd/dvfstop
+// renders live.
 //
 // -backend pins the inference backend every replica must advertise in
 // hello negotiation (match the replicas' ssmdvfsd -backend flag); a
@@ -28,6 +38,8 @@
 //	GET /metrics       fleet counters (JSON telemetry snapshot)
 //	GET /metrics.prom  the same in Prometheus text exposition 0.0.4
 //	GET /healthz       per-replica health; 503 when no replica is healthy
+//	GET /debug/ledger  merged fleet efficiency ledger + alert states (with
+//	                   -replica-http; 404 when disabled)
 package main
 
 import (
@@ -43,6 +55,7 @@ import (
 
 	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/fleet"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
 )
@@ -63,6 +76,9 @@ func main() {
 		maxHops      = flag.Int("max-hops", 0, "reroute attempts per row after replica failure (0 = default 1)")
 		probe        = flag.Duration("probe", 0, "unhealthy replica re-dial interval (0 = default 250ms)")
 		dialTimeout  = flag.Duration("dial-timeout", time.Second, "router→replica connect timeout")
+		replicaHTTP  = flag.String("replica-http", "", "comma-separated replica HTTP base URLs (e.g. http://host1:8090,...); arms the ledger scrape loop merging every replica's /debug/ledger into a fleet view (empty = off)")
+		scrape       = flag.Duration("scrape", 0, "ledger scrape interval (0 = default 1s)")
+		alertSpec    = flag.String("alerts", "", "alert rules over the merged ledger, e.g. 'burn>1.5;regress>0.5;stale>15' (empty = defaults, 'none' = off)")
 		spansPath    = flag.String("spans", "", "write router-hop spans for sampled traced requests to this JSONL file (dvfsstat -chrome input; empty = off)")
 		verbose      = flag.Bool("v", true, "log progress")
 		printVersion = flag.Bool("version", false, "print build information and exit")
@@ -87,6 +103,16 @@ func main() {
 		tracer = telemetry.NewTracer(sf)
 		logf("dvfsfleet: tracing armed: router-hop spans to %s", *spansPath)
 	}
+	rules, err := ledger.ParseRules(*alertSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dvfsfleet:", err)
+		os.Exit(1)
+	}
+	if rules == nil {
+		// "none": keep the scrape plane but evaluate no rules (a nil slice
+		// would mean "use defaults" to the router).
+		rules = []ledger.Rule{}
+	}
 	opts := fleet.Options{
 		Replicas:      splitAddrs(*replicas),
 		VNodes:        *vnodes,
@@ -102,6 +128,10 @@ func main() {
 		Dial:          serve.DialOptions{Timeout: *dialTimeout},
 		Tracer:        tracer,
 		Logf:          logf,
+
+		ReplicaHTTP:    splitAddrs(*replicaHTTP),
+		ScrapeInterval: *scrape,
+		AlertRules:     rules,
 	}
 	if err := run(opts, *tcpAddr, *httpAddr, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsfleet:", err)
@@ -176,6 +206,11 @@ func run(opts fleet.Options, tcpAddr, httpAddr string, logf func(string, ...any)
 			m := rt.Metrics()
 			logf("dvfsfleet: routed %d rows in %d requests (%d shed, %d rerouted, %d replica failures)",
 				m.Rows.Load(), m.Requests.Load(), m.ShedTotal(), m.Rerouted.Load(), m.Down.Load())
+			if agg := rt.LedgerAggregate(); agg != nil {
+				s := agg.Merged
+				logf("dvfsfleet: fleet ledger: %s saved vs MaxFreq (%.1f%% of bill) at %.3f%% mean perf loss over %d decisions",
+					ledger.FormatEnergyPJ(float64(s.SavedPJ())), s.SavedRatio()*100, s.MeanPerfLoss()*100, s.Decisions)
+			}
 			return nil
 		}
 	}

@@ -10,6 +10,12 @@
 //	         [-qps 0] [-preset 0.10] [-trace trace.csv] [-seed 1] [-fleet]
 //	         [-spans load-spans.jsonl] [-trace-sample 64]
 //	         [-cpuprofile cpu.pb.gz] [-memprofile mem.pb.gz]
+//	         [-ledger http://router:8093]
+//
+// With -ledger the exit report ends with the efficiency-ledger summary
+// scraped from the target's /debug/ledger — fleet-wide energy saved
+// versus MaxFreq, mean perf loss against the budget, and any firing
+// alert rules (works against a dvfsfleet router or a single replica).
 //
 // With -trace-sample (or -spans, which implies it) 1 in N batches is
 // traced end to end: the frame carries a trace context, every hop emits
@@ -30,10 +36,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
@@ -44,6 +54,8 @@ import (
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/epochtrace"
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/fleet"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
@@ -70,6 +82,7 @@ func main() {
 		sampleN   = flag.Int("trace-sample", 0, "trace 1 in N batches end to end (0 = off, or 64 when -spans is set)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the load run here")
 		memProf   = flag.String("memprofile", "", "write a heap profile at exit here")
+		ledgerURL = flag.String("ledger", "", "after the run, fetch this router/replica base URL's /debug/ledger and append the efficiency summary to the exit report (empty = off)")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -132,6 +145,69 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dvfsload:", runErr)
 		os.Exit(1)
 	}
+	if *ledgerURL != "" {
+		if err := ledgerSummary(os.Stdout, *ledgerURL); err != nil {
+			fmt.Fprintln(os.Stderr, "dvfsload:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// ledgerSummary closes the loop on what the load actually bought: it
+// fetches /debug/ledger from the target (a dvfsfleet router's merged
+// aggregate or a single ssmdvfsd replica's snapshot) and appends the
+// fleet-wide energy-saved and perf-loss lines to the exit report.
+func ledgerSummary(w io.Writer, url string) error {
+	url = strings.TrimRight(url, "/")
+	resp, err := http.Get(url + "/debug/ledger")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s/debug/ledger: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	var probe struct {
+		Merged *json.RawMessage `json:"merged"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return fmt.Errorf("parse %s/debug/ledger: %w", url, err)
+	}
+	scope := "replica"
+	var snap ledger.Snapshot
+	var firing []string
+	if probe.Merged != nil {
+		agg, err := fleet.ReadLedgerAggregate(bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		scope = "fleet"
+		snap = agg.Merged
+		for _, a := range agg.Alerts {
+			if a.Firing {
+				firing = append(firing, a.Rule.Name)
+			}
+		}
+	} else {
+		s, err := ledger.ReadSnapshot(bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		snap = s
+	}
+	fmt.Fprintf(w, "\n%s efficiency ledger (%s):\n", scope, url)
+	fmt.Fprintf(w, "  energy saved  %12s  (%.1f%% of the MaxFreq bill over %d decisions)\n",
+		ledger.FormatEnergyPJ(float64(snap.SavedPJ())), snap.SavedRatio()*100, snap.Decisions)
+	fmt.Fprintf(w, "  perf loss     %11.3f%%  mean (budget %.3f%%, burn %.2fx)\n",
+		snap.MeanPerfLoss()*100, snap.MeanPreset()*100, snap.BudgetBurn())
+	if len(firing) > 0 {
+		fmt.Fprintf(w, "  alerts firing %s\n", strings.Join(firing, ", "))
+	}
+	return nil
 }
 
 // syntheticRows draws feature vectors from the memory-boundedness family:

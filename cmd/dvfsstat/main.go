@@ -14,6 +14,8 @@
 //	dvfsstat -decisions dump.jsonl            # flight-recorder dump (ssmdvfsd
 //	                                          # /debug/decisions, dvfstrace -flightrec)
 //	dvfsstat -promlint metrics.prom           # lint a /metrics.prom scrape
+//	dvfsstat -ledger dump.jsonl               # offline efficiency-ledger replay
+//	dvfsstat -ledger dump.jsonl -ledger-against snapshot.json
 //
 // Any combination of inputs may be given; each produces its section.
 // -chrome converts the span capture to the Chrome trace-event format
@@ -26,7 +28,12 @@
 // against the training statistics embedded in the dump header.
 // -promlint checks a Prometheus text exposition for malformed names,
 // label escaping, exemplar syntax, and duplicate series, exiting 1 if
-// anything is wrong.
+// anything is wrong. -ledger replays a flight-recorder dump through the
+// exact per-decision efficiency accounting (the same arithmetic the
+// online ledger uses) and prints energy-saved/perf-loss totals with
+// per-level and per-cluster breakdowns; -ledger-against additionally
+// cross-checks an online /debug/ledger snapshot against that replay,
+// exiting 1 if any total diverges beyond the documented 2% tolerance.
 package main
 
 import (
@@ -42,6 +49,7 @@ import (
 	"ssmdvfs/internal/atomicfile"
 	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/telemetry"
 )
@@ -55,6 +63,8 @@ func main() {
 		against   = flag.String("against", "", "with -trace: reference trace to diff decisions against")
 		decisions = flag.String("decisions", "", "flight-recorder dump (JSONL from /debug/decisions or -flightrec)")
 		promlint  = flag.String("promlint", "", "lint a Prometheus text exposition (from /metrics.prom); exits 1 on problems")
+		ledgerIn  = flag.String("ledger", "", "replay a flight-recorder dump through the exact efficiency-ledger accounting")
+		ledgerRef = flag.String("ledger-against", "", "with -ledger: online ledger snapshot (from /debug/ledger) to cross-check; exits 1 beyond the 2% tolerance")
 		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -63,17 +73,17 @@ func main() {
 		return
 	}
 
-	if *metrics == "" && *spans == "" && *trace == "" && *decisions == "" && *promlint == "" {
+	if *metrics == "" && *spans == "" && *trace == "" && *decisions == "" && *promlint == "" && *ledgerIn == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against, *decisions, *promlint); err != nil {
+	if err := run(os.Stdout, *metrics, *spans, *chrome, *trace, *against, *decisions, *promlint, *ledgerIn, *ledgerRef); err != nil {
 		fmt.Fprintln(os.Stderr, "dvfsstat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath, decisionsPath, promlintPath string) error {
+func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath, decisionsPath, promlintPath, ledgerPath, ledgerRefPath string) error {
 	if metricsPath != "" {
 		snap, err := telemetry.ReadSnapshotFile(metricsPath)
 		if err != nil {
@@ -149,6 +159,105 @@ func run(w io.Writer, metricsPath, spansPath, chromePath, tracePath, againstPath
 		}
 		fmt.Fprintf(w, "promlint: %s: clean\n", promlintPath)
 	}
+	if ledgerPath != "" {
+		_, recs, err := provenance.ReadFile(ledgerPath)
+		if err != nil {
+			return err
+		}
+		replay := ledger.NewMeter(nil, nil).ReplayRecords(recs)
+		summarizeLedger(w, ledgerPath, replay)
+		if ledgerRefPath != "" {
+			online, err := ledger.ReadSnapshotFile(ledgerRefPath)
+			if err != nil {
+				return err
+			}
+			if err := crossCheckLedger(w, ledgerRefPath, online, replay); err != nil {
+				return err
+			}
+		}
+	} else if ledgerRefPath != "" {
+		return fmt.Errorf("-ledger-against requires -ledger (the dump to replay)")
+	}
+	return nil
+}
+
+// summarizeLedger renders a replayed flight-recorder dump as the offline
+// efficiency ledger: totals plus the per-level and per-cluster breakdown.
+// Ordering is fixed (numeric label order) so two runs over the same dump
+// are byte-identical.
+func summarizeLedger(w io.Writer, path string, s ledger.Snapshot) {
+	fmt.Fprintf(w, "== efficiency ledger replay: %s ==\n", path)
+	fmt.Fprintf(w, "decisions         %12d\n", s.Decisions)
+	fmt.Fprintf(w, "energy @MaxFreq   %12s\n", ledger.FormatEnergyPJ(float64(s.EnergyMaxPJ)))
+	fmt.Fprintf(w, "energy actual     %12s\n", ledger.FormatEnergyPJ(float64(s.EnergyPJ)))
+	fmt.Fprintf(w, "energy saved      %12s  (%.1f%% of the MaxFreq bill)\n",
+		ledger.FormatEnergyPJ(float64(s.SavedPJ())), s.SavedRatio()*100)
+	fmt.Fprintf(w, "perf loss mean    %11.3f%%  (budget %.3f%%, burn %.2fx)\n",
+		s.MeanPerfLoss()*100, s.MeanPreset()*100, s.BudgetBurn())
+
+	for _, family := range []string{"level", "cluster"} {
+		rows := map[string]ledger.Group{}
+		for k, g := range s.Groups {
+			if strings.HasPrefix(k, family+"=") {
+				rows[strings.TrimPrefix(k, family+"=")] = g
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		counts := make(map[string]int64, len(rows))
+		for k, g := range rows {
+			counts[k] = g.Decisions
+		}
+		fmt.Fprintf(w, "\n%-10s %10s %12s %10s\n", family, "decisions", "saved", "loss")
+		for _, k := range sortedLabelKeys(counts) {
+			g := rows[k]
+			loss := 0.0
+			if g.Decisions > 0 {
+				loss = float64(g.PerfLossPpmSum) / 1e6 / float64(g.Decisions) * 100
+			}
+			fmt.Fprintf(w, "%-10s %10d %12s %9.3f%%\n", k, g.Decisions,
+				ledger.FormatEnergyPJ(float64(g.EnergyMaxPJ-g.EnergyPJ)), loss)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// crossCheckLedger compares an online ledger snapshot against the exact
+// offline replay, field by field. A dump that covers every served
+// decision reproduces the integer totals exactly; the 2% tolerance
+// exists for dumps whose flight-recorder ring dropped the oldest
+// decisions or that were scraped mid-traffic.
+func crossCheckLedger(w io.Writer, refPath string, online, replay ledger.Snapshot) error {
+	const tolerance = 0.02
+	fields := []struct {
+		name           string
+		online, replay int64
+	}{
+		{"decisions", online.Decisions, replay.Decisions},
+		{"energy_max_pj", online.EnergyMaxPJ, replay.EnergyMaxPJ},
+		{"energy_pj", online.EnergyPJ, replay.EnergyPJ},
+		{"saved_pj", online.SavedPJ(), replay.SavedPJ()},
+		{"perf_loss_ppm_sum", online.PerfLossPpmSum, replay.PerfLossPpmSum},
+	}
+	fmt.Fprintf(w, "== online vs replay cross-check: %s ==\n", refPath)
+	fmt.Fprintf(w, "%-20s %16s %16s %10s\n", "field", "online", "replay", "diff")
+	var bad []string
+	for _, f := range fields {
+		diff := 0.0
+		if f.online != f.replay {
+			diff = math.Abs(float64(f.online-f.replay)) / math.Max(math.Abs(float64(f.replay)), 1)
+		}
+		fmt.Fprintf(w, "%-20s %16d %16d %9.2f%%\n", f.name, f.online, f.replay, diff*100)
+		if diff > tolerance {
+			bad = append(bad, f.name)
+		}
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("online ledger disagrees with exact replay beyond %.0f%% tolerance: %s",
+			tolerance*100, strings.Join(bad, ", "))
+	}
+	fmt.Fprintf(w, "cross-check PASS: all fields within the %.0f%% tolerance\n\n", tolerance*100)
 	return nil
 }
 

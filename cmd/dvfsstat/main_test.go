@@ -7,7 +7,9 @@ import (
 	"strings"
 	"testing"
 
+	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/epochtrace"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/telemetry"
 )
@@ -46,7 +48,7 @@ func TestSummarizeMetricsDump(t *testing.T) {
 	writeFixtureMetrics(t, path)
 
 	var out bytes.Buffer
-	if err := run(&out, path, "", "", "", "", "", ""); err != nil {
+	if err := run(&out, path, "", "", "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -85,7 +87,7 @@ func TestSummarizeSpansAndChromeExport(t *testing.T) {
 	f.Close()
 
 	var out bytes.Buffer
-	if err := run(&out, "", spansPath, chromePath, "", "", "", ""); err != nil {
+	if err := run(&out, "", spansPath, chromePath, "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -129,7 +131,7 @@ func TestTraceDivergence(t *testing.T) {
 	oracle := mk("oracle.csv", []int{5, 5, 4, 4, 2})
 
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", run1, oracle, "", ""); err != nil {
+	if err := run(&out, "", "", "", run1, oracle, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -142,7 +144,7 @@ func TestTraceDivergence(t *testing.T) {
 
 func TestTraceRequiresReference(t *testing.T) {
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "whatever.csv", "", "", ""); err == nil {
+	if err := run(&out, "", "", "", "whatever.csv", "", "", "", "", ""); err == nil {
 		t.Fatal("-trace without -against must fail")
 	}
 }
@@ -199,7 +201,7 @@ func TestSummarizeDecisionsDump(t *testing.T) {
 	writeFixtureDecisions(t, path)
 
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "", "", path, ""); err != nil {
+	if err := run(&out, "", "", "", "", "", path, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -223,7 +225,7 @@ func TestSummarizeDecisionsDump(t *testing.T) {
 
 	// The view must be byte-deterministic over the same dump.
 	var again bytes.Buffer
-	if err := run(&again, "", "", "", "", "", path, ""); err != nil {
+	if err := run(&again, "", "", "", "", "", path, "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(out.Bytes(), again.Bytes()) {
@@ -255,7 +257,7 @@ func TestMultiFileSpanMerge(t *testing.T) {
 	}
 
 	var out bytes.Buffer
-	if err := run(&out, "", clientPath+","+replicaPath, chromePath, "", "", "", ""); err != nil {
+	if err := run(&out, "", clientPath+","+replicaPath, chromePath, "", "", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -292,7 +294,7 @@ func TestPromlintFlag(t *testing.T) {
 	}
 	f.Close()
 	var out bytes.Buffer
-	if err := run(&out, "", "", "", "", "", "", good); err != nil {
+	if err := run(&out, "", "", "", "", "", "", good, "", ""); err != nil {
 		t.Fatalf("clean exposition flagged: %v\n%s", err, out.String())
 	}
 	if !strings.Contains(out.String(), "clean") {
@@ -303,7 +305,116 @@ func TestPromlintFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	if err := run(&out, "", "", "", "", "", "", bad); err == nil {
+	if err := run(&out, "", "", "", "", "", "", bad, "", ""); err == nil {
 		t.Fatalf("duplicate series not flagged:\n%s", out.String())
+	}
+}
+
+// writeFixtureLedgerDump dumps a flight-recorder capture carrying the raw
+// counter rows the ledger replay consumes, and returns the records.
+func writeFixtureLedgerDump(t *testing.T, path string) []provenance.Record {
+	t.Helper()
+	var recs []provenance.Record
+	for i := 0; i < 24; i++ {
+		feats := make([]float64, counters.Num)
+		for j := range feats {
+			feats[j] = float64((i+j)%9) * 0.3
+		}
+		r := provenance.Record{
+			Seq: uint64(i + 1), Cluster: int32(i % 2), Epoch: int32(i),
+			Level: int32(i % 4), Reason: provenance.ReasonModel,
+			Preset: 0.1, ModelGen: 1,
+		}
+		r.SetRaw(feats)
+		recs = append(recs, r)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := provenance.WriteRecords(f, provenance.Header{Levels: 6}, recs); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestLedgerReplayView(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "dump.jsonl")
+	writeFixtureLedgerDump(t, path)
+
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "", "", "", "", path, ""); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"efficiency ledger replay",
+		"decisions                   24",
+		"energy @MaxFreq",
+		"energy saved",
+		"perf loss mean",
+		"level", "cluster",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("ledger replay output missing %q:\n%s", want, got)
+		}
+	}
+
+	var again bytes.Buffer
+	if err := run(&again, "", "", "", "", "", "", "", path, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out.Bytes(), again.Bytes()) {
+		t.Fatal("ledger replay view is not byte-deterministic")
+	}
+}
+
+// TestLedgerCrossCheck pins the acceptance contract: an online snapshot
+// that matches the exact replay passes within the documented 2%
+// tolerance, and a disagreeing one fails with a non-zero exit.
+func TestLedgerCrossCheck(t *testing.T) {
+	dir := t.TempDir()
+	dumpPath := filepath.Join(dir, "dump.jsonl")
+	recs := writeFixtureLedgerDump(t, dumpPath)
+	replay := ledger.NewMeter(nil, nil).ReplayRecords(recs)
+
+	writeSnap := func(name string, s ledger.Snapshot) string {
+		t.Helper()
+		p := filepath.Join(dir, name)
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	good := writeSnap("online.json", replay)
+	var out bytes.Buffer
+	if err := run(&out, "", "", "", "", "", "", "", dumpPath, good); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cross-check PASS") {
+		t.Fatalf("matching snapshot did not pass:\n%s", out.String())
+	}
+
+	doctored := replay
+	doctored.EnergyPJ = replay.EnergyPJ / 2 // far beyond the 2% tolerance
+	bad := writeSnap("doctored.json", doctored)
+	out.Reset()
+	err := run(&out, "", "", "", "", "", "", "", dumpPath, bad)
+	if err == nil || !strings.Contains(err.Error(), "disagrees") {
+		t.Fatalf("doctored snapshot passed cross-check: %v", err)
+	}
+}
+
+func TestLedgerAgainstRequiresLedger(t *testing.T) {
+	if err := run(&bytes.Buffer{}, "", "", "", "", "", "", "", "", "x.json"); err == nil {
+		t.Fatal("-ledger-against without -ledger accepted")
 	}
 }

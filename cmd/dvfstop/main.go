@@ -1,0 +1,225 @@
+// Command dvfstop is the live terminal dashboard over the fleet
+// efficiency ledger: it polls a router's (or a single replica's)
+// /debug/ledger endpoint and renders what the system is actually
+// optimizing — estimated energy saved versus running everything at
+// MaxFreq, mean performance loss against the requested budget, the
+// per-level/per-shard breakdown, and any firing alert rules.
+//
+// Usage:
+//
+//	dvfstop -url http://router:8093 [-interval 1s] [-once]
+//
+// Point -url at a dvfsfleet router started with -replica-http for the
+// fleet-wide merged view (per-replica rows included), or directly at one
+// ssmdvfsd replica started with -ledger for a single-replica view.
+// -once renders a single frame without clearing the screen and exits —
+// the scriptable mode smoke tests use.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ssmdvfs/internal/buildinfo"
+	"ssmdvfs/internal/fleet"
+	"ssmdvfs/internal/ledger"
+)
+
+func main() {
+	var (
+		url      = flag.String("url", "http://127.0.0.1:8093", "router or replica base URL (its /debug/ledger is polled)")
+		interval = flag.Duration("interval", time.Second, "refresh interval")
+		once     = flag.Bool("once", false, "render one frame and exit (no screen clearing)")
+		version  = flag.Bool("version", false, "print build information and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println("dvfstop", buildinfo.String())
+		return
+	}
+	if err := run(os.Stdout, *url, *interval, *once); err != nil {
+		fmt.Fprintln(os.Stderr, "dvfstop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, url string, interval time.Duration, once bool) error {
+	url = strings.TrimRight(url, "/")
+	if once {
+		v, err := fetch(url)
+		if err != nil {
+			return err
+		}
+		render(w, v)
+		return nil
+	}
+	for {
+		v, err := fetch(url)
+		fmt.Fprint(w, "\x1b[H\x1b[2J") // home + clear
+		if err != nil {
+			fmt.Fprintf(w, "dvfstop: %v (retrying every %s)\n", err, interval)
+		} else {
+			render(w, v)
+		}
+		time.Sleep(interval)
+	}
+}
+
+// view is what one frame renders: the merged snapshot plus, when the
+// source is a router, the per-replica rows and alert states.
+type view struct {
+	src      string
+	atUnix   int64
+	merged   ledger.Snapshot
+	replicas []ledger.ReplicaLedger
+	alerts   []ledger.AlertState
+	fleet    bool
+}
+
+// fetch pulls /debug/ledger and accepts either payload shape: a router's
+// LedgerAggregate (has a "merged" key) or a bare replica Snapshot.
+func fetch(url string) (view, error) {
+	resp, err := http.Get(url + "/debug/ledger")
+	if err != nil {
+		return view{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return view{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return view{}, fmt.Errorf("GET %s/debug/ledger: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return parse(url, body)
+}
+
+func parse(src string, body []byte) (view, error) {
+	var probe struct {
+		Merged *json.RawMessage `json:"merged"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return view{}, fmt.Errorf("parse %s/debug/ledger: %w", src, err)
+	}
+	if probe.Merged != nil {
+		agg, err := fleet.ReadLedgerAggregate(strings.NewReader(string(body)))
+		if err != nil {
+			return view{}, err
+		}
+		return view{src: src, atUnix: agg.AtUnix, merged: agg.Merged,
+			replicas: agg.Replicas, alerts: agg.Alerts, fleet: true}, nil
+	}
+	snap, err := ledger.ReadSnapshot(strings.NewReader(string(body)))
+	if err != nil {
+		return view{}, err
+	}
+	return view{src: src, merged: snap}, nil
+}
+
+// render writes one deterministic dashboard frame.
+func render(w io.Writer, v view) {
+	scope := "replica"
+	if v.fleet {
+		scope = "fleet"
+	}
+	fmt.Fprintf(w, "dvfstop — %s efficiency ledger — %s\n", scope, v.src)
+	if v.atUnix > 0 {
+		fmt.Fprintf(w, "scraped %s\n", time.Unix(v.atUnix, 0).UTC().Format(time.RFC3339))
+	}
+	s := v.merged
+	fmt.Fprintf(w, "\n  energy saved   %10s   (%.1f%% of the MaxFreq bill)\n",
+		ledger.FormatEnergyPJ(float64(s.SavedPJ())), s.SavedRatio()*100)
+	fmt.Fprintf(w, "  perf loss      %9.3f%%   mean (budget %.3f%%, burn %.2fx)\n",
+		s.MeanPerfLoss()*100, s.MeanPreset()*100, s.BudgetBurn())
+	fmt.Fprintf(w, "  decisions      %10d   (%d skipped)\n", s.Decisions, s.Skipped)
+
+	firing := 0
+	for _, a := range v.alerts {
+		if a.Firing {
+			firing++
+		}
+	}
+	switch {
+	case len(v.alerts) == 0 && v.fleet:
+		fmt.Fprintf(w, "\n  alerts: none configured\n")
+	case v.fleet:
+		fmt.Fprintf(w, "\n  alerts: %d/%d firing\n", firing, len(v.alerts))
+		for _, a := range v.alerts {
+			state := "   ok  "
+			if a.Firing {
+				state = " FIRING"
+			}
+			fmt.Fprintf(w, "  %s  %-8s value %8.2f  threshold %g", state, a.Rule.Name, a.Value, a.Rule.Threshold)
+			if a.Detail != "" {
+				fmt.Fprintf(w, "  (%s)", a.Detail)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if levels := groupRows(s, "level="); len(levels) > 0 {
+		fmt.Fprintf(w, "\n  %-12s %10s %12s %10s\n", "level", "decisions", "saved", "loss")
+		for _, g := range levels {
+			fmt.Fprintf(w, "  %-12s %10d %12s %9.3f%%\n", g.key, g.g.Decisions,
+				ledger.FormatEnergyPJ(float64(g.g.EnergyMaxPJ-g.g.EnergyPJ)), meanLossPct(g.g))
+		}
+	}
+	if shards := groupRows(s, "cluster="); len(shards) > 0 {
+		fmt.Fprintf(w, "\n  %-12s %10s %12s %10s\n", "cluster", "decisions", "saved", "loss")
+		for _, g := range shards {
+			fmt.Fprintf(w, "  %-12s %10d %12s %9.3f%%\n", g.key, g.g.Decisions,
+				ledger.FormatEnergyPJ(float64(g.g.EnergyMaxPJ-g.g.EnergyPJ)), meanLossPct(g.g))
+		}
+	}
+
+	if len(v.replicas) > 0 {
+		fmt.Fprintf(w, "\n  %-28s %10s %12s  %s\n", "replica", "decisions", "saved", "status")
+		for _, r := range v.replicas {
+			status := "ok"
+			if r.Err != "" {
+				status = "ERR " + r.Err
+			}
+			fmt.Fprintf(w, "  %-28s %10d %12s  %s\n", r.Addr, r.Snapshot.Decisions,
+				ledger.FormatEnergyPJ(float64(r.Snapshot.SavedPJ())), status)
+		}
+	}
+}
+
+type groupRow struct {
+	key string
+	g   ledger.Group
+}
+
+// groupRows selects one breakdown family out of the snapshot's flat
+// group map, sorted by key for a stable frame.
+func groupRows(s ledger.Snapshot, prefix string) []groupRow {
+	var out []groupRow
+	for k, g := range s.Groups {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, groupRow{key: k, g: g})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Numeric-aware: "level=2" before "level=10".
+		a, b := out[i].key, out[j].key
+		if len(a) != len(b) {
+			return len(a) < len(b)
+		}
+		return a < b
+	})
+	return out
+}
+
+func meanLossPct(g ledger.Group) float64 {
+	if g.Decisions <= 0 {
+		return 0
+	}
+	return float64(g.PerfLossPpmSum) / 1e6 / float64(g.Decisions) * 100
+}

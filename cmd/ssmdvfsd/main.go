@@ -9,7 +9,8 @@
 //
 //	ssmdvfsd -model ssmdvfs-cache/compressed.json [-http :8090] [-tcp :8091]
 //	         [-backend int8] [-quant 8] [-workers N] [-budget 200us]
-//	         [-flightrec 4096] [-spans ssmdvfsd-spans.jsonl]
+//	         [-flightrec 4096] [-ledger] [-ledger-window 1s]
+//	         [-spans ssmdvfsd-spans.jsonl]
 //	         [-faults 'serve.infer:panic:every=100'] [-faults-seed 1]
 //	         [-adapt] [-adapt-interval 1s] [-adapt-min-rows 512]
 //	         [-adapt-shadow-rows 256] [-adapt-canary-rows 256]
@@ -52,6 +53,9 @@
 //	GET  /debug/decisions  flight-recorder dump of the last -flightrec
 //	                    decisions as JSONL (cmd/dvfsstat -decisions input;
 //	                    ?n=, ?cluster=, ?reason= filter)
+//	GET  /debug/ledger  efficiency-ledger snapshot: estimated energy saved and
+//	                    perf-loss vs the MaxFreq counterfactual (with -ledger;
+//	                    what the fleet router scrapes and dvfstop renders)
 //	POST /reload        swap in a new model ({"path":"..."}; path optional)
 //	GET  /model         served model info
 //	GET  /healthz       liveness + build attribution
@@ -77,6 +81,7 @@ import (
 	"ssmdvfs/internal/adapt"
 	"ssmdvfs/internal/buildinfo"
 	"ssmdvfs/internal/faults"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
@@ -99,6 +104,8 @@ func main() {
 		adaptCan  = flag.Int("adapt-canary-rows", 256, "live realized-error samples required to commit a promotion")
 		adaptMarg = flag.Float64("adapt-margin", 0.1, "relative shadow-MAPE improvement required to promote a candidate")
 		adaptRegr = flag.Float64("adapt-regress", 1.5, "canary rolls back when live MAPE exceeds promise times this factor")
+		ledgerOn  = flag.Bool("ledger", false, "account every decision's estimated energy delta and perf-loss versus the MaxFreq counterfactual (ledger_* series on /metrics.prom, snapshot at /debug/ledger)")
+		ledgerIvl = flag.Duration("ledger-window", time.Second, "efficiency-ledger time-series window width")
 		spansPath = flag.String("spans", "", "write spans for sampled traced requests to this JSONL file (dvfsstat -chrome input; empty = off)")
 		faultSpec = flag.String("faults", "", "arm fault injection, e.g. 'serve.infer:panic:every=100;serve.conn:error:rate=0.01' (chaos testing)")
 		faultSeed = flag.Int64("faults-seed", 1, "seed for rate-based fault injection")
@@ -124,7 +131,11 @@ func main() {
 		Margin:     *adaptMarg,
 		Regress:    *adaptRegr,
 	}
-	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *backend, *quantBits, *workers, *budget, *flightrec, *faultSpec, *faultSeed, acfg, logf); err != nil {
+	ledgerWindow := time.Duration(0)
+	if *ledgerOn {
+		ledgerWindow = *ledgerIvl
+	}
+	if err := run(*modelPath, *httpAddr, *tcpAddr, *spansPath, *backend, *quantBits, *workers, *budget, *flightrec, ledgerWindow, *faultSpec, *faultSeed, acfg, logf); err != nil {
 		fmt.Fprintln(os.Stderr, "ssmdvfsd:", err)
 		os.Exit(1)
 	}
@@ -151,11 +162,11 @@ func buildMux(srv *serve.Server, ctrl *adapt.Controller) http.Handler {
 		mux.Handle("/debug/adapt", ctrl.Handler())
 	}
 	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", telemetry.ContentTypeProm)
 		srv.Telemetry().WriteProm(w)
 	})
 	mux.HandleFunc("/telemetry", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 		srv.Telemetry().WriteJSON(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -166,7 +177,7 @@ func buildMux(srv *serve.Server, ctrl *adapt.Controller) http.Handler {
 	return mux
 }
 
-func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, workers int, budget time.Duration, flightrec int, faultSpec string, faultSeed int64, acfg adaptConfig, logf func(string, ...any)) error {
+func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, workers int, budget time.Duration, flightrec int, ledgerWindow time.Duration, faultSpec string, faultSeed int64, acfg adaptConfig, logf func(string, ...any)) error {
 	if modelPath == "" {
 		return fmt.Errorf("-model is required")
 	}
@@ -202,6 +213,12 @@ func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, wor
 	}
 	logf("ssmdvfsd: serving with the %s inference backend", srv.BackendKind())
 	srv.Telemetry().SetBuild(buildinfo.Info())
+	var led *ledger.Ledger
+	if ledgerWindow > 0 {
+		led = ledger.New(ledger.Options{Registry: srv.Telemetry(), Window: ledgerWindow})
+		srv.SetLedger(led)
+		logf("ssmdvfsd: efficiency ledger armed: energy/perf-loss accounting at /debug/ledger (%s windows)", ledgerWindow)
+	}
 	var tracer *telemetry.Tracer
 	if spansPath != "" {
 		sf, err := os.Create(spansPath)
@@ -314,6 +331,11 @@ func run(modelPath, httpAddr, tcpAddr, spansPath, backend string, quantBits, wor
 				snap := srv.Metrics().Snapshot(srv.Model().Levels)
 				logf("ssmdvfsd: served %d decisions in %d batches, %d reloads, %d errors",
 					snap.Decisions, snap.Batches, snap.Reloads, snap.Errors)
+				if led != nil {
+					ls := led.Snapshot()
+					logf("ssmdvfsd: ledger: %s saved vs MaxFreq (%.1f%% of bill) at %.3f%% mean perf loss over %d decisions",
+						ledger.FormatEnergyPJ(float64(ls.SavedPJ())), ls.SavedRatio()*100, ls.MeanPerfLoss()*100, ls.Decisions)
+				}
 				return nil
 			}
 		}

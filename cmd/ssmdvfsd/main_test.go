@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"io"
 	"math/rand"
 	"net/http"
@@ -11,9 +13,11 @@ import (
 	"ssmdvfs/internal/adapt"
 	"ssmdvfs/internal/core"
 	"ssmdvfs/internal/counters"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/nn"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
+	"ssmdvfs/internal/telemetry"
 )
 
 func testModel(t *testing.T) *core.Model {
@@ -101,5 +105,95 @@ func TestBuildMuxObservabilityEndpoints(t *testing.T) {
 	if code, body := get("/debug/adapt"); code != http.StatusOK ||
 		!strings.Contains(body, `"state": "monitoring"`) {
 		t.Fatalf("/debug/adapt → %d:\n%s", code, body)
+	}
+}
+
+// TestBuildMuxLedgerAndContentTypes drives the -ledger wiring: decisions
+// flow through the daemon mux, the ledger snapshot is scrapable, every
+// exposition declares its exact Content-Type, and the Prometheus text
+// (now carrying ledger_* series) is promlint-clean.
+func TestBuildMuxLedgerAndContentTypes(t *testing.T) {
+	srv, err := serve.NewServer(testModel(t), serve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.EnableProvenance(256, provenance.MonitorOptions{})
+	led := ledger.New(ledger.Options{Registry: srv.Telemetry()})
+	srv.SetLedger(led)
+	ts := httptest.NewServer(buildMux(srv, nil))
+	defer ts.Close()
+
+	// Serve a few decisions through the HTTP API so the ledger has mass.
+	rng := rand.New(rand.NewSource(9))
+	row := make([]float64, counters.Num)
+	for i := 0; i < 20; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 2
+		}
+		body, _ := json.Marshal(map[string]any{"features": row, "preset": 0.1})
+		resp, err := http.Post(ts.URL+"/decide", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/decide → %d", resp.StatusCode)
+		}
+	}
+
+	cases := []struct {
+		path string
+		want string
+	}{
+		{"/metrics.prom", telemetry.ContentTypeProm},
+		{"/telemetry", telemetry.ContentTypeJSON},
+		{"/healthz", telemetry.ContentTypeJSON},
+		{"/metrics", telemetry.ContentTypeJSON},
+		{"/debug/ledger", telemetry.ContentTypeJSON},
+		{"/debug/decisions", telemetry.ContentTypeNDJSON},
+	}
+	for _, tc := range cases {
+		resp, err := http.Get(ts.URL + tc.path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", tc.path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s → %d", tc.path, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Content-Type"); got != tc.want {
+			t.Fatalf("GET %s: Content-Type %q, want %q", tc.path, got, tc.want)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ledger.ReadSnapshot(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Decisions != 20 {
+		t.Fatalf("ledger snapshot decisions = %d, want 20", snap.Decisions)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(prom, []byte("ledger_decisions_total")) {
+		t.Fatalf("/metrics.prom missing ledger series:\n%s", prom)
+	}
+	if errs := telemetry.LintProm(bytes.NewReader(prom)); len(errs) != 0 {
+		t.Fatalf("/metrics.prom fails promlint: %v", errs)
 	}
 }

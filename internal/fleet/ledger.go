@@ -1,0 +1,248 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"ssmdvfs/internal/ledger"
+	"ssmdvfs/internal/telemetry"
+)
+
+// LedgerAggregate is the router's fleet-wide efficiency view: the merged
+// snapshot across every scraped replica, the per-replica states behind
+// it, and the alert evaluation — the /debug/ledger payload and what
+// dvfstop renders.
+type LedgerAggregate struct {
+	// AtUnix is when the scrape completed, Unix seconds.
+	AtUnix   int64                  `json:"at_unix"`
+	Merged   ledger.Snapshot        `json:"merged"`
+	Replicas []ledger.ReplicaLedger `json:"replicas"`
+	Alerts   []ledger.AlertState    `json:"alerts,omitempty"`
+}
+
+// WriteJSON writes the aggregate as indented JSON.
+func (a *LedgerAggregate) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(a)
+}
+
+// ReadLedgerAggregate parses a WriteJSON payload.
+func ReadLedgerAggregate(r io.Reader) (*LedgerAggregate, error) {
+	var a LedgerAggregate
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("fleet: ledger aggregate: %w", err)
+	}
+	return &a, nil
+}
+
+// replicaLedgerState is the scrape loop's memory of one replica: its
+// last good snapshot plus the watermark deciding staleness (when its
+// decision count last advanced).
+type replicaLedgerState struct {
+	url           string
+	snap          ledger.Snapshot
+	haveSnap      bool
+	lastDecisions int64
+	lastAdvance   time.Time
+	err           string
+}
+
+// ledgerPlane is the router's ledger aggregation plane: a scrape loop
+// over the replicas' /debug/ledger endpoints, the deterministic merge,
+// the alert evaluator, and the fleet-level gauges. The loop goroutine is
+// the only writer; readers go through the atomic aggregate pointer.
+type ledgerPlane struct {
+	rt       *Router
+	interval time.Duration
+	client   *http.Client
+	alerts   *ledger.Alerts
+	events   *telemetry.EventLog
+	states   []replicaLedgerState
+	agg      atomic.Pointer[LedgerAggregate]
+
+	scrapes      *telemetry.Counter
+	scrapeErrors *telemetry.Counter
+	replicasOK   *telemetry.Gauge
+	decisions    *telemetry.Gauge
+	savedPJ      *telemetry.Gauge
+	savedRatio   *telemetry.Gauge
+	lossMean     *telemetry.Gauge
+	burn         *telemetry.Gauge
+	firing       *telemetry.Gauge
+}
+
+func newLedgerPlane(rt *Router, opts Options) *ledgerPlane {
+	reg := rt.Telemetry()
+	p := &ledgerPlane{
+		rt:       rt,
+		interval: opts.ScrapeInterval,
+		client:   &http.Client{Timeout: opts.ScrapeInterval},
+		events:   telemetry.NewEventLog(0, reg),
+		states:   make([]replicaLedgerState, len(opts.ReplicaHTTP)),
+
+		scrapes:      reg.Counter("ledger_scrapes_total"),
+		scrapeErrors: reg.Counter("ledger_scrape_errors_total"),
+		replicasOK:   reg.Gauge("ledger_replicas_ok"),
+		decisions:    reg.Gauge("ledger_fleet_decisions"),
+		savedPJ:      reg.Gauge("ledger_fleet_energy_saved_pj"),
+		savedRatio:   reg.Gauge("ledger_fleet_energy_saved_ratio"),
+		lossMean:     reg.Gauge("ledger_fleet_perf_loss_mean_ppm"),
+		burn:         reg.Gauge("ledger_fleet_budget_burn"),
+		firing:       reg.Gauge("ledger_alerts_firing"),
+	}
+	p.alerts = ledger.NewAlerts(opts.AlertRules, reg, p.events)
+	for i, u := range opts.ReplicaHTTP {
+		p.states[i].url = strings.TrimRight(u, "/")
+	}
+	return p
+}
+
+func (p *ledgerPlane) loop() {
+	defer p.rt.wg.Done()
+	t := time.NewTicker(p.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.rt.stop:
+			return
+		case <-t.C:
+			p.scrapeOnce(time.Now())
+		}
+	}
+}
+
+// scrapeOnce pulls every replica's ledger, merges, evaluates alerts, and
+// publishes the aggregate. It is the loop body, exported to tests via
+// Router.ScrapeLedgers for deterministic single-step evaluation; it must
+// only run from one goroutine at a time.
+func (p *ledgerPlane) scrapeOnce(now time.Time) {
+	p.scrapes.Add(1)
+	ok := 0
+	for i := range p.states {
+		st := &p.states[i]
+		snap, err := p.fetch(st.url + "/debug/ledger")
+		if st.lastAdvance.IsZero() {
+			// First contact (successful or not) starts the staleness clock;
+			// a replica that never answers must still go stale.
+			st.lastAdvance = now
+		}
+		if err != nil {
+			st.err = err.Error()
+			p.scrapeErrors.Add(1)
+			continue
+		}
+		st.err = ""
+		st.snap = snap
+		st.haveSnap = true
+		ok++
+		if snap.Decisions > st.lastDecisions {
+			st.lastDecisions = snap.Decisions
+			st.lastAdvance = now
+		}
+	}
+	p.replicasOK.Set(float64(ok))
+
+	reps := make([]ledger.ReplicaLedger, len(p.states))
+	snaps := make([]ledger.Snapshot, 0, len(p.states))
+	for i, st := range p.states {
+		reps[i] = ledger.ReplicaLedger{
+			Addr:            st.url,
+			Snapshot:        st.snap,
+			Err:             st.err,
+			LastAdvanceUnix: st.lastAdvance.Unix(),
+		}
+		if st.haveSnap {
+			snaps = append(snaps, st.snap)
+		}
+	}
+	merged := ledger.Merge(snaps...)
+	states := p.alerts.Eval(now, merged, reps)
+
+	p.decisions.Set(float64(merged.Decisions))
+	p.savedPJ.Set(float64(merged.SavedPJ()))
+	p.savedRatio.Set(merged.SavedRatio())
+	p.lossMean.Set(merged.MeanPerfLoss() * 1e6)
+	p.burn.Set(merged.BudgetBurn())
+	nFiring := 0
+	for _, st := range states {
+		if st.Firing {
+			nFiring++
+		}
+	}
+	p.firing.Set(float64(nFiring))
+
+	p.agg.Store(&LedgerAggregate{
+		AtUnix:   now.Unix(),
+		Merged:   merged,
+		Replicas: reps,
+		Alerts:   states,
+	})
+}
+
+func (p *ledgerPlane) fetch(url string) (ledger.Snapshot, error) {
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return ledger.Snapshot{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+		return ledger.Snapshot{}, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	return ledger.ReadSnapshot(io.LimitReader(resp.Body, 16<<20))
+}
+
+// ScrapeLedgers runs one synchronous ledger scrape+merge+alert pass
+// (normally the background loop's job) and reports whether the plane is
+// enabled. Tests use it to step the plane deterministically; it must not
+// race the background loop, so call it only on routers built with a very
+// long ScrapeInterval.
+func (rt *Router) ScrapeLedgers(now time.Time) bool {
+	if rt.plane == nil {
+		return false
+	}
+	rt.plane.scrapeOnce(now)
+	return true
+}
+
+// LedgerAggregate returns the newest merged fleet ledger view, or nil
+// when the plane is disabled or has not completed a scrape yet.
+func (rt *Router) LedgerAggregate() *LedgerAggregate {
+	if rt.plane == nil {
+		return nil
+	}
+	return rt.plane.agg.Load()
+}
+
+// LedgerEvents returns the alert transition log, or nil when the ledger
+// plane is disabled.
+func (rt *Router) LedgerEvents() *telemetry.EventLog {
+	if rt.plane == nil {
+		return nil
+	}
+	return rt.plane.events
+}
+
+// handleLedger serves the merged fleet ledger at /debug/ledger. 404 when
+// the plane is disabled, 503 before the first scrape completes.
+func (rt *Router) handleLedger(w http.ResponseWriter, r *http.Request) {
+	if rt.plane == nil {
+		http.Error(w, "ledger aggregation disabled (no -replica-http)", http.StatusNotFound)
+		return
+	}
+	agg := rt.plane.agg.Load()
+	if agg == nil {
+		http.Error(w, "no ledger scrape completed yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
+	if err := agg.WriteJSON(w); err != nil {
+		rt.opts.Logf("fleet: ledger write: %v", err)
+	}
+}

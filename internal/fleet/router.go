@@ -15,6 +15,7 @@ import (
 	"ssmdvfs/internal/baselines"
 	"ssmdvfs/internal/clockdomain"
 	"ssmdvfs/internal/infer"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/serve"
 	"ssmdvfs/internal/telemetry"
@@ -79,6 +80,20 @@ type Options struct {
 	Tracer *telemetry.Tracer
 	// Logf receives progress messages; nil silences them.
 	Logf func(format string, args ...any)
+
+	// ReplicaHTTP lists the replicas' HTTP base URLs (e.g.
+	// "http://127.0.0.1:8080"); when non-empty the router runs a ledger
+	// scrape loop that pulls every replica's /debug/ledger snapshot,
+	// merges them, evaluates AlertRules, and serves the fleet view at
+	// /debug/ledger + ledger_fleet_*/alert_* series on /metrics.prom.
+	// Empty (the default) disables the aggregation plane entirely.
+	ReplicaHTTP []string
+	// ScrapeInterval is the ledger scrape cadence (default 1 s).
+	ScrapeInterval time.Duration
+	// AlertRules are evaluated against the merged ledger every scrape;
+	// nil runs ledger.DefaultRules() (pass an empty non-nil slice to
+	// scrape without alerting).
+	AlertRules []ledger.Rule
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +126,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProbeInterval <= 0 {
 		o.ProbeInterval = 250 * time.Millisecond
+	}
+	if o.ScrapeInterval <= 0 {
+		o.ScrapeInterval = time.Second
+	}
+	if o.AlertRules == nil {
+		o.AlertRules = ledger.DefaultRules()
 	}
 	if o.Logf == nil {
 		o.Logf = func(string, ...any) {}
@@ -176,6 +197,10 @@ type Router struct {
 
 	conns sync.Map // net.Conn → struct{}, for Close
 	ls    sync.Map // net.Listener → struct{}, for Close
+
+	// plane is the ledger aggregation plane, nil unless ReplicaHTTP was
+	// configured.
+	plane *ledgerPlane
 }
 
 // NewRouter builds and starts a router over the replica set: the ring,
@@ -222,6 +247,11 @@ func NewRouter(opts Options) (*Router, error) {
 	}
 	rt.wg.Add(1)
 	go rt.probe()
+	if len(opts.ReplicaHTTP) > 0 {
+		rt.plane = newLedgerPlane(rt, opts)
+		rt.wg.Add(1)
+		go rt.plane.loop()
+	}
 	return rt, nil
 }
 
@@ -787,16 +817,18 @@ func (rt *Router) writeError(bw *bufio.Writer, err error) {
 //	GET /metrics       fleet counters as a telemetry JSON snapshot
 //	GET /metrics.prom  the same in Prometheus text exposition 0.0.4
 //	GET /healthz       per-replica health (503 when no replica is healthy)
+//	GET /debug/ledger  merged fleet efficiency ledger (404 when disabled)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 		rt.Telemetry().WriteJSON(w)
 	})
 	mux.HandleFunc("/metrics.prom", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.Header().Set("Content-Type", telemetry.ContentTypeProm)
 		rt.Telemetry().WriteProm(w)
 	})
+	mux.HandleFunc("/debug/ledger", rt.handleLedger)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		type replica struct {
 			Shard   int    `json:"shard"`
@@ -826,7 +858,7 @@ func (rt *Router) Handler() http.Handler {
 				Stale:      g >= 0 && g < maxGen,
 			}
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 		if rt.ring.Healthy() == 0 {
 			w.WriteHeader(http.StatusServiceUnavailable)
 		}

@@ -152,6 +152,20 @@ func (r *Record) SetRaw(row []float64) {
 	r.NumRaw = int32(n)
 }
 
+// RawFeatures returns the populated prefix of the raw counter row —
+// the slice replay consumers (ledger accounting, drift audits) feed back
+// through the same arithmetic the online path used.
+func (r *Record) RawFeatures() []float64 {
+	n := r.NumRaw
+	if n < 0 {
+		n = 0
+	}
+	if int(n) > len(r.Raw) {
+		n = int32(len(r.Raw))
+	}
+	return r.Raw[:n]
+}
+
 // SetDerived copies the selected feature subset (truncating past MaxAux).
 func (r *Record) SetDerived(row []float64) {
 	n := copy(r.Derived[:], row)

@@ -17,6 +17,7 @@ import (
 	"ssmdvfs/internal/counters"
 	"ssmdvfs/internal/faults"
 	"ssmdvfs/internal/infer"
+	"ssmdvfs/internal/ledger"
 	"ssmdvfs/internal/provenance"
 	"ssmdvfs/internal/quant"
 	"ssmdvfs/internal/telemetry"
@@ -102,6 +103,11 @@ type Engine struct {
 	// tracer, when SetTracer installed one, receives engine-hop spans for
 	// sampled traces. Nil tracers and unsampled requests cost nothing.
 	tracer *telemetry.Tracer
+
+	// led, when SetLedger installed one, accounts every answered decision
+	// against the MaxFreq counterfactual. Nil (the default) keeps the hot
+	// path ledger-free and allocation-free.
+	led *ledger.Ledger
 
 	mu sync.Mutex // serializes Reload
 }
@@ -243,6 +249,15 @@ func (e *Engine) predFeedback(row Request, d Decision) (prev float64, ok bool) {
 // before the engine starts answering decisions; a nil tracer (the
 // default) keeps the hot path span-free.
 func (e *Engine) SetTracer(tr *telemetry.Tracer) { e.tracer = tr }
+
+// SetLedger installs the efficiency ledger: every answered decision is
+// accounted for estimated energy delta and perf-loss versus the MaxFreq
+// counterfactual. Must be called before the engine starts answering
+// decisions; nil (the default) keeps the hot path ledger-free.
+func (e *Engine) SetLedger(l *ledger.Ledger) { e.led = l }
+
+// Ledger returns the efficiency ledger, or nil when none is installed.
+func (e *Engine) Ledger() *ledger.Ledger { return e.led }
 
 // Tracer returns the engine's span tracer, or nil.
 func (e *Engine) Tracer() *telemetry.Tracer { return e.tracer }
@@ -493,6 +508,18 @@ func (e *Engine) fallbackRow(row Request, reason provenance.Reason) Decision {
 // disabled; derived and logits are non-nil only on the model path (they
 // alias inference scratch and are copied into the record here).
 func (e *Engine) observe(rec *provenance.Record, row Request, d Decision, derived, logits []float64, start time.Time) {
+	if l := e.led; l != nil {
+		// The ledger reads the generation the provenance record was stamped
+		// with (the model this batch actually bound); without provenance it
+		// attributes to whatever is serving now.
+		var gen uint32
+		if rec != nil {
+			gen = rec.ModelGen
+		} else {
+			gen = uint32(e.Generation())
+		}
+		l.Observe(row.Cluster, gen, d.Level, row.Features, row.Preset)
+	}
 	if rec == nil {
 		return
 	}

@@ -308,12 +308,28 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/model", s.handleModel)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/debug/decisions", s.handleDecisions)
+	mux.HandleFunc("/debug/ledger", s.handleLedger)
 	return mux
+}
+
+// handleLedger serves the efficiency ledger snapshot — the per-replica
+// payload the fleet router scrapes and merges. 404 when no ledger is
+// installed so scrapers can tell "disabled" from "empty".
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	l := s.Ledger()
+	if l == nil {
+		http.Error(w, "ledger disabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
+	if err := l.Snapshot().WriteJSON(w); err != nil {
+		s.opts.Logf("serve: ledger write: %v", err)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.health.State()
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 	if st == FallbackOnly {
 		// Still serving (every request gets a fallback decision), but
 		// signal orchestrators that the model path is down.
@@ -397,7 +413,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	for i, d := range decs {
 		out[i] = httpDecision{Level: d.Level, Reason: d.Reason.String(), PredInstr: d.PredInstr}
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 	if single {
 		json.NewEncoder(w).Encode(out[0])
 		return
@@ -408,7 +424,7 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 	json.NewEncoder(w).Encode(s.metrics.Snapshot(s.Model().Levels))
 }
 
@@ -430,7 +446,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 	m := s.Model()
 	json.NewEncoder(w).Encode(struct {
 		Reloaded bool  `json:"reloaded"`
@@ -499,13 +515,13 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 	if n > 0 && len(kept) > n {
 		kept = kept[len(kept)-n:] // newest n, still oldest-first
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", telemetry.ContentTypeNDJSON)
 	provenance.WriteRecords(w, s.provHeader(), kept)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	m := s.Model()
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", telemetry.ContentTypeJSON)
 	json.NewEncoder(w).Encode(struct {
 		Levels         int   `json:"levels"`
 		Features       int   `json:"features"`
